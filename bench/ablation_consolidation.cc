@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Ablation: balancing vs consolidation. H2P balances the workload to
+ * flatten thermal demand; cluster managers usually consolidate to
+ * exploit the concave power curve. This bench prices the whole
+ * trade: total CPU power, TEG harvest, and the *net* electricity
+ * picture for three strategies on the same trace.
+ */
+
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "cluster/datacenter.h"
+#include "sched/consolidation.h"
+#include "sched/cooling_optimizer.h"
+#include "sched/load_balancer.h"
+#include "sched/lookup_space.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace h2p;
+
+enum class Strategy { None, Balance, Consolidate };
+
+struct Outcome
+{
+    double cpu_w = 0.0;
+    double teg_w = 0.0;
+};
+
+Outcome
+run(Strategy strategy, const workload::UtilizationTrace &trace,
+    const cluster::Datacenter &dc, const sched::CoolingOptimizer &opt)
+{
+    Outcome out;
+    for (size_t step = 0; step < trace.numSteps(); ++step) {
+        std::vector<double> utils = trace.step(step);
+        utils.resize(dc.numServers());
+
+        std::vector<cluster::CoolingSetting> settings;
+        size_t offset = 0;
+        for (size_t c = 0; c < dc.numCirculations(); ++c) {
+            size_t n = dc.circulationSize(c);
+            std::vector<double> group(utils.begin() + offset,
+                                      utils.begin() + offset + n);
+            std::vector<double> placed;
+            double plan = 0.0;
+            switch (strategy) {
+              case Strategy::None:
+                placed = group;
+                plan = sched::maxUtil(group);
+                break;
+              case Strategy::Balance:
+                placed = sched::balancePerfect(group);
+                plan = sched::meanUtil(group);
+                break;
+              case Strategy::Consolidate:
+                placed = sched::consolidate(group, 0.8);
+                plan = sched::maxUtil(placed);
+                break;
+            }
+            for (size_t i = 0; i < n; ++i)
+                utils[offset + i] = placed[i];
+            settings.push_back(opt.choose(plan).setting);
+            offset += n;
+        }
+        auto state = dc.evaluate(utils, settings);
+        out.cpu_w += state.cpu_power_w;
+        out.teg_w += state.teg_power_w;
+    }
+    double steps = static_cast<double>(trace.numSteps());
+    double servers = static_cast<double>(dc.numServers());
+    out.cpu_w /= steps * servers;
+    out.teg_w /= steps * servers;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace h2p;
+
+    cluster::DatacenterParams dp;
+    dp.num_servers = 200;
+    dp.servers_per_circulation = 50;
+    cluster::Datacenter dc(dp);
+    cluster::Server server(dp.server);
+    sched::LookupSpace space(server);
+    thermal::TegModule teg(12);
+    sched::CoolingOptimizer opt(space, teg);
+
+    workload::TraceGenerator gen(2020);
+    auto trace =
+        gen.generateProfile(workload::TraceProfile::Drastic, 200);
+
+    TablePrinter table(
+        "Ablation - placement strategy (drastic trace, per-server "
+        "averages)");
+    table.setHeader({"strategy", "CPU[W]", "TEG[W]",
+                     "net draw CPU-TEG[W]"});
+    CsvTable csv({"strategy_idx", "cpu_w", "teg_w", "net_w"});
+
+    const char *names[] = {"no placement (TEG_Original)",
+                           "balance (TEG_LoadBalance)",
+                           "consolidate (cap 0.8)"};
+    int idx = 0;
+    for (auto s : {Strategy::None, Strategy::Balance,
+                   Strategy::Consolidate}) {
+        Outcome o = run(s, trace, dc, opt);
+        table.addRow(names[idx],
+                     {o.cpu_w, o.teg_w, o.cpu_w - o.teg_w}, 3);
+        csv.addRow({double(idx), o.cpu_w, o.teg_w,
+                    o.cpu_w - o.teg_w});
+        ++idx;
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "ablation_consolidation");
+
+    std::cout
+        << "\nBalancing maximizes the harvest (the paper's result) "
+           "but the concave power curve (Eq. 20) makes balanced "
+           "placement draw more CPU power than consolidation — "
+           "unless idle servers can be powered down, consolidation "
+           "wins the *net* energy bill. An honest H2P deployment "
+           "pairs TEGs with consolidation-aware placement (or "
+           "sleeping idles), not balancing alone.\n";
+    return 0;
+}

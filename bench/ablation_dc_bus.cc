@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: power-distribution path (Sec. VI-D). The TEG output is
+ * DC; what fraction survives to do useful work depends on the
+ * datacenter's distribution architecture. Compares the conventional
+ * AC path (inverter + UPS double conversion + PSU) with the 48 V DC
+ * bus Google/Facebook-style halls use, and re-prices the TCO story
+ * for both.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/h2p_system.h"
+#include "econ/tco.h"
+#include "storage/dc_bus.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = 200;
+    cfg.datacenter.servers_per_circulation = 50;
+    core::H2PSystem sys(cfg);
+    workload::TraceGenerator gen(2020);
+    auto trace =
+        gen.generateProfile(workload::TraceProfile::Common, 200);
+    auto r = sys.run(trace, sched::Policy::TegLoadBalance);
+    double harvested = r.summary.avg_teg_w;
+
+    econ::TcoModel tco;
+
+    TablePrinter table("Ablation - distribution path of the TEG DC "
+                       "output");
+    table.setHeader({"path", "stages", "efficiency[%]",
+                     "delivered[W]", "TCO reduction[%]"});
+    CsvTable csv({"path_idx", "efficiency", "delivered_w", "tco_pct"});
+
+    int idx = 0;
+    for (const auto &[name, path] :
+         {std::pair<std::string, storage::PowerPath>{
+              "conventional AC", storage::PowerPath::conventionalAc()},
+          {"48 V DC bus", storage::PowerPath::dcBus()}}) {
+        double delivered = path.deliver(harvested);
+        auto cmp = tco.compare(delivered);
+        table.addRow(name,
+                     {double(path.stages().size()),
+                      100.0 * path.efficiency(), delivered,
+                      cmp.reduction_pct},
+                     2);
+        csv.addRow({double(idx), path.efficiency(), delivered,
+                    cmp.reduction_pct});
+        ++idx;
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "ablation_dc_bus");
+
+    std::cout << "\nThe conventional AC chain burns ~"
+              << strings::fixed(
+                     100.0 * (1.0 - storage::PowerPath::conventionalAc()
+                                        .efficiency()),
+                     0)
+              << " % of the harvest in conversions; on a DC bus the "
+                 "TEGs keep ~97 % — why the paper calls H2P "
+                 "\"appropriate for these DC-supplied datacenters\".\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: district heating vs. heat-to-power (Sec. II-C). Prices
+ * the conventional heat-selling path against the TEG path across the
+ * seasonal-demand spectrum — tropics to high latitude — and shows
+ * the paper's argument: heat revenue looks bigger on paper (it sells
+ * the whole waste stream) but dies with demand seasonality and
+ * piping capital, while TEG electricity is small, steady, and
+ * storable; and the two compose.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/h2p_system.h"
+#include "econ/district_heating.h"
+#include "econ/tco.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    // Measure the waste-heat stream and TEG harvest from a real run.
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = 200;
+    cfg.datacenter.servers_per_circulation = 50;
+    core::H2PSystem sys(cfg);
+    workload::TraceGenerator gen(2020);
+    auto trace =
+        gen.generateProfile(workload::TraceProfile::Common, 200);
+    auto r = sys.run(trace, sched::Policy::TegLoadBalance);
+
+    // Per-server waste heat ~ CPU power + parasitics; outlet temp
+    // from the run's mean chosen inlet plus the outlet delta.
+    double heat_w = r.summary.avg_cpu_w + 8.0;
+    double outlet_c = r.summary.avg_t_in_c + 1.0;
+
+    econ::TcoModel tco;
+    double teg_rev = tco.tegRevPerServerMonth(r.summary.avg_teg_w);
+    double teg_capex = tco.tegCapexPerServerMonth();
+
+    TablePrinter table(
+        "Ablation - selling heat (DHS) vs harvesting electricity "
+        "(TEG), USD/(server x month)");
+    table.setHeader({"site (demand factor)", "heat gross", "heat net",
+                     "TEG net", "winner"});
+    CsvTable csv({"demand_factor", "heat_gross", "heat_net",
+                  "teg_net"});
+
+    struct Site
+    {
+        const char *name;
+        double demand;
+    };
+    for (const Site &site :
+         {Site{"tropics (0.05)", 0.05}, Site{"mid-latitude (0.40)", 0.40},
+          Site{"high-latitude (0.70)", 0.70},
+          Site{"arctic DH grid (0.90)", 0.90}}) {
+        econ::DistrictHeatingParams hp;
+        hp.demand_factor = site.demand;
+        econ::DistrictHeatingModel dhs(hp);
+        double gross =
+            dhs.grossRevenuePerServerMonth(heat_w, outlet_c);
+        auto cmp = dhs.compare(heat_w, outlet_c, teg_rev, teg_capex);
+        table.addRow(site.name,
+                     {gross, cmp.heat_net, cmp.teg_net,
+                      cmp.heat_net > cmp.teg_net ? 1.0 : 0.0},
+                     3);
+        csv.addRow({site.demand, gross, cmp.heat_net, cmp.teg_net});
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "ablation_heat_vs_power");
+
+    std::cout << "\n(winner column: 1 = district heating, 0 = TEG) "
+                 "Outlet temperature here is "
+              << strings::fixed(outlet_c, 1)
+              << " C; below the ASHRAE W5 ~45 C threshold the heat "
+                 "path earns nothing at all, while the TEGs keep "
+                 "harvesting. At high latitudes with real DH grids, "
+                 "selling heat wins — and nothing prevents doing "
+                 "both (Sec. II-C).\n";
+    return 0;
+}

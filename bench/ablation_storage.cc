@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: energy buffering (Sec. VI-B/VI-C2). Feeds a recorded TEG
+ * output series into hybrid buffers of different battery sizes
+ * against a constant LED-lighting load, and reports how much of the
+ * demand each configuration covers and how much harvest is spilled.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/h2p_system.h"
+#include "storage/hybrid_buffer.h"
+#include "storage/led.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = 200;
+    cfg.datacenter.servers_per_circulation = 50;
+    core::H2PSystem sys(cfg);
+    workload::TraceGenerator gen(2020);
+    auto trace =
+        gen.generateProfile(workload::TraceProfile::Irregular, 200);
+    auto r = sys.run(trace, sched::Policy::TegLoadBalance);
+    const auto &teg = r.recorder->series("teg_w_per_server");
+
+    // Size the lighting load at the mean harvest (Sec. VI-C2).
+    double demand = teg.mean();
+    storage::LedParams led;
+    std::cout << "Per-server TEG output feeds a constant "
+              << strings::fixed(demand, 2) << " W LED load ("
+              << storage::ledsSupported(demand, led)
+              << " ordinary 0.05 W LEDs).\n\n";
+
+    TablePrinter table(
+        "Ablation - hybrid buffer sizing vs demand coverage "
+        "(irregular trace)");
+    table.setHeader({"battery[Wh]", "coverage[%]", "spilled[%]",
+                     "final store[Wh]"});
+    CsvTable csv({"battery_wh", "coverage_pct", "spilled_pct",
+                  "final_wh"});
+
+    for (double wh : {0.5, 2.0, 5.0, 20.0, 100.0}) {
+        storage::BatteryParams bat;
+        bat.capacity_wh = wh;
+        bat.initial_soc = 0.5;
+        storage::HybridBuffer buffer(storage::supercapParams(), bat);
+        double served = 0.0, total = 0.0, spilled = 0.0, gen_total = 0.0;
+        for (size_t i = 0; i < teg.size(); ++i) {
+            auto f = buffer.step(teg.at(i), demand, teg.dt());
+            served += f.direct_w + f.served_w;
+            total += demand;
+            spilled += f.spilled_w;
+            gen_total += teg.at(i);
+        }
+        table.addRow(strings::fixed(wh, 1),
+                     {100.0 * served / total,
+                      100.0 * spilled / gen_total, buffer.stored()},
+                     2);
+        csv.addRow({wh, 100.0 * served / total,
+                    100.0 * spilled / gen_total, buffer.stored()});
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "ablation_storage");
+
+    std::cout << "\nA few watt-hours of buffer absorb the TEG output's "
+                 "diurnal swing; past that, extra battery only adds "
+                 "cost (Sec. VI-B's SC + battery split).\n";
+    return 0;
+}

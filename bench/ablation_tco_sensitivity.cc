@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation: TCO sensitivity (Sec. V-D robustness). The paper's
+ * 0.57 % TCO reduction and 920-day break-even assume $1 TEGs, a
+ * 25-year lifespan and 13 c/kWh electricity. This bench sweeps each
+ * assumption to show which ones the economics actually hinge on.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "econ/npv.h"
+#include "econ/tco.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    const double watts = 4.177; // TEG_LoadBalance average
+
+    // 1. Electricity price.
+    TablePrinter price_table(
+        "TCO sensitivity - electricity price (4.177 W average)");
+    price_table.setHeader({"price[$/kWh]", "TEGRev[$/mo]",
+                           "reduction[%]", "break-even[d]"});
+    CsvTable csv({"price", "teg_cost", "lifespan_y", "reduction_pct",
+                  "break_even_days"});
+    for (double price : {0.05, 0.09, 0.13, 0.20, 0.30}) {
+        econ::TcoParams p;
+        p.electricity_usd_per_kwh = price;
+        econ::TcoModel tco(p);
+        auto r = tco.compare(watts);
+        price_table.addRow(strings::fixed(price, 2),
+                           {r.teg_rev, r.reduction_pct,
+                            tco.breakEvenDays(watts)},
+                           3);
+        csv.addRow({price, 1.0, 25.0, r.reduction_pct,
+                    tco.breakEvenDays(watts)});
+    }
+    price_table.print(std::cout);
+
+    // 2. TEG purchase price.
+    TablePrinter cost_table("TCO sensitivity - TEG unit cost");
+    cost_table.setHeader({"cost[$/TEG]", "TEGCapEx[$/mo]",
+                          "reduction[%]", "break-even[d]"});
+    for (double cost : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+        econ::TcoParams p;
+        p.teg_unit_cost = cost;
+        econ::TcoModel tco(p);
+        auto r = tco.compare(watts);
+        cost_table.addRow(strings::fixed(cost, 1),
+                          {r.teg_capex, r.reduction_pct,
+                           tco.breakEvenDays(watts)},
+                          3);
+        csv.addRow({0.13, cost, 25.0, r.reduction_pct,
+                    tco.breakEvenDays(watts)});
+    }
+    std::cout << "\n";
+    cost_table.print(std::cout);
+
+    // 3. Lifespan (the paper assumes 25 of the quoted 28-34 years).
+    TablePrinter life_table("TCO sensitivity - TEG lifespan");
+    life_table.setHeader({"lifespan[y]", "TEGCapEx[$/mo]",
+                          "reduction[%]"});
+    for (double years : {5.0, 10.0, 25.0, 34.0}) {
+        econ::TcoParams p;
+        p.teg_lifespan_years = years;
+        econ::TcoModel tco(p);
+        auto r = tco.compare(watts);
+        life_table.addRow(strings::fixed(years, 0),
+                          {r.teg_capex, r.reduction_pct}, 3);
+        csv.addRow({0.13, 1.0, years, r.reduction_pct,
+                    tco.breakEvenDays(watts)});
+    }
+    std::cout << "\n";
+    life_table.print(std::cout);
+
+    // 4. Discounted cash flow (a finance view of the 920 days).
+    TablePrinter npv_table(
+        "Discounted view - per-server TEG investment (25-y horizon, "
+        "2 %/y electricity escalation)");
+    npv_table.setHeader({"discount rate[%]", "NPV[$]",
+                         "disc. payback[y]"});
+    for (double rate : {0.0, 0.05, 0.08, 0.12}) {
+        econ::NpvParams np;
+        np.discount_rate = rate;
+        auto r = econ::evaluateNpv(watts, 0.13, np);
+        npv_table.addRow(strings::fixed(100.0 * rate, 0),
+                         {r.npv_usd, r.discounted_payback_years}, 2);
+    }
+    std::cout << "\n";
+    npv_table.print(std::cout);
+    bench::saveCsv(csv, "ablation_tco_sensitivity");
+
+    std::cout
+        << "\nThe economics hinge on the electricity price (revenue "
+           "scales linearly) and on cheap TEGs: at $5+/device the "
+           "break-even stretches past a decade, while the lifespan "
+           "barely matters once it exceeds a few years.\n";
+    return 0;
+}

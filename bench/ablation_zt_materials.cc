@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: future thermoelectric materials (Sec. VI-D). Scales the
+ * calibrated SP 1848-27145 (Bi2Te3, ZT ~ 1, ~5 % conversion) to the
+ * Nature 2019 Heusler alloy (ZT ~ 6) and hypothetical points in
+ * between, and re-runs the full evaluation + TCO pipeline for each.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/h2p_system.h"
+#include "econ/tco.h"
+#include "thermal/teg_material.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    workload::TraceGenerator gen(2020);
+    auto trace =
+        gen.generateProfile(workload::TraceProfile::Common, 200);
+    econ::TcoModel tco;
+    thermal::TegMaterial base = thermal::TegMaterial::bismuthTelluride();
+
+    TablePrinter table(
+        "Ablation - TEG material figure of merit (common trace, "
+        "TEG_LoadBalance)");
+    table.setHeader({"material", "ZT", "eta@45/20C[%]", "TEG avg[W]",
+                     "PRE[%]", "TCO reduction[%]", "break-even[d]"});
+    CsvTable csv({"zt", "eta_pct", "teg_w", "pre_pct", "tco_pct",
+                  "break_even_days"});
+
+    std::vector<thermal::TegMaterial> materials{
+        base, thermal::TegMaterial::hypothetical(2.0),
+        thermal::TegMaterial::hypothetical(4.0),
+        thermal::TegMaterial::heuslerAlloy()};
+    for (const auto &mat : materials) {
+        core::H2PConfig cfg;
+        cfg.datacenter.num_servers = 200;
+        cfg.datacenter.servers_per_circulation = 50;
+        cfg.datacenter.server.teg = thermal::scaleToMaterial(
+            cfg.datacenter.server.teg, base, mat);
+        core::H2PSystem sys(cfg);
+        auto r = sys.run(trace, sched::Policy::TegLoadBalance);
+        auto cmp = tco.compare(r.summary.avg_teg_w);
+        double eta = 100.0 * thermal::tegEfficiency(mat.zt, 45.0, 20.0);
+        table.addRow(mat.name,
+                     {mat.zt, eta, r.summary.avg_teg_w,
+                      100.0 * r.summary.pre, cmp.reduction_pct,
+                      tco.breakEvenDays(r.summary.avg_teg_w)},
+                     2);
+        csv.addRow({mat.zt, eta, r.summary.avg_teg_w,
+                    100.0 * r.summary.pre, cmp.reduction_pct,
+                    tco.breakEvenDays(r.summary.avg_teg_w)});
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "ablation_zt_materials");
+
+    std::cout << "\nAt ZT = 6 (the thin-film Heusler alloy) the same "
+                 "plumbing recycles a quarter of the CPU power and the "
+                 "break-even drops under a year — the Sec. VI-D "
+                 "argument for watching thermoelectric materials.\n";
+    return 0;
+}

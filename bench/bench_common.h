@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: every bench prints its
+ * figure/table rows through TablePrinter and mirrors them to CSV under
+ * ./bench_results/ so they can be plotted.
+ */
+
+#ifndef H2P_BENCH_BENCH_COMMON_H_
+#define H2P_BENCH_BENCH_COMMON_H_
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace h2p {
+namespace bench {
+
+/** Directory bench CSVs are written to (created on demand). */
+inline std::string
+resultsDir()
+{
+    static const std::string dir = [] {
+        std::string d = "bench_results";
+        std::error_code ec;
+        std::filesystem::create_directories(d, ec);
+        return d;
+    }();
+    return dir;
+}
+
+/** Save @p table as <name>.csv under the results directory. */
+inline void
+saveCsv(const CsvTable &table, const std::string &name)
+{
+    std::string path = resultsDir() + "/" + name + ".csv";
+    try {
+        table.save(path);
+        std::cout << "[csv] " << path << "\n";
+    } catch (const Error &e) {
+        warn("could not save ", path, ": ", e.what());
+    }
+}
+
+} // namespace bench
+} // namespace h2p
+
+#endif // H2P_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Fig. 8: (a) open-circuit voltage and (b) maximum output
+ * power vs coolant dT for 2..12 series TEGs at the 200 L/H reference
+ * flow, then refits Eq. 3/4 and Eq. 6/7 from the simulated
+ * measurements to close the characterization loop.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/prototype.h"
+#include "stats/regression.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    core::VirtualPrototype proto;
+    const std::vector<size_t> counts{2, 4, 6, 8, 10, 12};
+
+    TablePrinter voc_table(
+        "Fig. 8a - V_oc vs coolant dT for n series TEGs (200 L/H)");
+    TablePrinter pow_table(
+        "Fig. 8b - max output power vs coolant dT for n series TEGs");
+    std::vector<std::string> header{"dT[C]"};
+    for (size_t n : counts)
+        header.push_back("n=" + std::to_string(n));
+    voc_table.setHeader(header);
+    pow_table.setHeader(header);
+
+    CsvTable voc_csv({"dt_c", "n2", "n4", "n6", "n8", "n10", "n12"});
+    CsvTable pow_csv({"dt_c", "n2", "n4", "n6", "n8", "n10", "n12"});
+    for (double dt = 0.0; dt <= 25.0; dt += 2.5) {
+        std::vector<double> vrow, prow;
+        for (size_t n : counts) {
+            vrow.push_back(proto.measureVoc(n, dt, 200.0));
+            prow.push_back(proto.measureModulePower(n, dt));
+        }
+        voc_table.addRow(strings::fixed(dt, 1), vrow, 3);
+        pow_table.addRow(strings::fixed(dt, 1), prow, 3);
+        std::vector<double> vc{dt}, pc{dt};
+        vc.insert(vc.end(), vrow.begin(), vrow.end());
+        pc.insert(pc.end(), prow.begin(), prow.end());
+        voc_csv.addRow(vc);
+        pow_csv.addRow(pc);
+    }
+    voc_table.print(std::cout);
+    std::cout << "\n";
+    pow_table.print(std::cout);
+    bench::saveCsv(voc_csv, "fig08a_voc_series");
+    bench::saveCsv(pow_csv, "fig08b_power_series");
+
+    // Refit the per-device models from the n = 6 column.
+    std::vector<double> dts, vs, ps;
+    for (double dt = 1.0; dt <= 25.0; dt += 1.0) {
+        dts.push_back(dt);
+        vs.push_back(proto.measureVoc(6, dt, 200.0) / 6.0);
+        ps.push_back(proto.measureModulePower(1, dt));
+    }
+    auto vfit = stats::fitLinear(dts, vs);
+    auto pfit = stats::fitQuadratic(dts, ps);
+    std::cout << "\nRefit of Eq. 3: v = " << strings::fixed(vfit.slope, 4)
+              << " dT + " << strings::fixed(vfit.intercept, 4)
+              << "   (paper: 0.0448 dT - 0.0051)\n";
+    std::cout << "Refit of Eq. 6: P = " << strings::fixed(pfit.a, 5)
+              << " dT^2 + " << strings::fixed(pfit.b, 5) << " dT + "
+              << strings::fixed(pfit.c, 5)
+              << "   (paper: 0.0003 dT^2 - 0.0003 dT + 0.0011)\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Fig. 10: CPU temperature and governor frequency vs CPU
+ * utilization at several coolant temperatures (powersave governor,
+ * 20 L/H). Expected shape: frequency ramps fast then settles at
+ * ~2.5 GHz past 50 %; temperature tracks the frequency/power curve
+ * and shifts up with coolant temperature.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/prototype.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    core::VirtualPrototype proto;
+    const std::vector<double> coolants{30.0, 35.0, 40.0, 45.0};
+
+    TablePrinter table(
+        "Fig. 10 - CPU temperature [C] and frequency [GHz] vs "
+        "utilization (powersave, 20 L/H)");
+    std::vector<std::string> header{"util", "freq[GHz]"};
+    for (double t : coolants)
+        header.push_back("T@" + strings::fixed(t, 0) + "C");
+    table.setHeader(header);
+
+    CsvTable csv({"util", "freq_ghz", "t30", "t35", "t40", "t45"});
+    for (double u = 0.0; u <= 1.001; u += 0.1) {
+        double uu = std::min(u, 1.0);
+        std::vector<double> row;
+        row.push_back(proto.measureCpu(uu, 20.0, 40.0).freq_ghz);
+        for (double t : coolants)
+            row.push_back(proto.measureCpu(uu, 20.0, t).t_cpu_c);
+        table.addRow(strings::fixed(uu, 1), row, 2);
+        std::vector<double> cr{uu};
+        cr.insert(cr.end(), row.begin(), row.end());
+        csv.addRow(cr);
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "fig10_cpu_temp_util");
+
+    auto at45 = proto.measureCpu(1.0, 20.0, 45.0);
+    std::cout << "\nShape check: 45 C coolant at 100 % utilization -> "
+              << strings::fixed(at45.t_cpu_c, 1)
+              << " C, below the 78.9 C maximum (paper Sec. II-B).\n";
+    return 0;
+}

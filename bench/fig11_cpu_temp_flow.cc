@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Fig. 11: CPU temperature vs coolant temperature at
+ * several flow rates (100 % utilization). Expected shape: linear in
+ * coolant temperature with slope k in [1, 1.3]; the slope grows as
+ * the flow rate shrinks, and extra flow beyond ~250 L/H buys little.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/prototype.h"
+#include "stats/regression.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    core::VirtualPrototype proto;
+    const std::vector<double> flows{20.0, 50.0, 100.0, 150.0, 250.0};
+
+    TablePrinter table(
+        "Fig. 11 - CPU temperature [C] vs coolant temperature at "
+        "several flow rates (100 % utilization)");
+    std::vector<std::string> header{"T_in[C]"};
+    for (double f : flows)
+        header.push_back(strings::fixed(f, 0) + " L/H");
+    table.setHeader(header);
+
+    CsvTable csv({"t_in", "f20", "f50", "f100", "f150", "f250"});
+    for (double t = 30.0; t <= 50.001; t += 2.5) {
+        std::vector<double> row;
+        for (double f : flows)
+            row.push_back(proto.measureCpu(1.0, f, t).t_cpu_c);
+        table.addRow(strings::fixed(t, 1), row, 2);
+        std::vector<double> cr{t};
+        cr.insert(cr.end(), row.begin(), row.end());
+        csv.addRow(cr);
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "fig11_cpu_temp_flow");
+
+    // Fit the slope k per flow, as the paper reports k in [1, 1.3].
+    TablePrinter slopes("Fitted slope k of T_CPU vs T_coolant");
+    slopes.setHeader({"flow[L/H]", "k"});
+    for (double f : flows) {
+        std::vector<double> tins, tcpus;
+        for (double t = 30.0; t <= 50.0; t += 2.0) {
+            tins.push_back(t);
+            tcpus.push_back(proto.measureCpu(1.0, f, t).t_cpu_c);
+        }
+        auto fit = stats::fitLinear(tins, tcpus);
+        slopes.addRow(strings::fixed(f, 0), {fit.slope}, 3);
+    }
+    std::cout << "\n";
+    slopes.print(std::cout);
+    std::cout << "\n(paper: k in [1, 1.3], increasing as the flow "
+                 "rate decreases)\n";
+    return 0;
+}

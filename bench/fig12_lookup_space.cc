@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Fig. 12: the 3-D discrete (utilization, flow, inlet
+ * temperature) -> CPU temperature look-up space, fitted continuous by
+ * trilinear interpolation. Prints the grid shape, sample slices and
+ * the interpolation error against the direct model.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "cluster/server.h"
+#include "sched/lookup_space.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    cluster::Server server;
+    sched::LookupSpace space(server);
+    const auto &p = space.params();
+
+    std::cout << "Fig. 12 - look-up space over (u, f, T_in):\n"
+              << "  utilization axis: [0, 1] x " << p.util_points
+              << " points\n"
+              << "  flow axis: [" << p.flow_min_lph << ", "
+              << p.flow_max_lph << "] L/H x " << p.flow_points
+              << " points\n"
+              << "  inlet axis: [" << p.tin_min_c << ", " << p.tin_max_c
+              << "] C x " << p.tin_points << " points\n"
+              << "  total " << space.numPoints() << " grid points\n\n";
+
+    // A sample slice (the paper colours T_CPU on such planes).
+    TablePrinter table("Slice u = 0.5: T_CPU [C] over flow x inlet");
+    std::vector<std::string> header{"T_in[C]"};
+    const std::vector<double> flows{10.0, 30.0, 50.0, 70.0, 100.0};
+    for (double f : flows)
+        header.push_back(strings::fixed(f, 0) + " L/H");
+    table.setHeader(header);
+    CsvTable csv({"t_in", "f10", "f30", "f50", "f70", "f100"});
+    for (double t = 25.0; t <= 55.001; t += 5.0) {
+        std::vector<double> row;
+        for (double f : flows)
+            row.push_back(space.cpuTemp(0.5, f, t));
+        table.addRow(strings::fixed(t, 0), row, 2);
+        std::vector<double> cr{t};
+        cr.insert(cr.end(), row.begin(), row.end());
+        csv.addRow(cr);
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "fig12_lookup_slice_u50");
+
+    // Interpolation fidelity: max |space - model| over random probes.
+    const auto &thermal = server.thermalModel();
+    const auto &power = server.powerModel();
+    double max_err = 0.0;
+    for (double u = 0.03; u <= 1.0; u += 0.09) {
+        for (double f = 12.0; f <= 100.0; f += 11.0) {
+            for (double t = 21.0; t <= 55.0; t += 4.3) {
+                double direct =
+                    thermal.dieTemperature(power.power(u), f, t);
+                max_err = std::max(
+                    max_err, std::abs(space.cpuTemp(u, f, t) - direct));
+            }
+        }
+    }
+    std::cout << "\nMax interpolation error vs direct model: "
+              << strings::fixed(max_err, 3)
+              << " C (the fitted space is a faithful continuous "
+                 "extension of the discrete measurements).\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Fig. 15: the power reusing efficiency (Eq. 19) of the
+ * TEG module per CPU, for the three trace classes under both
+ * schemes. Paper reference: TEG_Original 12.0 / 13.8 / 11.9 %,
+ * TEG_LoadBalance 13.7 / 16.2 / 12.8 % (average 14.23 %).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/h2p_system.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    core::H2PConfig cfg;
+    core::H2PSystem sys(cfg);
+    workload::TraceGenerator gen(2020);
+
+    TablePrinter table("Fig. 15 - power reusing efficiency (Eq. 19)");
+    table.setHeader({"trace / scheme", "PRE[%]", "paper PRE[%]",
+                     "TEG avg[W]", "CPU avg[W]"});
+
+    const double paper_orig[3] = {12.0, 13.8, 11.9};
+    const double paper_lb[3] = {13.7, 16.2, 12.8};
+
+    CsvTable csv({"trace_idx", "scheme_idx", "pre_pct", "teg_avg_w",
+                  "cpu_avg_w"});
+    double lb_sum = 0.0;
+    int ti = 0;
+    for (auto prof : {workload::TraceProfile::Drastic,
+                      workload::TraceProfile::Irregular,
+                      workload::TraceProfile::Common}) {
+        auto trace = gen.generateProfile(prof, 1000);
+        int si = 0;
+        for (auto policy : {sched::Policy::TegOriginal,
+                            sched::Policy::TegLoadBalance}) {
+            auto r = sys.run(trace, policy);
+            double pre_pct = 100.0 * r.summary.pre;
+            double paper = si == 0 ? paper_orig[ti] : paper_lb[ti];
+            table.addRow(toString(prof) + " / " + toString(policy),
+                         {pre_pct, paper, r.summary.avg_teg_w,
+                          r.summary.avg_cpu_w},
+                         2);
+            csv.addRow({double(ti), double(si), pre_pct,
+                        r.summary.avg_teg_w, r.summary.avg_cpu_w});
+            if (si == 1)
+                lb_sum += r.summary.pre;
+            ++si;
+        }
+        ++ti;
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "fig15_pre");
+
+    std::cout << "\nTEG_LoadBalance average PRE: "
+              << strings::fixed(100.0 * lb_sum / 3.0, 2)
+              << " % (paper: 14.23 %).\n";
+    return 0;
+}

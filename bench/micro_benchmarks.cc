@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's hot paths:
+ * look-up queries, optimizer decisions, server/datacenter evaluation,
+ * trace generation and the order-statistics quadrature. These bound
+ * how large an H2P deployment the simulator can sweep interactively.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/datacenter.h"
+#include "core/h2p_system.h"
+#include "sched/cooling_optimizer.h"
+#include "sched/lookup_space.h"
+#include "stats/order_stats.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace h2p;
+
+void
+BM_ServerEvaluate(benchmark::State &state)
+{
+    cluster::Server server;
+    double u = 0.1;
+    for (auto _ : state) {
+        u = u > 0.9 ? 0.1 : u + 0.01;
+        benchmark::DoNotOptimize(
+            server.evaluate(u, 50.0, 45.0, 20.0));
+    }
+}
+BENCHMARK(BM_ServerEvaluate);
+
+void
+BM_LookupSpaceBuild(benchmark::State &state)
+{
+    cluster::Server server;
+    for (auto _ : state) {
+        sched::LookupSpace space(server);
+        benchmark::DoNotOptimize(space.numPoints());
+    }
+}
+BENCHMARK(BM_LookupSpaceBuild);
+
+void
+BM_LookupQuery(benchmark::State &state)
+{
+    cluster::Server server;
+    sched::LookupSpace space(server);
+    double u = 0.0;
+    for (auto _ : state) {
+        u = u > 0.99 ? 0.0 : u + 0.013;
+        benchmark::DoNotOptimize(space.cpuTemp(u, 37.0, 43.0));
+    }
+}
+BENCHMARK(BM_LookupQuery);
+
+void
+BM_OptimizerChoose(benchmark::State &state)
+{
+    cluster::Server server;
+    sched::LookupSpace space(server);
+    thermal::TegModule teg(12);
+    sched::CoolingOptimizer opt(space, teg);
+    double u = 0.0;
+    for (auto _ : state) {
+        u = u > 0.98 ? 0.0 : u + 0.017;
+        benchmark::DoNotOptimize(opt.choose(u));
+    }
+}
+BENCHMARK(BM_OptimizerChoose);
+
+void
+BM_DatacenterStep(benchmark::State &state)
+{
+    cluster::DatacenterParams params;
+    params.num_servers = static_cast<size_t>(state.range(0));
+    params.servers_per_circulation = 50;
+    cluster::Datacenter dc(params);
+    std::vector<double> utils(params.num_servers, 0.35);
+    std::vector<cluster::CoolingSetting> settings(
+        dc.numCirculations(), cluster::CoolingSetting{48.0, 60.0});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dc.evaluate(utils, settings));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(params.num_servers));
+}
+BENCHMARK(BM_DatacenterStep)->Arg(100)->Arg(1000);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workload::TraceGenerator gen(2020);
+    workload::TraceGenParams params;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            gen.generate(params, 100, 3600.0 * 6.0));
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_OrderStatMean(benchmark::State &state)
+{
+    stats::Normal base(55.0, 6.0);
+    size_t n = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        stats::NormalMaxOrderStat stat(base, n);
+        benchmark::DoNotOptimize(stat.mean());
+    }
+}
+BENCHMARK(BM_OrderStatMean)->Arg(10)->Arg(1000);
+
+void
+BM_FullScheduledStep(benchmark::State &state)
+{
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = 200;
+    cfg.datacenter.servers_per_circulation = 50;
+    core::H2PSystem sys(cfg);
+    std::vector<double> utils(200, 0.35);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sys.evaluateStep(utils, sched::Policy::TegLoadBalance));
+    }
+}
+BENCHMARK(BM_FullScheduledStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces the Sec. V-A water-circulation design study (Eq. 9-18):
+ * sweep the number of servers per circulation over the divisors of a
+ * 1,000-server cluster, computing the expected maximum CPU
+ * temperature by order statistics, the chiller duty it implies and
+ * the Eq. 12 objective (energy cost + chiller capital).
+ *
+ * Expected shape: per-server chiller energy grows with the loop size
+ * (the hottest of n CPUs gets hotter as n grows) while capital falls
+ * as 1/n, giving an interior optimum.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sched/circulation_design.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    sched::CirculationDesignParams params;
+    params.cpu_temp_mu_c = 58.0;
+    params.cpu_temp_sigma_c = 5.0;
+    params.t_safe_c = 63.0;
+    sched::CirculationDesigner designer(params);
+
+    TablePrinter table(
+        "Sec. V-A - circulation sizing over divisors of 1,000 "
+        "(Eq. 12 objective, 1-year horizon)");
+    table.setHeader({"n", "E[T_max][C]", "E[dT][C]",
+                     "chiller[kWh/yr]", "energy[$/yr]", "capex[$]",
+                     "total[$]"});
+    CsvTable csv({"n", "e_tmax_c", "e_dt_c", "chiller_kwh",
+                  "energy_usd", "capex_usd", "total_usd"});
+
+    for (const auto &p : designer.sweep(designer.divisorCandidates())) {
+        table.addRow(std::to_string(p.servers_per_circulation),
+                     {p.expected_max_temp_c, p.expected_delta_t_c,
+                      p.chiller_energy_kwh, p.energy_cost_usd,
+                      p.capex_usd, p.total_cost_usd},
+                     1);
+        csv.addRow({double(p.servers_per_circulation),
+                    p.expected_max_temp_c, p.expected_delta_t_c,
+                    p.chiller_energy_kwh, p.energy_cost_usd,
+                    p.capex_usd, p.total_cost_usd});
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "seca_circulation_design");
+
+    auto best = designer.optimize();
+    std::cout << "\nOptimal circulation size: "
+              << best.servers_per_circulation << " servers/loop at $"
+              << strings::fixed(best.total_cost_usd, 0)
+              << "/yr total (energy-vs-capital trade-off of Eq. 12).\n";
+    return 0;
+}

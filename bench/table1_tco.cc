@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Table I and the Sec. V-D TCO analysis: the cost
+ * parameters, the TCO with and without H2P (Eq. 21-22), the TCO
+ * reductions (paper: 0.49 % / 0.57 %), the 920-day break-even and
+ * the annual savings of a 100,000-CPU deployment.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "econ/tco.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    econ::TcoModel tco;
+    const auto &p = tco.params();
+
+    TablePrinter params_table("Table I - TCO model parameters");
+    params_table.setHeader({"description", "value",
+                            "$/(server x month)"});
+    params_table.addRow({"DCInfraCapEx", strings::fixed(p.dc_infra_capex, 2), "yes"});
+    params_table.addRow({"ServCapEx", strings::fixed(p.server_capex, 2), "yes"});
+    params_table.addRow({"DCInfraOpEx", strings::fixed(p.dc_infra_opex, 2), "yes"});
+    params_table.addRow({"ServOpEx", strings::fixed(p.server_opex, 2), "yes"});
+    params_table.addRow({"TEGCapEx", strings::fixed(tco.tegCapexPerServerMonth(), 2), "yes"});
+    params_table.addRow({"TEGRev (TEG_Original, 3.694 W)",
+                         strings::fixed(tco.tegRevPerServerMonth(3.694), 2), "yes"});
+    params_table.addRow({"TEGRev (TEG_LoadBalance, 4.177 W)",
+                         strings::fixed(tco.tegRevPerServerMonth(4.177), 2), "yes"});
+    params_table.print(std::cout);
+
+    TablePrinter result("Sec. V-D - TCO comparison (Eq. 21-22)");
+    result.setHeader({"scheme", "avg TEG [W]", "TCO_noTEG", "TCO_H2P",
+                      "reduction[%]", "paper[%]", "break-even[d]",
+                      "savings/yr @100k CPUs [$]"});
+    CsvTable csv({"avg_teg_w", "tco_no_teg", "tco_h2p",
+                  "reduction_pct", "break_even_days",
+                  "annual_savings_usd"});
+    struct Scheme
+    {
+        const char *name;
+        double watts;
+        double paper_pct;
+    };
+    for (const Scheme &s :
+         {Scheme{"TEG_Original", 3.694, 0.49},
+          Scheme{"TEG_LoadBalance", 4.177, 0.57}}) {
+        econ::TcoResult r = tco.compare(s.watts);
+        double be = tco.breakEvenDays(s.watts);
+        double savings = tco.annualSavingsUsd(s.watts, 100000);
+        result.addRow(s.name, {s.watts, r.tco_no_teg, r.tco_h2p,
+                               r.reduction_pct, s.paper_pct, be,
+                               savings},
+                      2);
+        csv.addRow({s.watts, r.tco_no_teg, r.tco_h2p, r.reduction_pct,
+                    be, savings});
+    }
+    std::cout << "\n";
+    result.print(std::cout);
+    bench::saveCsv(csv, "table1_tco");
+
+    std::cout << "\nDaily generation @100k CPUs (TEG_LoadBalance): "
+              << strings::fixed(tco.dailyGenerationKwh(4.177, 100000), 1)
+              << " kWh (paper: 10,024.8 kWh -> $1,303.2/day -> "
+                 "920-day break-even).\n";
+    return 0;
+}

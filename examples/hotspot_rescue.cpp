@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Hot-spot rescue: the Sec. VI-C1 scenario end to end.
+ *
+ * A server in a warm (50 C inlet) loop is suddenly driven to 100 %
+ * utilization. The chiller would take minutes to deliver colder
+ * water; instead a TEC between die and plate pumps the excess heat,
+ * powered by the TEG harvest banked in the hybrid buffer. The example
+ * integrates the transient with the thermal-RC network and prints the
+ * die temperature with and without the rescue.
+ */
+
+#include <iostream>
+
+#include "storage/hybrid_buffer.h"
+#include "thermal/rc_network.h"
+#include "thermal/tec.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/cpu_power.h"
+
+int
+main()
+{
+    using namespace h2p;
+
+    const double coolant_c = 50.0; // warm-water setpoint
+    const double r_plate = 0.24;   // plate->coolant at 20 L/H, K/W
+    const double r_paste = 0.05;   // die->plate contact, K/W
+    const double c_die = 150.0;    // J/K
+    const double c_plate = 60.0;   // J/K
+
+    workload::CpuPowerModel power;
+    thermal::Tec tec;
+    storage::HybridBuffer buffer; // pre-charged by TEG harvest
+
+    auto run = [&](bool rescue) {
+        thermal::RcNetwork net;
+        auto coolant = net.addBoundary("coolant", coolant_c);
+        auto die = net.addNode("die", c_die, coolant_c + 8.0);
+        auto plate = net.addNode("plate", c_plate, coolant_c + 2.0);
+        net.connect(die, plate, r_paste);
+        net.connect(plate, coolant, r_plate);
+
+        std::vector<double> temps;
+        double tec_energy_wh = 0.0;
+        double served_wh = 0.0;
+        const double dt = 5.0;
+        for (double t = 0.0; t < 600.0; t += dt) {
+            double p = power.peakPower(); // sudden 100 % load
+            double pumped = 0.0;
+            if (rescue) {
+                // Pump up to the TEC's best against the gradient;
+                // draw the electrical power from the buffer.
+                double t_die = net.temperature(die);
+                auto op = tec.currentForHeat(25.0, t_die,
+                                             t_die + 5.0);
+                auto flow =
+                    buffer.step(0.0, op.power_in_w, dt);
+                double fraction =
+                    op.power_in_w > 0.0
+                        ? (flow.direct_w + flow.served_w) /
+                              op.power_in_w
+                        : 0.0;
+                pumped = op.heat_pumped_w * fraction;
+                tec_energy_wh += op.power_in_w * dt / 3600.0;
+                served_wh += (flow.direct_w + flow.served_w) * dt /
+                             3600.0;
+            }
+            net.setPower(die, p - pumped);
+            net.step(dt);
+            temps.push_back(net.temperature(die));
+        }
+        struct Result
+        {
+            std::vector<double> temps;
+            double tec_wh;
+            double served_wh;
+        };
+        return Result{temps, tec_energy_wh, served_wh};
+    };
+
+    auto base = run(false);
+    auto rescued = run(true);
+
+    TablePrinter table(
+        "Hot spot at 50 C inlet: die temperature with and without "
+        "TEG-powered TEC rescue");
+    table.setHeader({"t[s]", "no rescue[C]", "TEC rescue[C]"});
+    for (size_t i = 11; i < base.temps.size(); i += 12) {
+        table.addRow(strings::fixed(5.0 * (i + 1), 0),
+                     {base.temps[i], rescued.temps[i]}, 1);
+    }
+    table.print(std::cout);
+
+    double final_base = base.temps.back();
+    double final_rescued = rescued.temps.back();
+    std::cout << "\nSteady state: " << strings::fixed(final_base, 1)
+              << " C unaided (vendor max 78.9 C) vs "
+              << strings::fixed(final_rescued, 1)
+              << " C with the TEC pumping, powered entirely by "
+              << strings::fixed(rescued.served_wh, 2)
+              << " Wh of banked TEG harvest ("
+              << strings::fixed(rescued.tec_wh, 2)
+              << " Wh demanded).\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "cluster/circulation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace cluster {
+
+Circulation::Circulation(size_t count, const ServerParams &server_params,
+                         const hydraulic::PumpParams &pump_params)
+    : count_(count), server_(server_params), pump_(pump_params)
+{
+    expect(count >= 1, "a circulation needs at least one server");
+}
+
+CirculationState
+Circulation::evaluate(const std::vector<double> &utils,
+                      const CoolingSetting &setting, double t_cold_c) const
+{
+    expect(utils.size() == count_, "expected ", count_,
+           " utilizations, got ", utils.size());
+    expect(setting.flow_lph > 0.0, "flow must be positive");
+
+    CirculationState state;
+    state.setting = setting;
+    state.servers.reserve(count_);
+
+    double sum_return = 0.0;
+    for (double u : utils) {
+        ServerState s = server_.evaluate(u, setting.flow_lph,
+                                         setting.t_in_c, t_cold_c);
+        state.cpu_power_w += s.cpu_power_w;
+        state.teg_power_w += s.teg_power_w;
+        state.heat_w += s.heat_w;
+        state.max_die_c = std::max(state.max_die_c, s.die_temp_c);
+        state.all_safe = state.all_safe && s.safe;
+        sum_return += s.outlet_c;
+        state.servers.push_back(std::move(s));
+    }
+    state.return_c = sum_return / static_cast<double>(count_);
+    // The centralized pump's head scales with the per-branch flow
+    // (branches are parallel), so model it as one pump-equivalent per
+    // branch: total power = count * affinity-law power at branch flow.
+    state.pump_power_w =
+        pump_.power(setting.flow_lph) * static_cast<double>(count_);
+    return state;
+}
+
+} // namespace cluster
+} // namespace h2p

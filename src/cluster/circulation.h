@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A group of servers sharing one water circulation.
+ *
+ * Within a circulation every server sees the same inlet temperature
+ * and flow rate (Sec. V-A); the cooling setting is therefore dictated
+ * by the hottest (or, after balancing, the average) server. The
+ * circulation owns a pump and reports the mixed return stream the CDU
+ * must absorb.
+ */
+
+#ifndef H2P_CLUSTER_CIRCULATION_H_
+#define H2P_CLUSTER_CIRCULATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/server.h"
+#include "hydraulic/pump.h"
+
+namespace h2p {
+namespace cluster {
+
+/** The per-interval cooling knobs of one circulation (Sec. V-B). */
+struct CoolingSetting
+{
+    /** Supply (inlet) water temperature, C. */
+    double t_in_c = 40.0;
+    /** Per-branch flow rate, L/H. */
+    double flow_lph = 20.0;
+};
+
+/** Aggregate state of one circulation for one interval. */
+struct CirculationState
+{
+    CoolingSetting setting;
+    /** Per-server states. */
+    std::vector<ServerState> servers;
+    /** Total CPU power, W. */
+    double cpu_power_w = 0.0;
+    /** Total TEG output, W. */
+    double teg_power_w = 0.0;
+    /** Total heat into the loop, W. */
+    double heat_w = 0.0;
+    /** Mixed return temperature, C. */
+    double return_c = 0.0;
+    /** Pump electrical power, W. */
+    double pump_power_w = 0.0;
+    /** Hottest die temperature, C. */
+    double max_die_c = 0.0;
+    /** All dies at or below the vendor maximum? */
+    bool all_safe = true;
+};
+
+/**
+ * A water circulation serving @p count identical servers.
+ */
+class Circulation
+{
+  public:
+    /**
+     * @param count Number of servers sharing the loop.
+     * @param server_params Per-server configuration.
+     * @param pump_params Pump at the loop's rated point.
+     */
+    explicit Circulation(size_t count,
+                         const ServerParams &server_params = {},
+                         const hydraulic::PumpParams &pump_params = {});
+
+    /** Number of servers in the loop. */
+    size_t size() const { return count_; }
+
+    /**
+     * Evaluate the circulation for one interval.
+     *
+     * @param utils Per-server utilizations (size() entries).
+     * @param setting Cooling setting applied to every branch.
+     * @param t_cold_c Natural-water cold-loop temperature, C.
+     */
+    CirculationState evaluate(const std::vector<double> &utils,
+                              const CoolingSetting &setting,
+                              double t_cold_c) const;
+
+    const Server &server() const { return server_; }
+
+  private:
+    size_t count_;
+    Server server_;
+    hydraulic::Pump pump_;
+};
+
+} // namespace cluster
+} // namespace h2p
+
+#endif // H2P_CLUSTER_CIRCULATION_H_

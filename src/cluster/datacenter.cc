@@ -1,0 +1,98 @@
+#include "cluster/datacenter.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace cluster {
+
+Datacenter::Datacenter(const DatacenterParams &params)
+    : params_(params),
+      circulation_(std::max<size_t>(1, params.servers_per_circulation),
+                   params.server, params.pump),
+      plant_(params.plant)
+{
+    expect(params.num_servers >= 1, "datacenter needs servers");
+    expect(params.servers_per_circulation >= 1,
+           "circulations need at least one server");
+
+    size_t remaining = params.num_servers;
+    size_t offset = 0;
+    while (remaining > 0) {
+        size_t n = std::min(params.servers_per_circulation, remaining);
+        circulation_sizes_.push_back(n);
+        circulation_offsets_.push_back(offset);
+        offset += n;
+        remaining -= n;
+    }
+}
+
+size_t
+Datacenter::circulationSize(size_t i) const
+{
+    expect(i < circulation_sizes_.size(), "circulation ", i,
+           " out of range");
+    return circulation_sizes_[i];
+}
+
+std::vector<double>
+Datacenter::circulationUtils(const std::vector<double> &utils,
+                             size_t i) const
+{
+    expect(utils.size() == params_.num_servers, "expected ",
+           params_.num_servers, " utilizations, got ", utils.size());
+    expect(i < circulation_sizes_.size(), "circulation ", i,
+           " out of range");
+    size_t off = circulation_offsets_[i];
+    size_t n = circulation_sizes_[i];
+    return std::vector<double>(utils.begin() + off,
+                               utils.begin() + off + n);
+}
+
+DatacenterState
+Datacenter::evaluate(const std::vector<double> &utils,
+                     const std::vector<CoolingSetting> &settings) const
+{
+    expect(settings.size() == circulation_sizes_.size(), "expected ",
+           circulation_sizes_.size(), " cooling settings, got ",
+           settings.size());
+
+    DatacenterState state;
+    state.circulations.reserve(circulation_sizes_.size());
+
+    double total_flow_lph = 0.0;
+    double min_supply_c = 1e9;
+    for (size_t i = 0; i < circulation_sizes_.size(); ++i) {
+        // Last circulation can be smaller; build a matching model.
+        const size_t n = circulation_sizes_[i];
+        CirculationState cs;
+        if (n == circulation_.size()) {
+            cs = circulation_.evaluate(circulationUtils(utils, i),
+                                       settings[i],
+                                       params_.cold_source_c);
+        } else {
+            Circulation partial(n, params_.server, params_.pump);
+            cs = partial.evaluate(circulationUtils(utils, i),
+                                  settings[i], params_.cold_source_c);
+        }
+        state.cpu_power_w += cs.cpu_power_w;
+        state.teg_power_w += cs.teg_power_w;
+        state.heat_w += cs.heat_w;
+        state.pump_power_w += cs.pump_power_w;
+        state.all_safe = state.all_safe && cs.all_safe;
+        total_flow_lph +=
+            settings[i].flow_lph * static_cast<double>(n);
+        min_supply_c = std::min(min_supply_c, settings[i].t_in_c);
+        state.circulations.push_back(std::move(cs));
+    }
+
+    // The plant must honour the coldest requested supply temperature.
+    hydraulic::PlantPower pp =
+        plant_.power(state.heat_w, min_supply_c, total_flow_lph);
+    state.plant_power_w = pp.total();
+    return state;
+}
+
+} // namespace cluster
+} // namespace h2p

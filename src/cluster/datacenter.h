@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The datacenter model: all servers, partitioned into circulations.
+ *
+ * Sec. V-A considers a homogeneous 1,000-server cluster split into
+ * 1000/n circulations of n servers; each circulation has its own CDU
+ * setting (inlet temperature, flow) while the facility plant serves
+ * them all. The datacenter evaluates one scheduling interval given the
+ * per-server utilizations and the per-circulation cooling settings.
+ */
+
+#ifndef H2P_CLUSTER_DATACENTER_H_
+#define H2P_CLUSTER_DATACENTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/circulation.h"
+#include "hydraulic/plant.h"
+
+namespace h2p {
+namespace cluster {
+
+/** Datacenter configuration. */
+struct DatacenterParams
+{
+    /** Total number of servers. */
+    size_t num_servers = 1000;
+    /** Servers per water circulation. */
+    size_t servers_per_circulation = 50;
+    /** Natural-water cold-loop temperature for the TEGs, C. */
+    double cold_source_c = 20.0;
+    ServerParams server;
+    hydraulic::PumpParams pump;
+    hydraulic::PlantParams plant;
+};
+
+/** Aggregate state of the datacenter for one interval. */
+struct DatacenterState
+{
+    /** Per-circulation states. */
+    std::vector<CirculationState> circulations;
+    /** Total CPU power, W. */
+    double cpu_power_w = 0.0;
+    /** Total TEG output, W. */
+    double teg_power_w = 0.0;
+    /** Total heat into the loops, W. */
+    double heat_w = 0.0;
+    /** Total pump power, W. */
+    double pump_power_w = 0.0;
+    /** Facility plant power (chiller + tower fans), W. */
+    double plant_power_w = 0.0;
+    /** All dies safe this interval? */
+    bool all_safe = true;
+
+    /** Mean TEG output per server, W (the paper's headline metric). */
+    double tegPowerPerServer(size_t num_servers) const
+    {
+        return teg_power_w / static_cast<double>(num_servers);
+    }
+};
+
+/**
+ * A homogeneous warm-water-cooled datacenter with TEG harvesting.
+ */
+class Datacenter
+{
+  public:
+    Datacenter() : Datacenter(DatacenterParams{}) {}
+
+    explicit Datacenter(const DatacenterParams &params);
+
+    /** Number of circulations (ceil of servers / per-circulation). */
+    size_t numCirculations() const { return circulation_sizes_.size(); }
+
+    /** Number of servers in circulation @p i. */
+    size_t circulationSize(size_t i) const;
+
+    /** Total number of servers. */
+    size_t numServers() const { return params_.num_servers; }
+
+    /**
+     * Evaluate one scheduling interval.
+     *
+     * @param utils Per-server utilizations (numServers() entries),
+     *        laid out circulation by circulation.
+     * @param settings Per-circulation cooling settings
+     *        (numCirculations() entries).
+     */
+    DatacenterState evaluate(const std::vector<double> &utils,
+                             const std::vector<CoolingSetting> &settings)
+        const;
+
+    /** Slice the utilizations belonging to circulation @p i. */
+    std::vector<double> circulationUtils(
+        const std::vector<double> &utils, size_t i) const;
+
+    const DatacenterParams &params() const { return params_; }
+    const Circulation &circulationModel() const { return circulation_; }
+
+  private:
+    DatacenterParams params_;
+    std::vector<size_t> circulation_sizes_;
+    std::vector<size_t> circulation_offsets_;
+    Circulation circulation_;      // model for full-size circulations
+    hydraulic::FacilityPlant plant_;
+};
+
+} // namespace cluster
+} // namespace h2p
+
+#endif // H2P_CLUSTER_DATACENTER_H_

@@ -1,0 +1,32 @@
+#include "cluster/server.h"
+
+#include "util/error.h"
+
+namespace h2p {
+namespace cluster {
+
+Server::Server(const ServerParams &params)
+    : params_(params), power_(params.power), thermal_(params.thermal),
+      teg_(params.tegs_per_server, params.teg)
+{
+}
+
+ServerState
+Server::evaluate(double util, double flow_lph, double t_in_c,
+                 double t_cold_c) const
+{
+    ServerState s;
+    s.util = util;
+    s.cpu_power_w = power_.power(util);
+    s.die_temp_c = thermal_.dieTemperature(s.cpu_power_w, flow_lph,
+                                           t_in_c);
+    s.heat_w = thermal_.heatToCoolant(s.cpu_power_w, flow_lph, t_in_c);
+    s.outlet_c =
+        thermal_.outletTemperature(s.cpu_power_w, flow_lph, t_in_c);
+    s.teg_power_w = teg_.powerFromTemps(s.outlet_c, t_cold_c, flow_lph);
+    s.safe = s.die_temp_c <= params_.thermal.max_operating_c;
+    return s;
+}
+
+} // namespace cluster
+} // namespace h2p

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * One H2P-equipped server.
+ *
+ * A server couples the CPU power model (Eq. 20), the CPU thermal model
+ * (Fig. 9-11) and the TEG module at its outlet (Fig. 4/5): coolant
+ * enters at the circulation supply temperature, picks up the CPU heat,
+ * and drives the TEG module against the natural-water cold loop before
+ * returning to the CDU.
+ */
+
+#ifndef H2P_CLUSTER_SERVER_H_
+#define H2P_CLUSTER_SERVER_H_
+
+#include <cstddef>
+
+#include "thermal/cpu.h"
+#include "thermal/teg.h"
+#include "workload/cpu_power.h"
+
+namespace h2p {
+namespace cluster {
+
+/** Static configuration of a server. */
+struct ServerParams
+{
+    workload::CpuPowerParams power;
+    thermal::CpuThermalParams thermal;
+    thermal::TegParams teg;
+    /** TEGs in series at the outlet (H2P: 12 per CPU). */
+    size_t tegs_per_server = 12;
+};
+
+/** Instantaneous operating state of a server. */
+struct ServerState
+{
+    /** CPU utilization driving this state. */
+    double util = 0.0;
+    /** CPU package power, W. */
+    double cpu_power_w = 0.0;
+    /** Die temperature, C. */
+    double die_temp_c = 0.0;
+    /** Coolant outlet temperature, C. */
+    double outlet_c = 0.0;
+    /** Heat deposited into the loop, W. */
+    double heat_w = 0.0;
+    /** TEG module electrical output at matched load, W. */
+    double teg_power_w = 0.0;
+    /** Die at or below the vendor maximum? */
+    bool safe = false;
+};
+
+/**
+ * A warm-water-cooled server with a TEG module at its outlet.
+ */
+class Server
+{
+  public:
+    Server() : Server(ServerParams{}) {}
+
+    explicit Server(const ServerParams &params);
+
+    /**
+     * Evaluate the server at one operating point.
+     *
+     * @param util CPU utilization in [0, 1].
+     * @param flow_lph Branch coolant flow, L/H.
+     * @param t_in_c Supply (inlet) coolant temperature, C.
+     * @param t_cold_c Natural-water cold-loop temperature, C (~20).
+     */
+    ServerState evaluate(double util, double flow_lph, double t_in_c,
+                         double t_cold_c) const;
+
+    const workload::CpuPowerModel &powerModel() const { return power_; }
+    const thermal::CpuThermalModel &thermalModel() const
+    {
+        return thermal_;
+    }
+    const thermal::TegModule &tegModule() const { return teg_; }
+    const ServerParams &params() const { return params_; }
+
+  private:
+    ServerParams params_;
+    workload::CpuPowerModel power_;
+    thermal::CpuThermalModel thermal_;
+    thermal::TegModule teg_;
+};
+
+} // namespace cluster
+} // namespace h2p
+
+#endif // H2P_CLUSTER_SERVER_H_

@@ -1,0 +1,111 @@
+#include "core/config_io.h"
+
+#include "util/error.h"
+
+namespace h2p {
+namespace core {
+
+H2PConfig
+configFromIni(const sim::Config &ini)
+{
+    H2PConfig cfg;
+
+    auto &dc = cfg.datacenter;
+    dc.num_servers = static_cast<size_t>(ini.getLong(
+        "datacenter", "num_servers",
+        static_cast<long>(dc.num_servers)));
+    dc.servers_per_circulation = static_cast<size_t>(ini.getLong(
+        "datacenter", "servers_per_circulation",
+        static_cast<long>(dc.servers_per_circulation)));
+    dc.cold_source_c = ini.getDouble("datacenter", "cold_source_c",
+                                     dc.cold_source_c);
+
+    auto &server = dc.server;
+    server.tegs_per_server = static_cast<size_t>(
+        ini.getLong("server", "tegs_per_server",
+                    static_cast<long>(server.tegs_per_server)));
+
+    auto &teg = server.teg;
+    teg.voc_slope = ini.getDouble("teg", "voc_slope", teg.voc_slope);
+    teg.voc_offset =
+        ini.getDouble("teg", "voc_offset", teg.voc_offset);
+    teg.resistance_ohm =
+        ini.getDouble("teg", "resistance_ohm", teg.resistance_ohm);
+    teg.thermal_resistance_kpw = ini.getDouble(
+        "teg", "thermal_resistance_kpw", teg.thermal_resistance_kpw);
+
+    auto &thermal = server.thermal;
+    thermal.gamma_slope =
+        ini.getDouble("thermal", "gamma_slope", thermal.gamma_slope);
+    thermal.leak_gamma =
+        ini.getDouble("thermal", "leak_gamma", thermal.leak_gamma);
+    thermal.parasitic_w =
+        ini.getDouble("thermal", "parasitic_w", thermal.parasitic_w);
+    thermal.max_operating_c = ini.getDouble(
+        "thermal", "max_operating_c", thermal.max_operating_c);
+
+    auto &opt = cfg.optimizer;
+    opt.t_safe_c = ini.getDouble("optimizer", "t_safe_c", opt.t_safe_c);
+    opt.band_c = ini.getDouble("optimizer", "band_c", opt.band_c);
+
+    auto &lookup = cfg.lookup;
+    lookup.flow_min_lph =
+        ini.getDouble("lookup", "flow_min_lph", lookup.flow_min_lph);
+    lookup.flow_max_lph =
+        ini.getDouble("lookup", "flow_max_lph", lookup.flow_max_lph);
+    lookup.flow_points = static_cast<size_t>(
+        ini.getLong("lookup", "flow_points",
+                    static_cast<long>(lookup.flow_points)));
+    lookup.tin_min_c =
+        ini.getDouble("lookup", "tin_min_c", lookup.tin_min_c);
+    lookup.tin_max_c =
+        ini.getDouble("lookup", "tin_max_c", lookup.tin_max_c);
+    lookup.tin_points = static_cast<size_t>(
+        ini.getLong("lookup", "tin_points",
+                    static_cast<long>(lookup.tin_points)));
+    lookup.util_points = static_cast<size_t>(
+        ini.getLong("lookup", "util_points",
+                    static_cast<long>(lookup.util_points)));
+
+    auto &plant = dc.plant;
+    plant.wet_bulb_c =
+        ini.getDouble("plant", "wet_bulb_c", plant.wet_bulb_c);
+    plant.chiller.cop = ini.getDouble("plant", "cop", plant.chiller.cop);
+    plant.tower.approach_c = ini.getDouble("plant", "tower_approach_c",
+                                           plant.tower.approach_c);
+    plant.cdu_approach_c = ini.getDouble("plant", "cdu_approach_c",
+                                         plant.cdu_approach_c);
+    return cfg;
+}
+
+TraceRequest
+traceRequestFromIni(const sim::Config &ini)
+{
+    TraceRequest req;
+    std::string profile =
+        ini.getString("trace", "profile", "drastic");
+    if (profile == "drastic")
+        req.profile = workload::TraceProfile::Drastic;
+    else if (profile == "irregular")
+        req.profile = workload::TraceProfile::Irregular;
+    else if (profile == "common")
+        req.profile = workload::TraceProfile::Common;
+    else
+        fatal("config [trace] profile: unknown profile `", profile,
+              "' (drastic|irregular|common)");
+    req.seed = static_cast<uint64_t>(
+        ini.getLong("trace", "seed", static_cast<long>(req.seed)));
+    req.servers = static_cast<size_t>(ini.getLong(
+        "trace", "servers", static_cast<long>(req.servers)));
+    return req;
+}
+
+workload::UtilizationTrace
+makeTrace(const TraceRequest &request)
+{
+    workload::TraceGenerator gen(request.seed);
+    return gen.generateProfile(request.profile, request.servers);
+}
+
+} // namespace core
+} // namespace h2p

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The cooling-lag experiment (the paper's motivating failure mode).
+ *
+ * Sec. I/II-B: when a warm-water-cooled server suddenly goes to 100 %
+ * utilization it can exceed its safe temperature "in a few seconds",
+ * while the chiller needs minutes to cool the loop — the cooling
+ * lag/mismatch that motivates the hybrid TEC architecture H2P builds
+ * on. This experiment integrates both responses on the transient RC
+ * model:
+ *
+ *  - chiller-only: the supply temperature relaxes toward a cold
+ *    setpoint with a first-order lag (minutes);
+ *  - TEC-assisted: a per-CPU Peltier module engages within one
+ *    control step and pumps the excess heat directly.
+ */
+
+#ifndef H2P_CORE_COOLING_LAG_H_
+#define H2P_CORE_COOLING_LAG_H_
+
+#include <vector>
+
+#include "thermal/tec.h"
+#include "workload/cpu_power.h"
+
+namespace h2p {
+namespace core {
+
+/** Scenario configuration. */
+struct CoolingLagParams
+{
+    /** Warm-water supply before the emergency, C (paper: > 50 C
+     *  water at high utilization exceeds the maximum). */
+    double warm_supply_c = 50.0;
+    /** Setpoint the chiller is asked for after the spike, C. */
+    double cold_setpoint_c = 30.0;
+    /** First-order chiller response time constant, s. */
+    double chiller_tau_s = 180.0;
+    /**
+     * Dead time before cooled water reaches the server: detection,
+     * plant dispatch and pipe transport (the paper: the chiller
+     * "needs several minutes to cool the water and deliver it"), s.
+     */
+    double chiller_deadtime_s = 120.0;
+    /** Utilization before/after the spike. */
+    double util_before = 0.2;
+    double util_after = 1.0;
+    /** When the spike happens, s. */
+    double spike_time_s = 60.0;
+    /** Total simulated time, s. */
+    double duration_s = 900.0;
+    /** Integration/sample step, s. */
+    double dt_s = 2.0;
+    /** TEC engage/release thresholds (hysteresis), C. */
+    double tec_on_c = 70.0;
+    double tec_off_c = 66.0;
+    /** Vendor maximum, C. */
+    double max_operating_c = 78.9;
+    thermal::TecParams tec;
+    workload::CpuPowerParams power;
+};
+
+/** One sample of the transient. */
+struct CoolingLagSample
+{
+    double time_s = 0.0;
+    /** Supply temperature under chiller-only control, C. */
+    double supply_chiller_c = 0.0;
+    /** Die temperature with chiller-only control, C. */
+    double die_chiller_c = 0.0;
+    /** Die temperature with the TEC engaged (warm supply kept), C. */
+    double die_tec_c = 0.0;
+    /** TEC electrical draw at this instant, W. */
+    double tec_power_w = 0.0;
+};
+
+/** Experiment outcome. */
+struct CoolingLagResult
+{
+    std::vector<CoolingLagSample> samples;
+    /** Seconds the chiller-only die spends above the maximum. */
+    double chiller_overheat_s = 0.0;
+    /** Seconds the TEC-assisted die spends above the maximum. */
+    double tec_overheat_s = 0.0;
+    /** Peak die temperatures, C. */
+    double chiller_peak_c = 0.0;
+    double tec_peak_c = 0.0;
+    /** TEC electrical energy spent, Wh. */
+    double tec_energy_wh = 0.0;
+};
+
+/** Run the experiment. */
+CoolingLagResult runCoolingLag(const CoolingLagParams &params = {});
+
+} // namespace core
+} // namespace h2p
+
+#endif // H2P_CORE_COOLING_LAG_H_

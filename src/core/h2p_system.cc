@@ -1,0 +1,121 @@
+#include "core/h2p_system.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace core {
+
+H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
+{
+    dc_ = std::make_unique<cluster::Datacenter>(config.datacenter);
+    cluster::Server server_model(config.datacenter.server);
+    space_ = std::make_unique<sched::LookupSpace>(server_model,
+                                                  config.lookup);
+    teg_ = std::make_unique<thermal::TegModule>(
+        config.datacenter.server.tegs_per_server,
+        config.datacenter.server.teg);
+
+    // The optimizer's cold source must match the datacenter's.
+    sched::OptimizerParams opt = config.optimizer;
+    opt.cold_source_c = config.datacenter.cold_source_c;
+    optimizer_ = std::make_unique<sched::CoolingOptimizer>(*space_, *teg_,
+                                                           opt);
+}
+
+cluster::DatacenterState
+H2PSystem::evaluateStep(const std::vector<double> &utils,
+                        sched::Policy policy) const
+{
+    sched::Scheduler scheduler(*dc_, *optimizer_, policy);
+    sched::ScheduleDecision decision = scheduler.decide(utils);
+    return dc_->evaluate(decision.utils, decision.settings);
+}
+
+RunResult
+H2PSystem::run(const workload::UtilizationTrace &trace,
+               sched::Policy policy) const
+{
+    size_t servers = dc_->numServers();
+    expect(trace.numServers() >= servers, "trace covers ",
+           trace.numServers(), " servers; datacenter has ", servers);
+    expect(trace.numSteps() >= 1, "trace is empty");
+
+    sched::Scheduler scheduler(*dc_, *optimizer_, policy);
+
+    RunResult result;
+    result.summary.policy = policy;
+    result.recorder = std::make_shared<sim::Recorder>(trace.dt());
+    sim::Recorder &rec = *result.recorder;
+
+    double n = static_cast<double>(servers);
+    double teg_j = 0.0, cpu_j = 0.0, plant_j = 0.0, pump_j = 0.0;
+    double t_in_sum = 0.0;
+    size_t safe_steps = 0;
+
+    for (size_t step = 0; step < trace.numSteps(); ++step) {
+        std::vector<double> utils = trace.step(step);
+        utils.resize(servers);
+
+        sched::ScheduleDecision decision = scheduler.decide(utils);
+        cluster::DatacenterState state =
+            dc_->evaluate(decision.utils, decision.settings);
+
+        double teg_per = state.teg_power_w / n;
+        double cpu_per = state.cpu_power_w / n;
+        double t_in_mean = 0.0;
+        for (const auto &s : decision.settings)
+            t_in_mean += s.t_in_c;
+        t_in_mean /= static_cast<double>(decision.settings.size());
+
+        double max_die = 0.0;
+        for (const auto &c : state.circulations)
+            max_die = std::max(max_die, c.max_die_c);
+
+        double util_mean = 0.0, util_max = 0.0;
+        for (double u : utils) {
+            util_mean += u;
+            util_max = std::max(util_max, u);
+        }
+        util_mean /= n;
+
+        rec.record("teg_w_per_server", teg_per);
+        rec.record("cpu_w_per_server", cpu_per);
+        rec.record("pre", cpu_per > 0.0 ? teg_per / cpu_per : 0.0);
+        rec.record("t_in_mean_c", t_in_mean);
+        rec.record("plant_w", state.plant_power_w);
+        rec.record("pump_w", state.pump_power_w);
+        rec.record("max_die_c", max_die);
+        rec.record("util_mean", util_mean);
+        rec.record("util_max", util_max);
+
+        teg_j += state.teg_power_w * trace.dt();
+        cpu_j += state.cpu_power_w * trace.dt();
+        plant_j += state.plant_power_w * trace.dt();
+        pump_j += state.pump_power_w * trace.dt();
+        t_in_sum += t_in_mean;
+        if (state.all_safe)
+            ++safe_steps;
+    }
+
+    RunSummary &s = result.summary;
+    const auto &teg_series = rec.series("teg_w_per_server");
+    s.avg_teg_w = teg_series.mean();
+    s.peak_teg_w = teg_series.max();
+    s.avg_cpu_w = rec.series("cpu_w_per_server").mean();
+    s.teg_energy_kwh = units::joulesToKwh(teg_j);
+    s.cpu_energy_kwh = units::joulesToKwh(cpu_j);
+    s.plant_energy_kwh = units::joulesToKwh(plant_j);
+    s.pump_energy_kwh = units::joulesToKwh(pump_j);
+    s.pre = cpu_j > 0.0 ? teg_j / cpu_j : 0.0;
+    s.safe_fraction = static_cast<double>(safe_steps) /
+                      static_cast<double>(trace.numSteps());
+    s.avg_t_in_c =
+        t_in_sum / static_cast<double>(trace.numSteps());
+    return result;
+}
+
+} // namespace core
+} // namespace h2p

@@ -1,0 +1,136 @@
+#include "core/prototype.h"
+
+#include <cmath>
+
+#include "thermal/rc_network.h"
+#include "thermal/teg.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace core {
+
+VirtualPrototype::VirtualPrototype(const PrototypeParams &params)
+    : params_(params), server_(params.server),
+      governor_(params.governor), rng_(params.seed)
+{
+    expect(params.voltage_noise_v >= 0.0 && params.temp_noise_c >= 0.0,
+           "measurement noise must be non-negative");
+}
+
+double
+VirtualPrototype::tnoise()
+{
+    return params_.temp_noise_c > 0.0
+               ? rng_.normal(0.0, params_.temp_noise_c)
+               : 0.0;
+}
+
+double
+VirtualPrototype::vnoise()
+{
+    return params_.voltage_noise_v > 0.0
+               ? rng_.normal(0.0, params_.voltage_noise_v)
+               : 0.0;
+}
+
+double
+VirtualPrototype::measureVoc(size_t n_series, double dt_c,
+                             double flow_lph)
+{
+    thermal::TegModule module(n_series, params_.server.teg);
+    return module.openCircuitVoltage(dt_c, flow_lph) + vnoise();
+}
+
+double
+VirtualPrototype::measureModulePower(size_t n_series, double dt_c)
+{
+    thermal::TegModule module(n_series, params_.server.teg);
+    return module.maxPower(dt_c);
+}
+
+CpuMeasurement
+VirtualPrototype::measureCpu(double util, double flow_lph, double t_in_c)
+{
+    CpuMeasurement m;
+    m.util = util;
+    m.flow_lph = flow_lph;
+    m.t_in_c = t_in_c;
+    m.power_w = server_.powerModel().power(util);
+    const auto &thermal = server_.thermalModel();
+    m.t_cpu_c =
+        thermal.dieTemperature(m.power_w, flow_lph, t_in_c) + tnoise();
+    m.t_out_c =
+        thermal.outletTemperature(m.power_w, flow_lph, t_in_c) +
+        tnoise();
+    m.delta_out_in_c = m.t_out_c - t_in_c;
+    m.freq_ghz = governor_.frequency(util);
+    return m;
+}
+
+std::vector<ConductanceSample>
+VirtualPrototype::runTegConductance(const std::vector<double> &phase_loads,
+                                    double phase_s, double sample_s)
+{
+    expect(!phase_loads.empty(), "need at least one load phase");
+    expect(phase_s > 0.0 && sample_s > 0.0,
+           "phase and sample periods must be positive");
+
+    const double flow_lph = 20.0;
+    const thermal::TegParams &teg = params_.server.teg;
+    thermal::ColdPlate plate(params_.server.thermal.plate);
+    double r_plate = plate.resistance(flow_lph);
+    const double r_contact = 0.05; // die-to-plate paste, K/W
+    const double c_die = 150.0;    // die + spreader, J/K
+    const double c_plate = 60.0;   // copper plate + local water, J/K
+
+    // Build the two-branch rig: both CPUs see the same coolant.
+    thermal::RcNetwork net;
+    auto coolant =
+        net.addBoundary("coolant", params_.testbed_coolant_c);
+    auto cpu0 = net.addNode("cpu0", c_die, params_.testbed_coolant_c);
+    auto plate0 =
+        net.addNode("plate0", c_plate, params_.testbed_coolant_c);
+    auto cpu1 = net.addNode("cpu1", c_die, params_.testbed_coolant_c);
+    auto plate1 =
+        net.addNode("plate1", c_plate, params_.testbed_coolant_c);
+
+    // CPU0: die -> TEG -> plate -> coolant (the adiabatic path).
+    net.connect(cpu0, plate0, teg.thermal_resistance_kpw);
+    net.connect(plate0, coolant, r_plate);
+    // CPU1: die -> paste -> plate -> coolant (the normal path).
+    net.connect(cpu1, plate1, r_contact);
+    net.connect(plate1, coolant, r_plate);
+
+    std::vector<ConductanceSample> samples;
+    const auto &power_model = server_.powerModel();
+    double t = 0.0;
+    for (double load : phase_loads) {
+        double p = power_model.power(load);
+        net.setPower(cpu0, p);
+        net.setPower(cpu1, p);
+        double elapsed = 0.0;
+        while (elapsed < phase_s) {
+            net.step(sample_s);
+            elapsed += sample_s;
+            t += sample_s;
+            ConductanceSample s;
+            s.time_s = t;
+            s.load = load;
+            s.cpu0_c = net.temperature(cpu0) + tnoise();
+            s.cpu1_c = net.temperature(cpu1) + tnoise();
+            s.coolant_c = net.temperature(coolant) + tnoise();
+            // The TEG sees the die-to-plate gradient; Eq. 3's slope
+            // maps it to an open-circuit voltage (one device).
+            double dt_teg = net.temperature(cpu0) -
+                            net.temperature(plate0);
+            s.voc_v = std::max(0.0, teg.voc_slope * dt_teg +
+                                        teg.voc_offset) +
+                      vnoise();
+            samples.push_back(s);
+        }
+    }
+    return samples;
+}
+
+} // namespace core
+} // namespace h2p

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The virtual hardware prototype (substitute for Sec. IV's test-bed).
+ *
+ * The paper characterizes H2P on a Dell T7910 with an Intel Xeon
+ * E5-2650 V3, 12 SP 1848-27145 TEGs between two cold plates, two
+ * coolant circulations and a Fluke DAQ. We do not have that rig, so
+ * this class re-creates it in simulation: every measurement protocol
+ * of Sec. IV (Fig. 3 and Fig. 7-11) can be executed against the
+ * calibrated device models, optionally with seeded measurement noise
+ * so that downstream fits face realistic scatter.
+ */
+
+#ifndef H2P_CORE_PROTOTYPE_H_
+#define H2P_CORE_PROTOTYPE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/server.h"
+#include "util/random.h"
+#include "workload/governor.h"
+
+namespace h2p {
+namespace core {
+
+/** Prototype configuration. */
+struct PrototypeParams
+{
+    cluster::ServerParams server;
+    workload::GovernorParams governor;
+    /** Cold circulation (natural water) temperature, C. */
+    double cold_loop_c = 20.0;
+    /** Fig. 3 test-bed coolant temperature (no chiller), C. */
+    double testbed_coolant_c = 26.0;
+    /** Gaussian measurement noise (1 sigma) on voltages, V. */
+    double voltage_noise_v = 0.0;
+    /** Gaussian measurement noise (1 sigma) on temperatures, C. */
+    double temp_noise_c = 0.0;
+    /** Noise seed. */
+    uint64_t seed = 42;
+};
+
+/** One CPU operating-point measurement (Fig. 9-11 protocols). */
+struct CpuMeasurement
+{
+    double util = 0.0;
+    double flow_lph = 0.0;
+    double t_in_c = 0.0;
+    /** Die temperature, C. */
+    double t_cpu_c = 0.0;
+    /** Outlet water temperature, C. */
+    double t_out_c = 0.0;
+    /** dT_out-in, C (Fig. 9). */
+    double delta_out_in_c = 0.0;
+    /** Governor frequency, GHz (Fig. 10). */
+    double freq_ghz = 0.0;
+    /** Package power, W. */
+    double power_w = 0.0;
+};
+
+/** One sample of the Fig. 3 transient experiment. */
+struct ConductanceSample
+{
+    /** Time since experiment start, s. */
+    double time_s = 0.0;
+    /** Applied CPU load (both CPUs). */
+    double load = 0.0;
+    /** CPU0 die temperature (TEG sandwiched), C. */
+    double cpu0_c = 0.0;
+    /** CPU1 die temperature (direct cold plate), C. */
+    double cpu1_c = 0.0;
+    /** Coolant temperature, C. */
+    double coolant_c = 0.0;
+    /** TEG open-circuit voltage, V. */
+    double voc_v = 0.0;
+};
+
+/**
+ * The simulated measurement rig.
+ */
+class VirtualPrototype
+{
+  public:
+    VirtualPrototype() : VirtualPrototype(PrototypeParams{}) {}
+
+    explicit VirtualPrototype(const PrototypeParams &params);
+
+    /**
+     * Open-circuit voltage of @p n_series TEGs at coolant difference
+     * @p dt_c and flow @p flow_lph (Fig. 7 / 8a protocol).
+     */
+    double measureVoc(size_t n_series, double dt_c, double flow_lph);
+
+    /**
+     * Matched-load output power of @p n_series TEGs at coolant
+     * difference @p dt_c, at the reference flow (Fig. 8b protocol).
+     */
+    double measureModulePower(size_t n_series, double dt_c);
+
+    /**
+     * Steady-state CPU operating point (Fig. 9/10/11 protocols).
+     */
+    CpuMeasurement measureCpu(double util, double flow_lph,
+                              double t_in_c);
+
+    /**
+     * The Fig. 3 transient: two identical CPUs plumbed in parallel,
+     * CPU0 with a TEG between die and cold plate, CPU1 direct. The
+     * load steps through @p phase_loads (paper: 0/10/20/0 %), each
+     * lasting @p phase_s seconds, sampled every @p sample_s.
+     */
+    std::vector<ConductanceSample> runTegConductance(
+        const std::vector<double> &phase_loads = {0.0, 0.1, 0.2, 0.0},
+        double phase_s = 750.0, double sample_s = 10.0);
+
+    const cluster::Server &server() const { return server_; }
+    const PrototypeParams &params() const { return params_; }
+
+  private:
+    double tnoise();
+    double vnoise();
+
+    PrototypeParams params_;
+    cluster::Server server_;
+    workload::Governor governor_;
+    Rng rng_;
+};
+
+} // namespace core
+} // namespace h2p
+
+#endif // H2P_CORE_PROTOTYPE_H_

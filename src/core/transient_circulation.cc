@@ -1,0 +1,99 @@
+#include "core/transient_circulation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace core {
+
+TransientCirculation::TransientCirculation(size_t count,
+                                           const TransientParams &params)
+    : count_(count), params_(params), power_(params.server.power),
+      server_(params.server)
+{
+    expect(count >= 1, "a circulation needs at least one server");
+
+    const double init_c = 45.0;
+    supply_ = net_.addBoundary("supply", init_c);
+    dies_.reserve(count);
+    plates_.reserve(count);
+    plate_edge_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        auto die = net_.addNode("die" + std::to_string(i),
+                                params.die_capacitance_jpk, init_c);
+        auto plate = net_.addNode("plate" + std::to_string(i),
+                                  params.plate_capacitance_jpk,
+                                  init_c);
+        net_.connect(die, plate, params.contact_kpw);
+        // Plate-to-supply resistance is flow-dependent; start at the
+        // default flow and retune in advance().
+        double r_total = server_.thermalModel().plateResistance(
+            current_flow_lph_);
+        size_t edge = net_.connect(
+            plate, supply_,
+            std::max(1e-4, r_total - params.contact_kpw));
+        dies_.push_back(die);
+        plates_.push_back(plate);
+        plate_edge_.push_back(static_cast<double>(edge));
+    }
+}
+
+void
+TransientCirculation::advance(const std::vector<double> &utils,
+                              const cluster::CoolingSetting &setting,
+                              double seconds)
+{
+    expect(utils.size() == count_, "expected ", count_,
+           " utilizations, got ", utils.size());
+    expect(seconds > 0.0, "advance duration must be positive");
+
+    const auto &thermal = server_.thermalModel();
+    net_.setBoundary(supply_, setting.t_in_c);
+    if (setting.flow_lph != current_flow_lph_) {
+        current_flow_lph_ = setting.flow_lph;
+        double r_total = thermal.plateResistance(current_flow_lph_);
+        double r_edge =
+            std::max(1e-4, r_total - params_.contact_kpw);
+        for (double e : plate_edge_)
+            net_.setEdgeResistance(static_cast<size_t>(e), r_edge);
+    }
+
+    // Injected power reproduces the equilibrium model exactly at
+    // steady state: P_dyn + gamma_slope * T_in is the leakage term
+    // that gives T_die = k(f) * T_in + P_dyn * R_th(f).
+    double leak =
+        thermal.params().gamma_slope * setting.t_in_c;
+    for (size_t i = 0; i < count_; ++i) {
+        double p = power_.power(utils[i]) + leak;
+        net_.setPower(dies_[i], p);
+    }
+    net_.step(seconds);
+}
+
+double
+TransientCirculation::dieTemp(size_t i) const
+{
+    expect(i < count_, "server index out of range");
+    return net_.temperature(dies_[i]);
+}
+
+double
+TransientCirculation::maxDieTemp() const
+{
+    double best = -1e9;
+    for (size_t i = 0; i < count_; ++i)
+        best = std::max(best, dieTemp(i));
+    return best;
+}
+
+double
+TransientCirculation::steadyDieTemp(
+    double util, const cluster::CoolingSetting &setting) const
+{
+    return server_.thermalModel().dieTemperature(
+        power_.power(util), setting.flow_lph, setting.t_in_c);
+}
+
+} // namespace core
+} // namespace h2p

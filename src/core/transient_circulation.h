@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Transient simulation of one water circulation.
+ *
+ * The evaluation (Sec. V-C) treats every 5-minute scheduling interval
+ * as a steady state: utilization changes, the controller picks a
+ * setting, and the server models answer with equilibrium
+ * temperatures. Real dies integrate heat through RC dynamics, so
+ * mid-interval the temperature can overshoot the steady value the
+ * controller reasoned about. This class simulates a circulation of n
+ * servers with per-server die/plate RC stacks against the common
+ * supply, letting the `validation_transient` bench measure how far
+ * the steady-state abstraction drifts from the transient truth.
+ */
+
+#ifndef H2P_CORE_TRANSIENT_CIRCULATION_H_
+#define H2P_CORE_TRANSIENT_CIRCULATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/circulation.h"
+#include "thermal/rc_network.h"
+#include "workload/cpu_power.h"
+
+namespace h2p {
+namespace core {
+
+/** RC calibration of one server stack. */
+struct TransientParams
+{
+    /** Die + spreader capacitance, J/K. */
+    double die_capacitance_jpk = 150.0;
+    /** Plate + local water capacitance, J/K. */
+    double plate_capacitance_jpk = 60.0;
+    /** Die-to-plate contact resistance, K/W. */
+    double contact_kpw = 0.05;
+    cluster::ServerParams server;
+};
+
+/**
+ * A circulation of n servers with full thermal dynamics.
+ */
+class TransientCirculation
+{
+  public:
+    /**
+     * @param count Servers in the loop.
+     * @param params RC calibration.
+     */
+    explicit TransientCirculation(size_t count,
+                                  const TransientParams &params = {});
+
+    /** Number of servers. */
+    size_t size() const { return count_; }
+
+    /**
+     * Advance @p seconds with fixed per-server utilizations and a
+     * fixed cooling setting, sub-stepping internally.
+     */
+    void advance(const std::vector<double> &utils,
+                 const cluster::CoolingSetting &setting,
+                 double seconds);
+
+    /** Current die temperature of server @p i, C. */
+    double dieTemp(size_t i) const;
+
+    /** Hottest die in the loop, C. */
+    double maxDieTemp() const;
+
+    /**
+     * Steady-state die temperature the equilibrium model predicts
+     * for the same operating point (for drift comparison).
+     */
+    double steadyDieTemp(double util,
+                         const cluster::CoolingSetting &setting) const;
+
+  private:
+    size_t count_;
+    TransientParams params_;
+    workload::CpuPowerModel power_;
+    cluster::Server server_;
+    thermal::RcNetwork net_;
+    thermal::NodeId supply_;
+    std::vector<thermal::NodeId> dies_;
+    std::vector<thermal::NodeId> plates_;
+    std::vector<double> plate_edge_; // index of plate->supply edges
+    double current_flow_lph_ = 20.0;
+};
+
+} // namespace core
+} // namespace h2p
+
+#endif // H2P_CORE_TRANSIENT_CIRCULATION_H_

@@ -1,0 +1,59 @@
+#include "econ/district_heating.h"
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace econ {
+
+DistrictHeatingModel::DistrictHeatingModel(
+    const DistrictHeatingParams &params)
+    : params_(params)
+{
+    expect(params.heat_price_usd_per_kwh >= 0.0,
+           "heat price must be non-negative");
+    expect(params.demand_factor >= 0.0 && params.demand_factor <= 1.0,
+           "demand factor must be in [0, 1]");
+    expect(params.piping_capex_per_server_month >= 0.0,
+           "piping capex must be non-negative");
+}
+
+bool
+DistrictHeatingModel::sellable(double outlet_c) const
+{
+    return outlet_c >= params_.min_supply_c;
+}
+
+double
+DistrictHeatingModel::grossRevenuePerServerMonth(double heat_w,
+                                                 double outlet_c) const
+{
+    expect(heat_w >= 0.0, "heat must be non-negative");
+    if (!sellable(outlet_c))
+        return 0.0;
+    double kwh_per_month = heat_w * units::kHoursPerMonth / 1000.0;
+    return kwh_per_month * params_.heat_price_usd_per_kwh *
+           params_.demand_factor;
+}
+
+double
+DistrictHeatingModel::netRevenuePerServerMonth(double heat_w,
+                                               double outlet_c) const
+{
+    return grossRevenuePerServerMonth(heat_w, outlet_c) -
+           params_.piping_capex_per_server_month;
+}
+
+HeatVsPower
+DistrictHeatingModel::compare(double heat_w, double outlet_c,
+                              double teg_rev, double teg_capex) const
+{
+    HeatVsPower r;
+    r.heat_sellable = sellable(outlet_c);
+    r.heat_net = netRevenuePerServerMonth(heat_w, outlet_c);
+    r.teg_net = teg_rev - teg_capex;
+    return r;
+}
+
+} // namespace econ
+} // namespace h2p

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * District-heating alternative (Sec. II-C).
+ *
+ * The conventional way to reuse datacenter heat is to sell it to a
+ * district heating system (DHS, cf. CloudHeat). The paper argues this
+ * is limited: it needs expensive piping, the demand is seasonal and
+ * latitude-dependent, the outlet must be hot enough (ASHRAE W5
+ * suggests > 45 C), and heat — unlike electricity — is hard to store.
+ * This model prices both paths so the `ablation_heat_vs_power` bench
+ * can show where each wins and that they compose (H2P harvests the
+ * CPU-outlet peak, DHS takes the bulk return heat).
+ */
+
+#ifndef H2P_ECON_DISTRICT_HEATING_H_
+#define H2P_ECON_DISTRICT_HEATING_H_
+
+namespace h2p {
+namespace econ {
+
+/** District-heating economics. */
+struct DistrictHeatingParams
+{
+    /** Price the DHS pays for heat, USD per thermal kWh. */
+    double heat_price_usd_per_kwh = 0.03;
+    /**
+     * Fraction of the year with heating demand (high latitude ~0.7,
+     * mid ~0.4, tropics ~0.05; Sec. II-C's Washington/SF/Houston
+     * argument).
+     */
+    double demand_factor = 0.4;
+    /** Minimum sellable supply temperature, C (ASHRAE W5: > 45). */
+    double min_supply_c = 45.0;
+    /** Piping/integration capital amortized, USD/(server x month). */
+    double piping_capex_per_server_month = 0.25;
+};
+
+/** Revenue comparison for one server. */
+struct HeatVsPower
+{
+    /** DHS net revenue, USD/(server x month). */
+    double heat_net = 0.0;
+    /** TEG net revenue (rev - capex), USD/(server x month). */
+    double teg_net = 0.0;
+    /** True when the outlet is hot enough to sell at all. */
+    bool heat_sellable = false;
+};
+
+/**
+ * Prices the heat-selling path.
+ */
+class DistrictHeatingModel
+{
+  public:
+    DistrictHeatingModel()
+        : DistrictHeatingModel(DistrictHeatingParams{})
+    {
+    }
+
+    explicit DistrictHeatingModel(const DistrictHeatingParams &params);
+
+    /** Outlet hot enough for the DHS to accept? */
+    bool sellable(double outlet_c) const;
+
+    /**
+     * Gross heat revenue of @p heat_w of continuous waste heat at
+     * outlet temperature @p outlet_c, USD/(server x month). Zero
+     * when not sellable; scaled by the seasonal demand factor.
+     */
+    double grossRevenuePerServerMonth(double heat_w,
+                                      double outlet_c) const;
+
+    /** Gross minus the amortized piping capital (can be negative). */
+    double netRevenuePerServerMonth(double heat_w,
+                                    double outlet_c) const;
+
+    /**
+     * Side-by-side with the TEG path.
+     *
+     * @param heat_w Waste heat available to sell, W.
+     * @param outlet_c Outlet water temperature, C.
+     * @param teg_rev TEG revenue, USD/(server x month).
+     * @param teg_capex TEG capital, USD/(server x month).
+     */
+    HeatVsPower compare(double heat_w, double outlet_c, double teg_rev,
+                        double teg_capex) const;
+
+    const DistrictHeatingParams &params() const { return params_; }
+
+  private:
+    DistrictHeatingParams params_;
+};
+
+} // namespace econ
+} // namespace h2p
+
+#endif // H2P_ECON_DISTRICT_HEATING_H_

@@ -1,0 +1,33 @@
+#include "econ/metrics.h"
+
+#include "util/error.h"
+
+namespace h2p {
+namespace econ {
+
+double
+pre(double teg_power_w, double cpu_power_w)
+{
+    expect(teg_power_w >= 0.0, "TEG power must be non-negative");
+    expect(cpu_power_w > 0.0, "CPU power must be positive");
+    return teg_power_w / cpu_power_w;
+}
+
+double
+ere(const EnergyBreakdown &e)
+{
+    expect(e.it > 0.0, "IT energy must be positive");
+    return (e.it + e.cooling + e.power_distribution + e.lighting -
+            e.reused) /
+           e.it;
+}
+
+double
+pue(const EnergyBreakdown &e)
+{
+    expect(e.it > 0.0, "IT energy must be positive");
+    return (e.it + e.cooling + e.power_distribution + e.lighting) / e.it;
+}
+
+} // namespace econ
+} // namespace h2p

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Datacenter energy-efficiency metrics: PRE (paper Eq. 19), ERE
+ * (Green Grid, Sec. II-C) and PUE.
+ */
+
+#ifndef H2P_ECON_METRICS_H_
+#define H2P_ECON_METRICS_H_
+
+namespace h2p {
+namespace econ {
+
+/**
+ * Power reusing efficiency, Eq. 19:
+ * PRE = TEG power generation / CPU power consumption.
+ */
+double pre(double teg_power_w, double cpu_power_w);
+
+/** Energy components entering the ERE ratio (all same unit). */
+struct EnergyBreakdown
+{
+    double it = 0.0;
+    double cooling = 0.0;
+    double power_distribution = 0.0;
+    double lighting = 0.0;
+    double reused = 0.0;
+};
+
+/**
+ * Energy reuse effectiveness (Sec. II-C):
+ * ERE = (E_IT + E_Cooling + E_Power + E_Lighting - E_Reuse) / E_IT.
+ * Reuse can push ERE below 1.
+ */
+double ere(const EnergyBreakdown &e);
+
+/** Power usage effectiveness: total facility energy / IT energy. */
+double pue(const EnergyBreakdown &e);
+
+} // namespace econ
+} // namespace h2p
+
+#endif // H2P_ECON_METRICS_H_

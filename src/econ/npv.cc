@@ -1,0 +1,54 @@
+#include "econ/npv.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace econ {
+
+NpvResult
+evaluateNpv(double avg_teg_watts, double electricity_usd_per_kwh,
+            const NpvParams &params)
+{
+    expect(avg_teg_watts >= 0.0, "TEG power must be non-negative");
+    expect(electricity_usd_per_kwh >= 0.0,
+           "electricity price must be non-negative");
+    expect(params.discount_rate >= 0.0,
+           "discount rate must be non-negative");
+    expect(params.horizon_years > 0.0, "horizon must be positive");
+
+    NpvResult r;
+    r.first_year_revenue_usd = avg_teg_watts * 8760.0 / 1000.0 *
+                               electricity_usd_per_kwh;
+
+    double cumulative = -params.upfront_usd;
+    r.npv_usd = -params.upfront_usd;
+    size_t years = static_cast<size_t>(std::ceil(params.horizon_years));
+    for (size_t y = 1; y <= years; ++y) {
+        double weight =
+            std::min(1.0, params.horizon_years -
+                              static_cast<double>(y - 1));
+        double revenue =
+            r.first_year_revenue_usd *
+            std::pow(1.0 + params.electricity_escalation,
+                     static_cast<double>(y - 1)) *
+            weight;
+        double discounted =
+            revenue / std::pow(1.0 + params.discount_rate,
+                               static_cast<double>(y));
+        r.npv_usd += discounted;
+        double prev = cumulative;
+        cumulative += discounted;
+        if (prev < 0.0 && cumulative >= 0.0) {
+            // Linear interpolation within the year of payback.
+            double frac = discounted > 0.0 ? -prev / discounted : 0.0;
+            r.discounted_payback_years =
+                static_cast<double>(y - 1) + frac;
+        }
+    }
+    return r;
+}
+
+} // namespace econ
+} // namespace h2p

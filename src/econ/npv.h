@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Discounted-cash-flow view of the TEG investment.
+ *
+ * Sec. V-D's 920-day break-even divides the purchase price by the
+ * undiscounted daily revenue. Over a 25-year asset life a finance
+ * department would discount: this module computes the net present
+ * value, the discounted payback period and the internal-rate bound
+ * of the per-server TEG investment under a discount rate and an
+ * electricity-price escalation.
+ */
+
+#ifndef H2P_ECON_NPV_H_
+#define H2P_ECON_NPV_H_
+
+#include <cstddef>
+
+namespace h2p {
+namespace econ {
+
+/** Cash-flow assumptions. */
+struct NpvParams
+{
+    /** Annual discount rate (e.g. 0.08 = 8 %). */
+    double discount_rate = 0.08;
+    /** Annual electricity-price escalation (e.g. 0.02). */
+    double electricity_escalation = 0.02;
+    /** Asset life considered, years. */
+    double horizon_years = 25.0;
+    /** Upfront cost, USD (12 TEGs at $1 by default). */
+    double upfront_usd = 12.0;
+};
+
+/** Discounted view of the investment. */
+struct NpvResult
+{
+    /** Net present value over the horizon, USD. */
+    double npv_usd = 0.0;
+    /**
+     * Discounted payback, years; negative when the investment never
+     * pays back within the horizon.
+     */
+    double discounted_payback_years = -1.0;
+    /** First-year revenue, USD. */
+    double first_year_revenue_usd = 0.0;
+};
+
+/**
+ * Evaluate the TEG investment for one server.
+ *
+ * @param avg_teg_watts Average continuous generation, W.
+ * @param electricity_usd_per_kwh Year-0 electricity price.
+ * @param params Cash-flow assumptions.
+ */
+NpvResult evaluateNpv(double avg_teg_watts,
+                      double electricity_usd_per_kwh,
+                      const NpvParams &params = {});
+
+} // namespace econ
+} // namespace h2p
+
+#endif // H2P_ECON_NPV_H_

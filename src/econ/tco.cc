@@ -1,0 +1,86 @@
+#include "econ/tco.h"
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace econ {
+
+TcoModel::TcoModel(const TcoParams &params) : params_(params)
+{
+    expect(params.teg_lifespan_years > 0.0,
+           "TEG lifespan must be positive");
+    expect(params.electricity_usd_per_kwh >= 0.0,
+           "electricity price must be non-negative");
+    expect(params.tegs_per_server >= 1, "need at least one TEG");
+}
+
+double
+TcoModel::tcoNoTeg() const
+{
+    return params_.dc_infra_capex + params_.server_capex +
+           params_.dc_infra_opex + params_.server_opex;
+}
+
+double
+TcoModel::tegCapexPerServerMonth() const
+{
+    double purchase =
+        static_cast<double>(params_.tegs_per_server) *
+        params_.teg_unit_cost;
+    return purchase / (params_.teg_lifespan_years * 12.0);
+}
+
+double
+TcoModel::tegRevPerServerMonth(double avg_teg_watts) const
+{
+    expect(avg_teg_watts >= 0.0, "TEG power must be non-negative");
+    double kwh_per_month =
+        avg_teg_watts * units::kHoursPerMonth / 1000.0;
+    return kwh_per_month * params_.electricity_usd_per_kwh;
+}
+
+TcoResult
+TcoModel::compare(double avg_teg_watts) const
+{
+    TcoResult r;
+    r.tco_no_teg = tcoNoTeg();
+    r.teg_capex = tegCapexPerServerMonth();
+    r.teg_rev = tegRevPerServerMonth(avg_teg_watts);
+    r.tco_h2p = r.tco_no_teg + r.teg_capex - r.teg_rev; // Eq. 22
+    r.reduction_pct =
+        100.0 * (r.tco_no_teg - r.tco_h2p) / r.tco_no_teg;
+    return r;
+}
+
+double
+TcoModel::breakEvenDays(double avg_teg_watts) const
+{
+    expect(avg_teg_watts > 0.0,
+           "break-even needs positive TEG output");
+    double purchase = static_cast<double>(params_.tegs_per_server) *
+                      params_.teg_unit_cost;
+    double rev_per_day = avg_teg_watts * 24.0 / 1000.0 *
+                         params_.electricity_usd_per_kwh;
+    return purchase / rev_per_day;
+}
+
+double
+TcoModel::annualSavingsUsd(double avg_teg_watts,
+                           size_t num_servers) const
+{
+    TcoResult r = compare(avg_teg_watts);
+    double per_server_month = r.tco_no_teg - r.tco_h2p;
+    return per_server_month * static_cast<double>(num_servers) * 12.0;
+}
+
+double
+TcoModel::dailyGenerationKwh(double avg_teg_watts,
+                             size_t num_servers) const
+{
+    return avg_teg_watts * static_cast<double>(num_servers) * 24.0 /
+           1000.0;
+}
+
+} // namespace econ
+} // namespace h2p

@@ -1,0 +1,96 @@
+#include "hydraulic/flow_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace hydraulic {
+
+FlowNetwork::FlowNetwork(const PumpCurve &pump) : pump_(pump)
+{
+    expect(pump.shutoff_kpa > 0.0, "shutoff head must be positive");
+    expect(pump.curve_coeff > 0.0, "curve coefficient must be positive");
+    expect(pump.efficiency > 0.0 && pump.efficiency <= 1.0,
+           "pump efficiency must be in (0, 1]");
+}
+
+size_t
+FlowNetwork::addBranch(double r_kpa_per_lph2)
+{
+    expect(r_kpa_per_lph2 > 0.0,
+           "branch resistance must be positive");
+    branches_.push_back(r_kpa_per_lph2);
+    return branches_.size() - 1;
+}
+
+FlowSolution
+FlowNetwork::solve(double speed) const
+{
+    expect(speed > 0.0 && speed <= 1.0, "speed must be in (0, 1]");
+    expect(!branches_.empty(), "network has no branches");
+
+    double head_max = pump_.shutoff_kpa * speed * speed;
+
+    // Total branch flow at a given common pressure drop.
+    auto branch_total = [&](double dp) {
+        double q = 0.0;
+        for (double r : branches_)
+            q += std::sqrt(dp / r);
+        return q;
+    };
+    // Pump flow at a given head: dp = h_max - c Q^2.
+    auto pump_flow = [&](double dp) {
+        double d = (head_max - dp) / pump_.curve_coeff;
+        return d <= 0.0 ? 0.0 : std::sqrt(d);
+    };
+
+    // The branch demand grows with dp, the pump supply shrinks; the
+    // crossing is unique. Bisection on dp in (0, head_max).
+    double lo = 0.0, hi = head_max;
+    for (int i = 0; i < 80; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (branch_total(mid) > pump_flow(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    double dp = 0.5 * (lo + hi);
+
+    FlowSolution sol;
+    sol.pressure_kpa = dp;
+    sol.branch_flow_lph.reserve(branches_.size());
+    for (double r : branches_) {
+        double q = std::sqrt(dp / r);
+        sol.branch_flow_lph.push_back(q);
+        sol.total_flow_lph += q;
+    }
+    // Hydraulic power = dP * Q; kPa * L/H -> W is 1e3 Pa * m^3 /
+    // (3600e3 s) = /3600.
+    double hydraulic_w = dp * sol.total_flow_lph / 3600.0;
+    sol.pump_power_w = hydraulic_w / pump_.efficiency;
+    return sol;
+}
+
+double
+FlowNetwork::speedForBranchFlow(double flow_lph) const
+{
+    expect(flow_lph > 0.0, "target flow must be positive");
+    expect(!branches_.empty(), "network has no branches");
+
+    double lo = 1e-3, hi = 1.0;
+    if (solve(hi).branch_flow_lph.front() < flow_lph)
+        return 1.0; // unreachable even at full speed
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (solve(mid).branch_flow_lph.front() >= flow_lph)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace hydraulic
+} // namespace h2p

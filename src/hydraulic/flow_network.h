@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hydraulic flow-network solver.
+ *
+ * The rest of the library treats the per-branch flow rate as a knob;
+ * in a real circulation it is set by the pump curve working against
+ * the piping. This module solves that coupling: parallel server
+ * branches (each with a quadratic pressure-drop coefficient) fed by
+ * a centralized variable-speed pump with a quadratic head curve.
+ * Used by tests to validate the "equal inlet/flow within a
+ * circulation" assumption (Sec. V-A) and by the flow ablation to
+ * price the flow knob honestly.
+ *
+ * Model, all units SI-ish (kPa, L/H):
+ *   branch i:  dP = r_i * q_i^2          (turbulent loss)
+ *   pump:      dP = h0 * s^2 - c * Q^2   (affinity-scaled curve,
+ *                                         s = speed fraction)
+ *   network:   Q = sum q_i, all branches see the same dP.
+ */
+
+#ifndef H2P_HYDRAULIC_FLOW_NETWORK_H_
+#define H2P_HYDRAULIC_FLOW_NETWORK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace h2p {
+namespace hydraulic {
+
+/** Pump head curve: dP = shutoff_kpa * s^2 - curve_coeff * Q^2. */
+struct PumpCurve
+{
+    /** Shutoff head at full speed, kPa. */
+    double shutoff_kpa = 40.0;
+    /** Curve droop coefficient, kPa/(L/H)^2. */
+    double curve_coeff = 2.0e-5;
+    /** Hydraulic-to-electric conversion efficiency. */
+    double efficiency = 0.45;
+};
+
+/** Solved operating point of the network. */
+struct FlowSolution
+{
+    /** Total delivered flow, L/H. */
+    double total_flow_lph = 0.0;
+    /** Common pressure drop across the branches, kPa. */
+    double pressure_kpa = 0.0;
+    /** Flow through each branch, L/H. */
+    std::vector<double> branch_flow_lph;
+    /** Pump electrical power, W. */
+    double pump_power_w = 0.0;
+};
+
+/**
+ * A parallel-branch circulation fed by one pump.
+ */
+class FlowNetwork
+{
+  public:
+    explicit FlowNetwork(const PumpCurve &pump = PumpCurve{});
+
+    /**
+     * Add a branch with pressure-drop coefficient @p r
+     * (kPa/(L/H)^2). A typical server cold plate at 50 L/H with a
+     * ~10 kPa drop has r ~ 4e-3.
+     * @return Branch index.
+     */
+    size_t addBranch(double r_kpa_per_lph2);
+
+    /** Number of branches. */
+    size_t numBranches() const { return branches_.size(); }
+
+    /**
+     * Solve the operating point at pump speed fraction @p speed in
+     * (0, 1]. Bisection on the pressure: branch flows q_i =
+     * sqrt(dP/r_i) must sum to the pump's flow at that head.
+     */
+    FlowSolution solve(double speed) const;
+
+    /**
+     * Pump speed needed to deliver @p flow_lph per branch on a
+     * network of identical branches (bisection on speed); clamped to
+     * 1.0 when unreachable.
+     */
+    double speedForBranchFlow(double flow_lph) const;
+
+    const PumpCurve &pump() const { return pump_; }
+
+  private:
+    PumpCurve pump_;
+    std::vector<double> branches_; // r coefficients
+};
+
+} // namespace hydraulic
+} // namespace h2p
+
+#endif // H2P_HYDRAULIC_FLOW_NETWORK_H_

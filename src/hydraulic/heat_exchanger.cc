@@ -1,0 +1,44 @@
+#include "hydraulic/heat_exchanger.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace hydraulic {
+
+HeatExchanger::HeatExchanger(double effectiveness)
+    : effectiveness_(effectiveness)
+{
+    expect(effectiveness > 0.0 && effectiveness <= 1.0,
+           "effectiveness must be in (0, 1]");
+}
+
+ExchangeResult
+HeatExchanger::exchange(double hot_in_c, double hot_flow_lph,
+                        double cold_in_c, double cold_flow_lph) const
+{
+    expect(hot_flow_lph > 0.0 && cold_flow_lph > 0.0,
+           "both streams need positive flow");
+
+    double c_hot = units::streamCapacitanceRate(hot_flow_lph);
+    double c_cold = units::streamCapacitanceRate(cold_flow_lph);
+    double c_min = std::min(c_hot, c_cold);
+
+    ExchangeResult r;
+    double dt = hot_in_c - cold_in_c;
+    if (dt <= 0.0) {
+        // No exchange against the gradient.
+        r.hot_out_c = hot_in_c;
+        r.cold_out_c = cold_in_c;
+        return r;
+    }
+    r.heat_w = effectiveness_ * c_min * dt;
+    r.hot_out_c = hot_in_c - r.heat_w / c_hot;
+    r.cold_out_c = cold_in_c + r.heat_w / c_cold;
+    return r;
+}
+
+} // namespace hydraulic
+} // namespace h2p

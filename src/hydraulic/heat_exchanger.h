@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Liquid-to-liquid heat exchanger (effectiveness-NTU form).
+ *
+ * CDUs "transfer heat from TCS to FWS by using liquid-to-liquid heat
+ * exchangers" (Sec. II-A). A counterflow effectiveness model is enough
+ * for the loop-level energy balance H2P needs.
+ */
+
+#ifndef H2P_HYDRAULIC_HEAT_EXCHANGER_H_
+#define H2P_HYDRAULIC_HEAT_EXCHANGER_H_
+
+namespace h2p {
+namespace hydraulic {
+
+/** One side of the exchange after solving the energy balance. */
+struct ExchangeResult
+{
+    /** Heat moved from hot to cold stream, W. */
+    double heat_w = 0.0;
+    /** Hot-side outlet temperature, C. */
+    double hot_out_c = 0.0;
+    /** Cold-side outlet temperature, C. */
+    double cold_out_c = 0.0;
+};
+
+/**
+ * Counterflow liquid-liquid heat exchanger with fixed effectiveness.
+ */
+class HeatExchanger
+{
+  public:
+    /** @param effectiveness Fraction of the ideal exchange, (0, 1]. */
+    explicit HeatExchanger(double effectiveness = 0.85);
+
+    /**
+     * Solve the exchange between a hot stream (@p hot_in_c at
+     * @p hot_flow_lph) and a cold stream (@p cold_in_c at
+     * @p cold_flow_lph). Water on both sides.
+     */
+    ExchangeResult exchange(double hot_in_c, double hot_flow_lph,
+                            double cold_in_c, double cold_flow_lph) const;
+
+    double effectiveness() const { return effectiveness_; }
+
+  private:
+    double effectiveness_;
+};
+
+} // namespace hydraulic
+} // namespace h2p
+
+#endif // H2P_HYDRAULIC_HEAT_EXCHANGER_H_

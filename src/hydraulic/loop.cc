@@ -1,0 +1,37 @@
+#include "hydraulic/loop.h"
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace hydraulic {
+
+LoopState
+evaluateLoop(double supply_c, double branch_flow_lph,
+             const std::vector<double> &branch_heat_w)
+{
+    expect(branch_flow_lph > 0.0, "branch flow must be positive");
+    expect(!branch_heat_w.empty(), "a loop needs at least one branch");
+
+    LoopState state;
+    state.supply_c = supply_c;
+    state.branch_flow_lph = branch_flow_lph;
+    state.branch_out_c.reserve(branch_heat_w.size());
+
+    double cap_rate = units::streamCapacitanceRate(branch_flow_lph);
+    double sum_out = 0.0;
+    for (double q : branch_heat_w) {
+        expect(q >= 0.0, "branch heat must be non-negative");
+        double out = supply_c + q / cap_rate;
+        state.branch_out_c.push_back(out);
+        sum_out += out;
+        state.heat_w += q;
+    }
+    // Equal branch flows: the mixed return is the arithmetic mean.
+    state.return_c =
+        sum_out / static_cast<double>(branch_heat_w.size());
+    return state;
+}
+
+} // namespace hydraulic
+} // namespace h2p

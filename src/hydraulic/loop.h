@@ -1,0 +1,54 @@
+/**
+ * @file
+ * One technology-cooling-system water circulation.
+ *
+ * A circulation distributes coolant at a common supply temperature and
+ * per-branch flow to n parallel server branches (the paper assumes
+ * identical inlet temperature and flow within a circulation), collects
+ * the warmed branches, and returns the mixed stream to the CDU.
+ */
+
+#ifndef H2P_HYDRAULIC_LOOP_H_
+#define H2P_HYDRAULIC_LOOP_H_
+
+#include <vector>
+
+namespace h2p {
+namespace hydraulic {
+
+/** Result of evaluating a circulation for one interval. */
+struct LoopState
+{
+    /** Supply (inlet) temperature common to all branches, C. */
+    double supply_c = 0.0;
+    /** Per-branch outlet temperatures, C. */
+    std::vector<double> branch_out_c;
+    /** Flow per branch, L/H. */
+    double branch_flow_lph = 0.0;
+    /** Mixed return temperature, C. */
+    double return_c = 0.0;
+    /** Total heat picked up by the loop, W. */
+    double heat_w = 0.0;
+
+    /** Total loop flow (all branches), L/H. */
+    double totalFlow() const
+    {
+        return branch_flow_lph *
+               static_cast<double>(branch_out_c.size());
+    }
+};
+
+/**
+ * Compute the state of a parallel-branch circulation.
+ *
+ * @param supply_c Common inlet temperature, C.
+ * @param branch_flow_lph Flow through each branch, L/H.
+ * @param branch_heat_w Heat deposited into each branch, W.
+ */
+LoopState evaluateLoop(double supply_c, double branch_flow_lph,
+                       const std::vector<double> &branch_heat_w);
+
+} // namespace hydraulic
+} // namespace h2p
+
+#endif // H2P_HYDRAULIC_LOOP_H_

@@ -1,0 +1,51 @@
+#include "hydraulic/plant.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace hydraulic {
+
+FacilityPlant::FacilityPlant(const PlantParams &params)
+    : params_(params), chiller_(params.chiller), tower_(params.tower)
+{
+    expect(params.cdu_approach_c >= 0.0,
+           "CDU approach must be non-negative");
+}
+
+double
+FacilityPlant::freeCoolingLimit() const
+{
+    return tower_.minLeavingTemp(params_.wet_bulb_c) +
+           params_.cdu_approach_c;
+}
+
+PlantPower
+FacilityPlant::power(double heat_w, double tcs_supply_c,
+                     double tcs_flow_lph) const
+{
+    expect(heat_w >= 0.0, "heat load must be non-negative");
+    expect(tcs_flow_lph > 0.0, "TCS flow must be positive");
+
+    PlantPower p;
+    double limit = freeCoolingLimit();
+    if (tcs_supply_c >= limit) {
+        // Free cooling: the tower rejects everything.
+        p.tower_w = tower_.fanPower(heat_w);
+        return p;
+    }
+
+    // The chiller must pull the supply stream down the remaining gap.
+    double gap_c = limit - tcs_supply_c;
+    double extra_w = units::streamCapacitanceRate(tcs_flow_lph) * gap_c;
+    p.chiller_on = true;
+    p.chiller_w = chiller_.electricPower(heat_w + extra_w);
+    // The tower rejects the IT heat plus the chiller's own work.
+    p.tower_w = tower_.fanPower(heat_w + p.chiller_w);
+    return p;
+}
+
+} // namespace hydraulic
+} // namespace h2p

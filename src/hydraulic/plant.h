@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Facility water plant: cooling tower + chiller + CDU working together
+ * to deliver the requested TCS supply temperature.
+ *
+ * The economics of warm-water cooling live here: as long as the
+ * requested supply temperature is reachable by the tower (wet bulb +
+ * approach + exchanger approach), the chiller is off and cooling costs
+ * ~1 % of the rejected heat in fan power. Below that threshold every
+ * extra degree is bought at 1/COP. The bench sweeping the supply
+ * setpoint reproduces the paper's "raising 7-10 C to 18-20 C saves
+ * ~40 %" argument (Sec. I).
+ */
+
+#ifndef H2P_HYDRAULIC_PLANT_H_
+#define H2P_HYDRAULIC_PLANT_H_
+
+#include "hydraulic/chiller.h"
+#include "hydraulic/cooling_tower.h"
+#include "hydraulic/heat_exchanger.h"
+
+namespace h2p {
+namespace hydraulic {
+
+/** Plant configuration. */
+struct PlantParams
+{
+    ChillerParams chiller;
+    CoolingTowerParams tower;
+    /** CDU exchanger approach: FWS must be this much colder, C. */
+    double cdu_approach_c = 2.0;
+    /** Ambient wet-bulb temperature, C. */
+    double wet_bulb_c = 18.0;
+};
+
+/** Power breakdown for one plant evaluation. */
+struct PlantPower
+{
+    /** Chiller electrical power, W. */
+    double chiller_w = 0.0;
+    /** Tower fan electrical power, W. */
+    double tower_w = 0.0;
+    /** True when the chiller had to run. */
+    bool chiller_on = false;
+
+    double total() const { return chiller_w + tower_w; }
+};
+
+/**
+ * The facility water system serving one or more circulations.
+ */
+class FacilityPlant
+{
+  public:
+    FacilityPlant() : FacilityPlant(PlantParams{}) {}
+
+    explicit FacilityPlant(const PlantParams &params);
+
+    /**
+     * Electrical power to reject @p heat_w while supplying the TCS at
+     * @p tcs_supply_c with total TCS flow @p tcs_flow_lph.
+     *
+     * The tower covers everything when tcs_supply - cdu_approach is at
+     * or above wet bulb + approach; otherwise the chiller cools the
+     * stream across the remaining temperature gap.
+     */
+    PlantPower power(double heat_w, double tcs_supply_c,
+                     double tcs_flow_lph) const;
+
+    /** Lowest TCS supply the tower alone can sustain, C. */
+    double freeCoolingLimit() const;
+
+    const PlantParams &params() const { return params_; }
+
+  private:
+    PlantParams params_;
+    Chiller chiller_;
+    CoolingTower tower_;
+};
+
+} // namespace hydraulic
+} // namespace h2p
+
+#endif // H2P_HYDRAULIC_PLANT_H_

@@ -1,0 +1,38 @@
+#include "hydraulic/pump.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace hydraulic {
+
+Pump::Pump(const PumpParams &params) : params_(params)
+{
+    expect(params.rated_flow_lph > 0.0, "rated flow must be positive");
+    expect(params.rated_power_w > 0.0, "rated power must be positive");
+    expect(params.max_flow_lph >= params.rated_flow_lph,
+           "max flow must be at least the rated flow");
+    expect(params.idle_power_w >= 0.0,
+           "idle power must be non-negative");
+}
+
+double
+Pump::power(double flow_lph) const
+{
+    expect(flow_lph >= 0.0, "flow must be non-negative");
+    double f = clampFlow(flow_lph);
+    double ratio = f / params_.rated_flow_lph;
+    return params_.idle_power_w + params_.rated_power_w * ratio * ratio *
+                                      ratio;
+}
+
+double
+Pump::clampFlow(double flow_lph) const
+{
+    return std::clamp(flow_lph, 0.0, params_.max_flow_lph);
+}
+
+} // namespace hydraulic
+} // namespace h2p

@@ -1,0 +1,92 @@
+#include "sched/circulation_design.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/order_stats.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace sched {
+
+CirculationDesigner::CirculationDesigner(
+    const CirculationDesignParams &params)
+    : params_(params), chiller_(params.chiller)
+{
+    expect(params.total_servers >= 1, "cluster must have servers");
+    expect(params.cpu_temp_sigma_c > 0.0, "sigma must be positive");
+    expect(params.k > 0.0, "slope k must be positive");
+    expect(params.flow_lph > 0.0, "flow must be positive");
+    expect(params.horizon_hours > 0.0, "horizon must be positive");
+}
+
+DesignPoint
+CirculationDesigner::evaluate(size_t n) const
+{
+    expect(n >= 1 && n <= params_.total_servers,
+           "circulation size out of range: ", n);
+
+    DesignPoint p;
+    p.servers_per_circulation = n;
+
+    stats::Normal temp(params_.cpu_temp_mu_c, params_.cpu_temp_sigma_c);
+    stats::NormalMaxOrderStat max_stat(temp, n);
+    p.expected_max_temp_c = max_stat.mean();
+    p.expected_delta_t_c = stats::expectedCoolingReduction(
+        temp, n, params_.t_safe_c, params_.k);
+
+    // Eq. 10-11 over all circulations for the whole horizon.
+    double seconds = params_.horizon_hours * units::kSecondsPerHour;
+    double num_loops = std::ceil(static_cast<double>(
+                           params_.total_servers) /
+                       static_cast<double>(n));
+    double energy_j = chiller_.energyToCool(p.expected_delta_t_c,
+                                            static_cast<int>(n),
+                                            params_.flow_lph, seconds) *
+                      num_loops;
+    p.chiller_energy_kwh = units::joulesToKwh(energy_j);
+    p.energy_cost_usd =
+        p.chiller_energy_kwh * params_.electricity_usd_per_kwh;
+    p.capex_usd = num_loops * params_.chiller_cost_usd;
+    p.total_cost_usd = p.energy_cost_usd + p.capex_usd;
+    return p;
+}
+
+std::vector<DesignPoint>
+CirculationDesigner::sweep(const std::vector<size_t> &candidates) const
+{
+    std::vector<DesignPoint> out;
+    out.reserve(candidates.size());
+    for (size_t n : candidates)
+        out.push_back(evaluate(n));
+    return out;
+}
+
+std::vector<size_t>
+CirculationDesigner::divisorCandidates() const
+{
+    std::vector<size_t> divisors;
+    size_t total = params_.total_servers;
+    for (size_t n = 1; n <= total; ++n) {
+        if (total % n == 0)
+            divisors.push_back(n);
+    }
+    return divisors;
+}
+
+DesignPoint
+CirculationDesigner::optimize() const
+{
+    std::vector<DesignPoint> points = sweep(divisorCandidates());
+    H2P_ASSERT(!points.empty(), "no design candidates");
+    return *std::min_element(points.begin(), points.end(),
+                             [](const DesignPoint &a,
+                                const DesignPoint &b) {
+                                 return a.total_cost_usd <
+                                        b.total_cost_usd;
+                             });
+}
+
+} // namespace sched
+} // namespace h2p

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Water-circulation sizing (Sec. V-A, Eq. 9-18).
+ *
+ * How many servers should share one circulation? One server per loop
+ * lets every CPU get a tailor-made inlet temperature (best energy,
+ * most TEG power) but needs a chiller and pump per server; a single
+ * giant loop amortizes the plant but must be cooled for its hottest
+ * CPU. The paper models the n CPU temperatures of a loop as i.i.d.
+ * N(mu, sigma^2), computes the expected maximum via order statistics
+ * (Eq. 15-17), converts the excess over T_safe into chiller duty
+ * (Eq. 10-11, through the slope k of T_CPU vs coolant temperature,
+ * Eq. 18) and minimizes energy cost + chiller capital (Eq. 12).
+ */
+
+#ifndef H2P_SCHED_CIRCULATION_DESIGN_H_
+#define H2P_SCHED_CIRCULATION_DESIGN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "hydraulic/chiller.h"
+#include "stats/normal.h"
+
+namespace h2p {
+namespace sched {
+
+/** Inputs of the circulation-sizing optimization. */
+struct CirculationDesignParams
+{
+    /** Total servers in the cluster (paper: 1,000). */
+    size_t total_servers = 1000;
+    /** CPU temperature distribution N(mu, sigma^2), C. */
+    double cpu_temp_mu_c = 55.0;
+    double cpu_temp_sigma_c = 6.0;
+    /** CPU safe operating temperature, C. */
+    double t_safe_c = 62.0;
+    /** Slope k of T_CPU vs coolant temperature (in [1, 1.3]). */
+    double k = 1.2;
+    /** Per-server flow rate, L/H (paper example: 50). */
+    double flow_lph = 50.0;
+    /** Evaluation horizon, hours (e.g. one year). */
+    double horizon_hours = 8760.0;
+    /** Electricity price, USD/kWh (paper: 0.13). */
+    double electricity_usd_per_kwh = 0.13;
+    /** Amortized chiller cost per circulation over the horizon, USD. */
+    double chiller_cost_usd = 2000.0;
+    hydraulic::ChillerParams chiller;
+};
+
+/** Cost breakdown at one candidate circulation size. */
+struct DesignPoint
+{
+    size_t servers_per_circulation = 0;
+    /** Expected maximum CPU temperature of a loop, C (Eq. 17). */
+    double expected_max_temp_c = 0.0;
+    /** Expected supply-temperature reduction, C (Eq. 18). */
+    double expected_delta_t_c = 0.0;
+    /** Chiller electrical energy over the horizon, kWh (Eq. 11). */
+    double chiller_energy_kwh = 0.0;
+    /** Energy cost over the horizon, USD. */
+    double energy_cost_usd = 0.0;
+    /** Chiller capital across all circulations, USD. */
+    double capex_usd = 0.0;
+    /** Objective of Eq. 12. */
+    double total_cost_usd = 0.0;
+};
+
+/**
+ * Evaluates and minimizes the Eq. 12 objective over the circulation
+ * size n.
+ */
+class CirculationDesigner
+{
+  public:
+    explicit CirculationDesigner(
+        const CirculationDesignParams &params = {});
+
+    /** Evaluate the cost model at one circulation size. */
+    DesignPoint evaluate(size_t servers_per_circulation) const;
+
+    /** Evaluate a whole sweep of candidate sizes. */
+    std::vector<DesignPoint> sweep(
+        const std::vector<size_t> &candidates) const;
+
+    /**
+     * Minimize over the divisors of the cluster size (the paper
+     * requires 1000/n circulations to be integral).
+     */
+    DesignPoint optimize() const;
+
+    /** Divisors of the cluster size, ascending. */
+    std::vector<size_t> divisorCandidates() const;
+
+    const CirculationDesignParams &params() const { return params_; }
+
+  private:
+    CirculationDesignParams params_;
+    hydraulic::Chiller chiller_;
+};
+
+} // namespace sched
+} // namespace h2p
+
+#endif // H2P_SCHED_CIRCULATION_DESIGN_H_

@@ -1,0 +1,37 @@
+#include "sched/consolidation.h"
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace sched {
+
+std::vector<double>
+consolidate(const std::vector<double> &utils, double cap)
+{
+    expect(!utils.empty(), "empty utilization set");
+    expect(cap > 0.0 && cap <= 1.0, "cap must be in (0, 1]");
+
+    double work = std::accumulate(utils.begin(), utils.end(), 0.0);
+    std::vector<double> out(utils.size(), 0.0);
+    for (double &u : out) {
+        if (work <= 0.0)
+            break;
+        double take = std::min(cap, work);
+        u = take;
+        work -= take;
+    }
+    // cap * n >= sum(u_i) always holds since each u_i <= 1 and
+    // cap could be < mean... place any remainder evenly (can only
+    // happen when cap < mean utilization).
+    if (work > 1e-12) {
+        double each = work / static_cast<double>(out.size());
+        for (double &u : out)
+            u = std::min(1.0, u + each);
+    }
+    return out;
+}
+
+} // namespace sched
+} // namespace h2p

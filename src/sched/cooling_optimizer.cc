@@ -1,0 +1,98 @@
+#include "sched/cooling_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace sched {
+
+CoolingOptimizer::CoolingOptimizer(const LookupSpace &space,
+                                   const thermal::TegModule &teg,
+                                   const OptimizerParams &params)
+    : space_(space), teg_(teg), params_(params)
+{
+    expect(params.band_c >= 0.0, "band width must be non-negative");
+    expect(params.t_safe_c > params.cold_source_c,
+           "T_safe must exceed the cold-source temperature");
+}
+
+double
+CoolingOptimizer::tegPowerAt(const LookupPoint &p) const
+{
+    return teg_.powerFromTemps(p.t_out_c, params_.cold_source_c,
+                               p.flow_lph);
+}
+
+std::vector<LookupPoint>
+CoolingOptimizer::candidateSet(double plan_util) const
+{
+    std::vector<LookupPoint> in_band;
+    for (const LookupPoint &p : space_.slice(plan_util)) {
+        if (std::abs(p.t_cpu_c - params_.t_safe_c) <= params_.band_c)
+            in_band.push_back(p);
+    }
+    return in_band;
+}
+
+OptimizerResult
+CoolingOptimizer::choose(double plan_util) const
+{
+    expect(plan_util >= 0.0 && plan_util <= 1.0,
+           "planning utilization must be in [0, 1]");
+
+    OptimizerResult best;
+    bool found = false;
+
+    auto consider = [&](const LookupPoint &p) {
+        double power = tegPowerAt(p);
+        if (!found || power > best.teg_power_w) {
+            found = true;
+            best.setting.t_in_c = p.t_in_c;
+            best.setting.flow_lph = p.flow_lph;
+            best.teg_power_w = power;
+            best.t_cpu_c = p.t_cpu_c;
+        }
+    };
+
+    // Step 2+3: maximize TEG power on the A = U ∩ X intersection.
+    std::vector<LookupPoint> in_band = candidateSet(plan_util);
+    best.candidates = in_band.size();
+    for (const LookupPoint &p : in_band)
+        consider(p);
+    if (found)
+        return best;
+
+    // Fallback 1: the band is empty; use any *safe* point (at or
+    // below T_safe + band) with the highest TEG power. This happens
+    // when even the warmest setting leaves the CPU cold (low load) —
+    // then the warmest inlet wins — or when the grid skips the band.
+    best.fallback = true;
+    for (const LookupPoint &p : space_.slice(plan_util)) {
+        if (p.t_cpu_c <= params_.t_safe_c + params_.band_c)
+            consider(p);
+    }
+    if (found)
+        return best;
+
+    // Fallback 2: nothing is safe (extreme load); apply maximum
+    // cooling: coldest inlet at the highest flow.
+    LookupPoint coldest;
+    bool have = false;
+    for (const LookupPoint &p : space_.slice(plan_util)) {
+        if (!have || p.t_cpu_c < coldest.t_cpu_c) {
+            coldest = p;
+            have = true;
+        }
+    }
+    H2P_ASSERT(have, "look-up space produced an empty slice");
+    best.setting.t_in_c = coldest.t_in_c;
+    best.setting.flow_lph = coldest.flow_lph;
+    best.teg_power_w = tegPowerAt(coldest);
+    best.t_cpu_c = coldest.t_cpu_c;
+    return best;
+}
+
+} // namespace sched
+} // namespace h2p

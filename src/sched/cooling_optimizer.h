@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cooling-setting optimizer (Sec. V-B, Steps 1-3 and Fig. 13).
+ *
+ * Every scheduling interval the controller picks {flow rate, inlet
+ * temperature} for a circulation:
+ *
+ *  Step 1: take the planning utilization (U_max of the circulation,
+ *          or U_avg under workload balancing) — the plane U.
+ *  Step 2: collect look-up points whose CPU temperature falls inside
+ *          [T_safe - band, T_safe + band] — the space X.
+ *  Step 3: on the intersection A = U ∩ X, evaluate the TEG module
+ *          power under every candidate setting and keep the maximum.
+ *
+ * When the band is empty (workload too hot or too cold for any
+ * setting to land exactly at T_safe), the optimizer falls back to the
+ * safe candidate with the highest TEG power, and finally to the
+ * coldest setting available.
+ */
+
+#ifndef H2P_SCHED_COOLING_OPTIMIZER_H_
+#define H2P_SCHED_COOLING_OPTIMIZER_H_
+
+#include <vector>
+
+#include "cluster/circulation.h"
+#include "sched/lookup_space.h"
+#include "thermal/teg.h"
+
+namespace h2p {
+namespace sched {
+
+/** Optimizer configuration. */
+struct OptimizerParams
+{
+    /**
+     * CPU safe operating temperature, C. The paper pre-defines it as
+     * ~80 % of the vendor maximum (78.9 C -> 63); Fig. 13's worked
+     * example uses 62.
+     */
+    double t_safe_c = 63.0;
+    /** Half-width of the acceptance band around T_safe, C. */
+    double band_c = 1.0;
+    /** Natural-water cold-loop temperature for the TEGs, C. */
+    double cold_source_c = 20.0;
+};
+
+/** The chosen setting plus diagnostic detail. */
+struct OptimizerResult
+{
+    cluster::CoolingSetting setting;
+    /** Predicted TEG module power at the chosen setting, W. */
+    double teg_power_w = 0.0;
+    /** Predicted CPU temperature at the planning utilization, C. */
+    double t_cpu_c = 0.0;
+    /** Number of candidate points in the band (|A|). */
+    size_t candidates = 0;
+    /** True when the fallback path was taken (empty band). */
+    bool fallback = false;
+};
+
+/**
+ * Grid-search cooling controller over a LookupSpace.
+ */
+class CoolingOptimizer
+{
+  public:
+    /**
+     * @param space Look-up space of the server model (not owned; must
+     *        outlive the optimizer).
+     * @param teg TEG module at each server outlet (not owned).
+     */
+    CoolingOptimizer(const LookupSpace &space,
+                     const thermal::TegModule &teg,
+                     const OptimizerParams &params = {});
+
+    /**
+     * Choose the cooling setting for a circulation whose planning
+     * utilization is @p plan_util (Steps 1-3).
+     */
+    OptimizerResult choose(double plan_util) const;
+
+    /**
+     * The candidate set A for @p plan_util (exposed for the Fig. 13
+     * bench): look-up points within the T_safe band.
+     */
+    std::vector<LookupPoint> candidateSet(double plan_util) const;
+
+    const OptimizerParams &params() const { return params_; }
+
+  private:
+    double tegPowerAt(const LookupPoint &p) const;
+
+    const LookupSpace &space_;
+    const thermal::TegModule &teg_;
+    OptimizerParams params_;
+};
+
+} // namespace sched
+} // namespace h2p
+
+#endif // H2P_SCHED_COOLING_OPTIMIZER_H_

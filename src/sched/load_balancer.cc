@@ -1,0 +1,69 @@
+#include "sched/load_balancer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace sched {
+
+double
+maxUtil(const std::vector<double> &utils)
+{
+    expect(!utils.empty(), "empty utilization set");
+    return *std::max_element(utils.begin(), utils.end());
+}
+
+double
+meanUtil(const std::vector<double> &utils)
+{
+    expect(!utils.empty(), "empty utilization set");
+    double sum = std::accumulate(utils.begin(), utils.end(), 0.0);
+    return sum / static_cast<double>(utils.size());
+}
+
+std::vector<double>
+balancePerfect(const std::vector<double> &utils)
+{
+    double mean = meanUtil(utils);
+    return std::vector<double>(utils.size(), mean);
+}
+
+std::vector<double>
+balanceLimited(const std::vector<double> &utils, double max_move)
+{
+    expect(max_move >= 0.0, "migration cap must be non-negative");
+    double mean = meanUtil(utils);
+
+    std::vector<double> out = utils;
+    double surplus = 0.0; // work shed by hot servers, to be re-placed
+    for (double &u : out) {
+        if (u > mean) {
+            double shed = std::min(u - mean, max_move);
+            u -= shed;
+            surplus += shed;
+        }
+    }
+    // Distribute the surplus to the cool servers, respecting the cap.
+    for (double &u : out) {
+        if (surplus <= 0.0)
+            break;
+        if (u < mean) {
+            double take = std::min({mean - u, max_move, surplus});
+            u += take;
+            surplus -= take;
+        }
+    }
+    // Anything still unplaced goes back to the donors evenly so that
+    // total work is preserved.
+    if (surplus > 0.0) {
+        double each = surplus / static_cast<double>(out.size());
+        for (double &u : out)
+            u = std::min(1.0, u + each);
+    }
+    return out;
+}
+
+} // namespace sched
+} // namespace h2p

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Workload balancing (Sec. V-B2).
+ *
+ * The upper limit of the inlet temperature is dictated by the hottest
+ * server of a circulation. Balancing the workload flattens the CPU
+ * temperatures, so the planning utilization drops from U_max to U_avg
+ * and the inlet can be set warmer — which is the entire
+ * TEG_LoadBalance optimization of the paper. Two balancers are
+ * provided: the ideal one (every server at the mean) and a
+ * migration-limited one that can only move a bounded fraction of each
+ * server's load per interval.
+ */
+
+#ifndef H2P_SCHED_LOAD_BALANCER_H_
+#define H2P_SCHED_LOAD_BALANCER_H_
+
+#include <vector>
+
+namespace h2p {
+namespace sched {
+
+/**
+ * Perfectly balance a circulation: every server runs the mean
+ * utilization. Total work is preserved exactly.
+ */
+std::vector<double> balancePerfect(const std::vector<double> &utils);
+
+/**
+ * Migration-limited balancing: each server may shed or gain at most
+ * @p max_move utilization per interval. Work above the mean is moved
+ * to servers below the mean, subject to the per-server cap; total
+ * work is preserved.
+ */
+std::vector<double> balanceLimited(const std::vector<double> &utils,
+                                   double max_move);
+
+/** Largest utilization in the set. */
+double maxUtil(const std::vector<double> &utils);
+
+/** Mean utilization of the set. */
+double meanUtil(const std::vector<double> &utils);
+
+} // namespace sched
+} // namespace h2p
+
+#endif // H2P_SCHED_LOAD_BALANCER_H_

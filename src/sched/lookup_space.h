@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The 3-D cooling look-up space (Fig. 12).
+ *
+ * Sec. V-B fits the discrete measurements of CPU temperature over
+ * (utilization, flow rate, inlet temperature) into a continuous space
+ * "which can function as a look-up space in practical use". This class
+ * builds exactly that: it samples the calibrated server models onto a
+ * regular 3-D grid and answers interpolated queries for the CPU
+ * temperature and the outlet water temperature.
+ */
+
+#ifndef H2P_SCHED_LOOKUP_SPACE_H_
+#define H2P_SCHED_LOOKUP_SPACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/server.h"
+#include "util/interpolate.h"
+
+namespace h2p {
+namespace sched {
+
+/** Grid extents of the look-up space. */
+struct LookupSpaceParams
+{
+    /** Utilization axis: [0, 1]. */
+    size_t util_points = 21;
+    /**
+     * Flow axis range, L/H. The evaluation space tops out at 100 L/H
+     * (beyond which extra flow buys almost no CPU cooling, Fig. 11,
+     * while pump power grows cubically).
+     */
+    double flow_min_lph = 10.0;
+    double flow_max_lph = 100.0;
+    size_t flow_points = 19;
+    /** Inlet-temperature axis range, C. */
+    double tin_min_c = 20.0;
+    double tin_max_c = 55.0;
+    size_t tin_points = 36;
+};
+
+/** One grid point of the look-up space. */
+struct LookupPoint
+{
+    double util = 0.0;
+    double flow_lph = 0.0;
+    double t_in_c = 0.0;
+    double t_cpu_c = 0.0;
+    double t_out_c = 0.0;
+};
+
+/**
+ * Interpolated (u, f, T_in) -> (T_CPU, T_out) space sampled from a
+ * server model.
+ */
+class LookupSpace
+{
+  public:
+    /**
+     * Sample @p server onto the grid described by @p params.
+     */
+    explicit LookupSpace(const cluster::Server &server,
+                         const LookupSpaceParams &params = {});
+
+    /** Interpolated CPU temperature, C. */
+    double cpuTemp(double util, double flow_lph, double t_in_c) const;
+
+    /** Interpolated outlet water temperature, C. */
+    double outletTemp(double util, double flow_lph, double t_in_c) const;
+
+    /** The grid parameters. */
+    const LookupSpaceParams &params() const { return params_; }
+
+    /**
+     * Enumerate all grid points on the slice u = @p util (Fig. 13's
+     * plane U), with their interpolated temperatures.
+     */
+    std::vector<LookupPoint> slice(double util) const;
+
+    /** Total number of grid points. */
+    size_t numPoints() const;
+
+  private:
+    LookupSpaceParams params_;
+    std::unique_ptr<LinearGrid3D> t_cpu_;
+    std::unique_ptr<LinearGrid3D> t_out_;
+};
+
+} // namespace sched
+} // namespace h2p
+
+#endif // H2P_SCHED_LOOKUP_SPACE_H_

@@ -1,0 +1,60 @@
+#include "sched/scheduler.h"
+
+#include "sched/load_balancer.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace sched {
+
+std::string
+toString(Policy policy)
+{
+    switch (policy) {
+      case Policy::TegOriginal:
+        return "TEG_Original";
+      case Policy::TegLoadBalance:
+        return "TEG_LoadBalance";
+    }
+    return "unknown";
+}
+
+Scheduler::Scheduler(const cluster::Datacenter &dc,
+                     const CoolingOptimizer &optimizer, Policy policy)
+    : dc_(dc), optimizer_(optimizer), policy_(policy)
+{
+}
+
+ScheduleDecision
+Scheduler::decide(const std::vector<double> &utils) const
+{
+    ScheduleDecision decision;
+    decision.utils = utils;
+    decision.settings.reserve(dc_.numCirculations());
+    decision.details.reserve(dc_.numCirculations());
+
+    size_t offset = 0;
+    for (size_t i = 0; i < dc_.numCirculations(); ++i) {
+        std::vector<double> group = dc_.circulationUtils(utils, i);
+
+        double plan_util;
+        if (policy_ == Policy::TegLoadBalance) {
+            // Balancing happens within a circulation: jobs migrate
+            // between its servers, flattening the thermal demand.
+            std::vector<double> balanced = balancePerfect(group);
+            plan_util = meanUtil(group);
+            for (size_t j = 0; j < balanced.size(); ++j)
+                decision.utils[offset + j] = balanced[j];
+        } else {
+            plan_util = maxUtil(group);
+        }
+
+        OptimizerResult res = optimizer_.choose(plan_util);
+        decision.settings.push_back(res.setting);
+        decision.details.push_back(res);
+        offset += group.size();
+    }
+    return decision;
+}
+
+} // namespace sched
+} // namespace h2p

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The per-interval scheduling policy tying balancing and cooling
+ * control together (the TEG_Original / TEG_LoadBalance schemes of
+ * Sec. V-C).
+ */
+
+#ifndef H2P_SCHED_SCHEDULER_H_
+#define H2P_SCHED_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/datacenter.h"
+#include "sched/cooling_optimizer.h"
+
+namespace h2p {
+namespace sched {
+
+/** The two evaluation schemes of the paper. */
+enum class Policy {
+    /** Adjust the cooling setting only (plan on U_max). */
+    TegOriginal,
+    /** Balance the workload, then adjust cooling (plan on U_avg). */
+    TegLoadBalance,
+};
+
+/** Human-readable policy name. */
+std::string toString(Policy policy);
+
+/** The scheduler's decision for one interval. */
+struct ScheduleDecision
+{
+    /** Possibly rebalanced per-server utilizations. */
+    std::vector<double> utils;
+    /** Cooling setting per circulation. */
+    std::vector<cluster::CoolingSetting> settings;
+    /** Optimizer diagnostics per circulation. */
+    std::vector<OptimizerResult> details;
+};
+
+/**
+ * Per-interval scheduler: applies the policy's balancing step, then
+ * runs the cooling optimizer once per circulation.
+ */
+class Scheduler
+{
+  public:
+    /**
+     * @param dc Datacenter layout (not owned).
+     * @param optimizer Cooling optimizer (not owned).
+     * @param policy Scheme to apply.
+     */
+    Scheduler(const cluster::Datacenter &dc,
+              const CoolingOptimizer &optimizer, Policy policy);
+
+    /** Decide the settings for one interval of utilizations. */
+    ScheduleDecision decide(const std::vector<double> &utils) const;
+
+    Policy policy() const { return policy_; }
+
+  private:
+    const cluster::Datacenter &dc_;
+    const CoolingOptimizer &optimizer_;
+    Policy policy_;
+};
+
+} // namespace sched
+} // namespace h2p
+
+#endif // H2P_SCHED_SCHEDULER_H_

@@ -1,0 +1,73 @@
+#include "sim/recorder.h"
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace sim {
+
+Recorder::Recorder(double dt_s) : dt_(dt_s)
+{
+    expect(dt_s > 0.0, "recorder period must be positive");
+}
+
+void
+Recorder::record(const std::string &name, double value)
+{
+    auto it = series_.find(name);
+    if (it == series_.end())
+        it = series_.emplace(name, TimeSeries(dt_)).first;
+    it->second.append(value);
+}
+
+bool
+Recorder::has(const std::string &name) const
+{
+    return series_.count(name) > 0;
+}
+
+const TimeSeries &
+Recorder::series(const std::string &name) const
+{
+    auto it = series_.find(name);
+    expect(it != series_.end(), "no recorded channel named `", name,
+           "'");
+    return it->second;
+}
+
+std::vector<std::string>
+Recorder::channels() const
+{
+    std::vector<std::string> names;
+    names.reserve(series_.size());
+    for (const auto &[name, ts] : series_)
+        names.push_back(name);
+    return names;
+}
+
+void
+Recorder::saveCsv(const std::string &path) const
+{
+    expect(!series_.empty(), "cannot export an empty recorder");
+    size_t len = series_.begin()->second.size();
+    for (const auto &[name, ts] : series_) {
+        expect(ts.size() == len, "channel `", name,
+               "' length differs; cannot export");
+    }
+    std::vector<std::string> header{"time_s"};
+    for (const auto &[name, ts] : series_)
+        header.push_back(name);
+    CsvTable table(std::move(header));
+    for (size_t i = 0; i < len; ++i) {
+        std::vector<double> row;
+        row.reserve(series_.size() + 1);
+        row.push_back(dt_ * static_cast<double>(i));
+        for (const auto &[name, ts] : series_)
+            row.push_back(ts.at(i));
+        table.addRow(std::move(row));
+    }
+    table.save(path);
+}
+
+} // namespace sim
+} // namespace h2p

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Named time-series recorder for simulation outputs.
+ *
+ * Every experiment run records its metrics (per-step TEG power, CPU
+ * power, chiller power, chosen inlet temperature, ...) through a
+ * Recorder, which benches then print or export to CSV.
+ */
+
+#ifndef H2P_SIM_RECORDER_H_
+#define H2P_SIM_RECORDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace h2p {
+namespace sim {
+
+/**
+ * A map of named uniformly-sampled series, all sharing one period.
+ */
+class Recorder
+{
+  public:
+    /** @param dt_s Common sample period, seconds. */
+    explicit Recorder(double dt_s);
+
+    /** Record one sample of channel @p name (created on first use). */
+    void record(const std::string &name, double value);
+
+    /** True when channel @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Access a channel; throws when absent. */
+    const TimeSeries &series(const std::string &name) const;
+
+    /** All channel names, sorted. */
+    std::vector<std::string> channels() const;
+
+    /** Common sample period, seconds. */
+    double dt() const { return dt_; }
+
+    /**
+     * Export all channels to CSV at @p path: one column per channel
+     * plus a leading time column (seconds). Channels must have equal
+     * lengths.
+     */
+    void saveCsv(const std::string &path) const;
+
+  private:
+    double dt_;
+    std::map<std::string, TimeSeries> series_;
+};
+
+} // namespace sim
+} // namespace h2p
+
+#endif // H2P_SIM_RECORDER_H_

@@ -1,0 +1,54 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace stats {
+
+double
+meanStatistic(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+ConfidenceInterval
+bootstrapCi(const std::vector<double> &samples, const Statistic &stat,
+            double confidence, int resamples, Rng &rng)
+{
+    expect(samples.size() >= 2, "bootstrap needs at least 2 samples");
+    expect(confidence > 0.0 && confidence < 1.0,
+           "confidence must be in (0, 1)");
+    expect(resamples >= 10, "need at least 10 resamples");
+
+    ConfidenceInterval ci;
+    ci.point = stat(samples);
+
+    std::vector<double> stats;
+    stats.reserve(resamples);
+    std::vector<double> resample(samples.size());
+    int n = static_cast<int>(samples.size());
+    for (int r = 0; r < resamples; ++r) {
+        for (size_t i = 0; i < samples.size(); ++i)
+            resample[i] = samples[rng.uniformInt(0, n - 1)];
+        stats.push_back(stat(resample));
+    }
+    double alpha = 1.0 - confidence;
+    ci.lo = percentile(stats, 100.0 * alpha / 2.0);
+    ci.hi = percentile(stats, 100.0 * (1.0 - alpha / 2.0));
+    return ci;
+}
+
+ConfidenceInterval
+bootstrapMeanCi(const std::vector<double> &samples, Rng &rng)
+{
+    return bootstrapCi(samples, meanStatistic, 0.95, 1000, rng);
+}
+
+} // namespace stats
+} // namespace h2p

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bootstrap confidence intervals.
+ *
+ * The evaluation's headline numbers (average W/CPU, PRE) are means
+ * over finite traces; reporting them without uncertainty overstates
+ * precision. The percentile bootstrap gives distribution-free
+ * intervals for any statistic of the per-step series.
+ */
+
+#ifndef H2P_STATS_BOOTSTRAP_H_
+#define H2P_STATS_BOOTSTRAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/random.h"
+
+namespace h2p {
+namespace stats {
+
+/** A two-sided confidence interval. */
+struct ConfidenceInterval
+{
+    double point = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Statistic of a sample set, e.g. the mean. */
+using Statistic = std::function<double(const std::vector<double> &)>;
+
+/** The arithmetic-mean statistic. */
+double meanStatistic(const std::vector<double> &xs);
+
+/**
+ * Percentile-bootstrap confidence interval for @p stat over
+ * @p samples.
+ *
+ * @param samples Observed data (>= 2 values).
+ * @param stat Statistic to bootstrap.
+ * @param confidence e.g. 0.95.
+ * @param resamples Number of bootstrap resamples.
+ * @param rng Seeded generator (for reproducibility).
+ */
+ConfidenceInterval bootstrapCi(const std::vector<double> &samples,
+                               const Statistic &stat,
+                               double confidence, int resamples,
+                               Rng &rng);
+
+/** Convenience: 95 % CI of the mean with 1000 resamples. */
+ConfidenceInterval bootstrapMeanCi(const std::vector<double> &samples,
+                                   Rng &rng);
+
+} // namespace stats
+} // namespace h2p
+
+#endif // H2P_STATS_BOOTSTRAP_H_

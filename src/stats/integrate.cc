@@ -1,0 +1,61 @@
+#include "stats/integrate.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace stats {
+namespace {
+
+double
+adaptiveStep(const Integrand &f, double a, double b, double fa, double fb,
+             double fm, double whole, double tol, int depth)
+{
+    double m = 0.5 * (a + b);
+    double lm = 0.5 * (a + m);
+    double rm = 0.5 * (m + b);
+    double flm = f(lm);
+    double frm = f(rm);
+    double h = b - a;
+    double left = h / 12.0 * (fa + 4.0 * flm + fm);
+    double right = h / 12.0 * (fm + 4.0 * frm + fb);
+    double delta = left + right - whole;
+    if (depth <= 0 || std::abs(delta) <= 15.0 * tol)
+        return left + right + delta / 15.0;
+    return adaptiveStep(f, a, m, fa, fm, flm, left, tol / 2.0, depth - 1) +
+           adaptiveStep(f, m, b, fm, fb, frm, right, tol / 2.0, depth - 1);
+}
+
+} // namespace
+
+double
+simpson(const Integrand &f, double a, double b, int intervals)
+{
+    expect(intervals > 0, "simpson: need a positive interval count");
+    if (intervals % 2)
+        ++intervals;
+    double h = (b - a) / intervals;
+    double sum = f(a) + f(b);
+    for (int i = 1; i < intervals; ++i) {
+        double x = a + h * i;
+        sum += f(x) * (i % 2 ? 4.0 : 2.0);
+    }
+    return sum * h / 3.0;
+}
+
+double
+adaptiveSimpson(const Integrand &f, double a, double b, double tol)
+{
+    if (a == b)
+        return 0.0;
+    double fa = f(a);
+    double fb = f(b);
+    double m = 0.5 * (a + b);
+    double fm = f(m);
+    double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    return adaptiveStep(f, a, b, fa, fb, fm, whole, tol, 48);
+}
+
+} // namespace stats
+} // namespace h2p

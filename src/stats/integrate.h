@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Numerical integration used by the order-statistics machinery.
+ */
+
+#ifndef H2P_STATS_INTEGRATE_H_
+#define H2P_STATS_INTEGRATE_H_
+
+#include <functional>
+
+namespace h2p {
+namespace stats {
+
+/** Callable integrand R -> R. */
+using Integrand = std::function<double(double)>;
+
+/**
+ * Composite Simpson rule over [a, b] with @p intervals subintervals
+ * (rounded up to the next even count).
+ */
+double simpson(const Integrand &f, double a, double b, int intervals);
+
+/**
+ * Adaptive Simpson integration over [a, b] to absolute tolerance
+ * @p tol. Recursion depth is bounded; on exhaustion the best current
+ * estimate is returned.
+ */
+double adaptiveSimpson(const Integrand &f, double a, double b,
+                       double tol = 1e-9);
+
+} // namespace stats
+} // namespace h2p
+
+#endif // H2P_STATS_INTEGRATE_H_

@@ -1,0 +1,88 @@
+#include "stats/normal.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace stats {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr double kSqrt2Pi = 2.5066282746310002;
+
+/** Standard normal quantile, Acklam's approximation. */
+double
+standardQuantile(double p)
+{
+    // Coefficients from P. J. Acklam's inverse-normal approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double plow = 0.02425;
+    double q, r, x;
+    if (p < plow) {
+        q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - plow) {
+        q = p - 0.5;
+        r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+             1.0);
+    } else {
+        q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Newton refinement using the standard normal pdf/cdf.
+    double e = 0.5 * std::erfc(-x / kSqrt2) - p;
+    double u = e * kSqrt2Pi * std::exp(0.5 * x * x);
+    return x - u / (1.0 + 0.5 * x * u);
+}
+
+} // namespace
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma)
+{
+    expect(sigma > 0.0, "Normal: sigma must be positive");
+}
+
+double
+Normal::pdf(double x) const
+{
+    double z = (x - mu_) / sigma_;
+    return std::exp(-0.5 * z * z) / (sigma_ * kSqrt2Pi);
+}
+
+double
+Normal::cdf(double x) const
+{
+    double z = (x - mu_) / sigma_;
+    return 0.5 * std::erfc(-z / kSqrt2);
+}
+
+double
+Normal::quantile(double p) const
+{
+    expect(p > 0.0 && p < 1.0, "Normal::quantile: p must be in (0, 1)");
+    return mu_ + sigma_ * standardQuantile(p);
+}
+
+} // namespace stats
+} // namespace h2p

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Normal distribution functions (Eq. 13-14 of the paper).
+ */
+
+#ifndef H2P_STATS_NORMAL_H_
+#define H2P_STATS_NORMAL_H_
+
+namespace h2p {
+namespace stats {
+
+/**
+ * The normal distribution N(mu, sigma^2) with its density (Eq. 13),
+ * distribution function (Eq. 14) and quantile function.
+ */
+class Normal
+{
+  public:
+    /** @param mu Mean. @param sigma Standard deviation (> 0). */
+    Normal(double mu, double sigma);
+
+    double mu() const { return mu_; }
+    double sigma() const { return sigma_; }
+
+    /** Probability density f(x) — paper Eq. 13. */
+    double pdf(double x) const;
+
+    /** Cumulative distribution F(x) — paper Eq. 14. */
+    double cdf(double x) const;
+
+    /**
+     * Quantile (inverse CDF) via Acklam's rational approximation
+     * refined with one Newton step; @p p in (0, 1).
+     */
+    double quantile(double p) const;
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+} // namespace stats
+} // namespace h2p
+
+#endif // H2P_STATS_NORMAL_H_

@@ -1,0 +1,63 @@
+#include "stats/order_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/integrate.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace stats {
+
+NormalMaxOrderStat::NormalMaxOrderStat(Normal base, size_t n)
+    : base_(base), n_(n)
+{
+    expect(n >= 1, "order statistic needs n >= 1");
+}
+
+double
+NormalMaxOrderStat::cdf(double x) const
+{
+    return std::pow(base_.cdf(x), static_cast<double>(n_));
+}
+
+double
+NormalMaxOrderStat::pdf(double x) const
+{
+    double nf = static_cast<double>(n_);
+    return nf * std::pow(base_.cdf(x), nf - 1.0) * base_.pdf(x);
+}
+
+double
+NormalMaxOrderStat::mean() const
+{
+    if (n_ == 1)
+        return base_.mu();
+    // The integrand x * pdf(x) decays like the normal tail; +/- 12
+    // sigma bounds the truncation error far below the quadrature
+    // tolerance even for n in the millions.
+    double lo = base_.mu() - 12.0 * base_.sigma();
+    double hi = base_.mu() + 12.0 * base_.sigma();
+    return adaptiveSimpson([this](double x) { return x * pdf(x); }, lo, hi,
+                           1e-10);
+}
+
+double
+NormalMaxOrderStat::quantile(double p) const
+{
+    expect(p > 0.0 && p < 1.0, "quantile: p must be in (0, 1)");
+    return base_.quantile(std::pow(p, 1.0 / static_cast<double>(n_)));
+}
+
+double
+expectedCoolingReduction(const Normal &cpu_temp, size_t n, double t_safe,
+                         double k)
+{
+    expect(k > 0.0, "temperature slope k must be positive");
+    NormalMaxOrderStat max_stat(cpu_temp, n);
+    double excess = max_stat.mean() - t_safe;
+    return std::max(0.0, excess / k);
+}
+
+} // namespace stats
+} // namespace h2p

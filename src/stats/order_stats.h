@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Order statistics of i.i.d. normal samples (paper Eq. 15-18).
+ *
+ * Sec. V-A models the n CPU temperatures sharing one water circulation
+ * as i.i.d. N(mu, sigma^2) and needs E[T_(n)], the expected maximum,
+ * to size the chiller duty of that circulation. The density of the
+ * maximum is n F(x)^{n-1} f(x) (Eq. 16) and the expectation (Eq. 17)
+ * is evaluated by adaptive quadrature.
+ */
+
+#ifndef H2P_STATS_ORDER_STATS_H_
+#define H2P_STATS_ORDER_STATS_H_
+
+#include <cstddef>
+
+#include "stats/normal.h"
+
+namespace h2p {
+namespace stats {
+
+/**
+ * Distribution of the maximum of @p n i.i.d. draws from a Normal.
+ */
+class NormalMaxOrderStat
+{
+  public:
+    /**
+     * @param base The per-sample distribution N(mu, sigma^2).
+     * @param n Number of i.i.d. samples (>= 1).
+     */
+    NormalMaxOrderStat(Normal base, size_t n);
+
+    /** CDF of the maximum: F(x)^n — paper Eq. 15. */
+    double cdf(double x) const;
+
+    /** Density of the maximum: n F(x)^{n-1} f(x) — paper Eq. 16. */
+    double pdf(double x) const;
+
+    /**
+     * Expected maximum E[T_(n)] — paper Eq. 17, by adaptive Simpson
+     * over mu +/- 12 sigma.
+     */
+    double mean() const;
+
+    /** Quantile of the maximum: base quantile of p^{1/n}. */
+    double quantile(double p) const;
+
+    size_t n() const { return n_; }
+    const Normal &base() const { return base_; }
+
+  private:
+    Normal base_;
+    size_t n_;
+};
+
+/**
+ * Expected cooling headroom reduction for a circulation of @p n
+ * servers — paper Eq. 18:
+ *
+ *   E[dT_i] = (E[T_max] - T_safe) / k
+ *
+ * where k is the slope of T_CPU vs coolant temperature. Values <= 0
+ * mean even the expected hottest CPU stays below T_safe, so the result
+ * is clamped at 0 (the chiller need not cool below the warm setpoint).
+ */
+double expectedCoolingReduction(const Normal &cpu_temp, size_t n,
+                                double t_safe, double k);
+
+} // namespace stats
+} // namespace h2p
+
+#endif // H2P_STATS_ORDER_STATS_H_

@@ -1,0 +1,144 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace stats {
+namespace {
+
+/** Sum of squared deviations of ys around their mean. */
+double
+totalSumSquares(const std::vector<double> &ys)
+{
+    double mean = 0.0;
+    for (double y : ys)
+        mean += y;
+    mean /= static_cast<double>(ys.size());
+    double ss = 0.0;
+    for (double y : ys)
+        ss += (y - mean) * (y - mean);
+    return ss;
+}
+
+/** R^2 from residual and total sums of squares (1 when tss is 0). */
+double
+r2FromResiduals(double rss, double tss)
+{
+    if (tss <= 0.0)
+        return 1.0;
+    return 1.0 - rss / tss;
+}
+
+} // namespace
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    expect(xs.size() == ys.size(), "fitLinear: size mismatch");
+    expect(xs.size() >= 2, "fitLinear: needs at least 2 points");
+
+    double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    double denom = n * sxx - sx * sx;
+    expect(std::abs(denom) > 1e-12, "fitLinear: degenerate x values");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    double rss = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double e = ys[i] - fit(xs[i]);
+        rss += e * e;
+    }
+    fit.r2 = r2FromResiduals(rss, totalSumSquares(ys));
+    return fit;
+}
+
+QuadraticFit
+fitQuadratic(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    expect(xs.size() == ys.size(), "fitQuadratic: size mismatch");
+    expect(xs.size() >= 3, "fitQuadratic: needs at least 3 points");
+
+    // Normal equations for [a b c] over basis {x^2, x, 1}.
+    double s0 = static_cast<double>(xs.size());
+    double s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+    double t0 = 0, t1 = 0, t2 = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double x = xs[i], y = ys[i];
+        double x2 = x * x;
+        s1 += x;
+        s2 += x2;
+        s3 += x2 * x;
+        s4 += x2 * x2;
+        t0 += y;
+        t1 += x * y;
+        t2 += x2 * y;
+    }
+
+    // Solve the symmetric 3x3 system with Cramer's rule:
+    // | s4 s3 s2 | |a|   |t2|
+    // | s3 s2 s1 | |b| = |t1|
+    // | s2 s1 s0 | |c|   |t0|
+    auto det3 = [](double a11, double a12, double a13, double a21,
+                   double a22, double a23, double a31, double a32,
+                   double a33) {
+        return a11 * (a22 * a33 - a23 * a32) -
+               a12 * (a21 * a33 - a23 * a31) +
+               a13 * (a21 * a32 - a22 * a31);
+    };
+    double d = det3(s4, s3, s2, s3, s2, s1, s2, s1, s0);
+    expect(std::abs(d) > 1e-12, "fitQuadratic: degenerate x values");
+
+    QuadraticFit fit;
+    fit.a = det3(t2, s3, s2, t1, s2, s1, t0, s1, s0) / d;
+    fit.b = det3(s4, t2, s2, s3, t1, s1, s2, t0, s0) / d;
+    fit.c = det3(s4, s3, t2, s3, s2, t1, s2, s1, t0) / d;
+
+    double rss = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double e = ys[i] - fit(xs[i]);
+        rss += e * e;
+    }
+    fit.r2 = r2FromResiduals(rss, totalSumSquares(ys));
+    return fit;
+}
+
+LinearFit
+fitLogShifted(const std::vector<double> &xs, const std::vector<double> &ys,
+              double q)
+{
+    std::vector<double> lx;
+    lx.reserve(xs.size());
+    for (double x : xs) {
+        expect(x + q > 0.0, "fitLogShifted: x + q must be positive");
+        lx.push_back(std::log(x + q));
+    }
+    return fitLinear(lx, ys);
+}
+
+double
+rmse(const std::vector<double> &predicted,
+     const std::vector<double> &observed)
+{
+    expect(predicted.size() == observed.size(), "rmse: size mismatch");
+    expect(!predicted.empty(), "rmse: empty input");
+    double ss = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        double e = predicted[i] - observed[i];
+        ss += e * e;
+    }
+    return std::sqrt(ss / static_cast<double>(predicted.size()));
+}
+
+} // namespace stats
+} // namespace h2p

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Least-squares fitting.
+ *
+ * The paper derives its device models by fitting measurements: Eq. 3
+ * (linear V_oc vs dT), Eq. 6 (quadratic P_max vs dT) and Eq. 20
+ * (logarithmic CPU power vs utilization). This module re-derives those
+ * fits from our simulated measurements, closing the loop between the
+ * virtual prototype and the published models.
+ */
+
+#ifndef H2P_STATS_REGRESSION_H_
+#define H2P_STATS_REGRESSION_H_
+
+#include <vector>
+
+namespace h2p {
+namespace stats {
+
+/** Result of a simple linear regression y = slope*x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination in [0, 1]. */
+    double r2 = 0.0;
+
+    /** Evaluate the fitted line. */
+    double operator()(double x) const { return slope * x + intercept; }
+};
+
+/** Ordinary least squares line through (xs, ys); needs >= 2 points. */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/** Result of a quadratic fit y = a*x^2 + b*x + c. */
+struct QuadraticFit
+{
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+    double r2 = 0.0;
+
+    /** Evaluate the fitted parabola. */
+    double operator()(double x) const { return (a * x + b) * x + c; }
+};
+
+/** Least-squares parabola through (xs, ys); needs >= 3 points. */
+QuadraticFit fitQuadratic(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+/**
+ * Fit y = p*log(x + q) + r for fixed shift @p q (the paper uses
+ * q = 1.17); reduces to a linear fit in log(x + q).
+ */
+LinearFit fitLogShifted(const std::vector<double> &xs,
+                        const std::vector<double> &ys, double q);
+
+/** Root-mean-square error of predictions vs observations. */
+double rmse(const std::vector<double> &predicted,
+            const std::vector<double> &observed);
+
+} // namespace stats
+} // namespace h2p
+
+#endif // H2P_STATS_REGRESSION_H_

@@ -1,0 +1,63 @@
+#include "storage/battery.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace storage {
+
+Battery::Battery(const BatteryParams &params) : params_(params)
+{
+    expect(params.capacity_wh > 0.0, "capacity must be positive");
+    expect(params.round_trip_eff > 0.0 && params.round_trip_eff <= 1.0,
+           "round-trip efficiency must be in (0, 1]");
+    expect(params.max_charge_w >= 0.0 && params.max_discharge_w >= 0.0,
+           "power limits must be non-negative");
+    expect(params.initial_soc >= 0.0 && params.initial_soc <= 1.0,
+           "initial SoC must be in [0, 1]");
+    stored_wh_ = params.capacity_wh * params.initial_soc;
+}
+
+double
+Battery::charge(double watts, double dt_s)
+{
+    expect(watts >= 0.0 && dt_s >= 0.0,
+           "charge power/duration must be non-negative");
+    double accepted_w = std::min(watts, params_.max_charge_w);
+    double hours = dt_s / 3600.0;
+    double offered_wh = accepted_w * hours;
+    double headroom_wh =
+        (params_.capacity_wh - stored_wh_) / params_.round_trip_eff;
+    double taken_wh = std::min(offered_wh, headroom_wh);
+    stored_wh_ += taken_wh * params_.round_trip_eff;
+    return hours > 0.0 ? taken_wh / hours : 0.0;
+}
+
+double
+Battery::discharge(double watts, double dt_s)
+{
+    expect(watts >= 0.0 && dt_s >= 0.0,
+           "discharge power/duration must be non-negative");
+    double granted_w = std::min(watts, params_.max_discharge_w);
+    double hours = dt_s / 3600.0;
+    double wanted_wh = granted_w * hours;
+    double given_wh = std::min(wanted_wh, stored_wh_);
+    stored_wh_ -= given_wh;
+    return hours > 0.0 ? given_wh / hours : 0.0;
+}
+
+BatteryParams
+supercapParams()
+{
+    BatteryParams p;
+    p.capacity_wh = 5.0;
+    p.round_trip_eff = 0.93; // SCs reach 90-95 % (Sec. VI-B)
+    p.max_charge_w = 200.0;
+    p.max_discharge_w = 200.0;
+    p.initial_soc = 0.5;
+    return p;
+}
+
+} // namespace storage
+} // namespace h2p

@@ -1,0 +1,52 @@
+#include "storage/dc_bus.h"
+
+#include "util/error.h"
+
+namespace h2p {
+namespace storage {
+
+PowerPath &
+PowerPath::addStage(const std::string &name, double efficiency)
+{
+    expect(efficiency > 0.0 && efficiency <= 1.0,
+           "stage efficiency must be in (0, 1]");
+    stages_.push_back(ConversionStage{name, efficiency});
+    return *this;
+}
+
+double
+PowerPath::efficiency() const
+{
+    double eff = 1.0;
+    for (const auto &s : stages_)
+        eff *= s.efficiency;
+    return eff;
+}
+
+double
+PowerPath::deliver(double input_w) const
+{
+    expect(input_w >= 0.0, "input power must be non-negative");
+    return input_w * efficiency();
+}
+
+PowerPath
+PowerPath::conventionalAc()
+{
+    PowerPath p;
+    p.addStage("inverter", 0.95)
+        .addStage("UPS double conversion", 0.88)
+        .addStage("server PSU", 0.92);
+    return p;
+}
+
+PowerPath
+PowerPath::dcBus()
+{
+    PowerPath p;
+    p.addStage("DC-DC to 48 V rail", 0.97);
+    return p;
+}
+
+} // namespace storage
+} // namespace h2p

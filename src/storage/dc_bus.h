@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Power-distribution path model (Sec. VI-D).
+ *
+ * TEGs produce DC. In a conventional AC datacenter that DC must be
+ * inverted, pass the UPS's double conversion (AC-DC-AC) and a server
+ * PSU before it does work; in the DC-bus architectures Google and
+ * Facebook deploy (12/48 V), the TEG output only needs one DC-DC
+ * stage. The paper notes H2P "is appropriate for these DC-supplied
+ * datacenters" — this model quantifies why.
+ */
+
+#ifndef H2P_STORAGE_DC_BUS_H_
+#define H2P_STORAGE_DC_BUS_H_
+
+#include <string>
+#include <vector>
+
+namespace h2p {
+namespace storage {
+
+/** One conversion stage. */
+struct ConversionStage
+{
+    std::string name;
+    /** Energy efficiency in (0, 1]. */
+    double efficiency = 1.0;
+};
+
+/**
+ * A chain of conversion stages between the TEG terminals and the
+ * load.
+ */
+class PowerPath
+{
+  public:
+    /** Empty (lossless) path. */
+    PowerPath() = default;
+
+    /** Append a stage; returns *this for chaining. */
+    PowerPath &addStage(const std::string &name, double efficiency);
+
+    /** Product of stage efficiencies. */
+    double efficiency() const;
+
+    /** Power delivered to the load from @p input_w at the TEG. */
+    double deliver(double input_w) const;
+
+    /** The stages, in order. */
+    const std::vector<ConversionStage> &stages() const
+    {
+        return stages_;
+    }
+
+    /** Conventional AC path: inverter -> UPS double conv -> PSU. */
+    static PowerPath conventionalAc();
+
+    /** DC-bus path: one DC-DC stage onto the 48 V rail. */
+    static PowerPath dcBus();
+
+  private:
+    std::vector<ConversionStage> stages_;
+};
+
+} // namespace storage
+} // namespace h2p
+
+#endif // H2P_STORAGE_DC_BUS_H_

@@ -1,0 +1,53 @@
+#include "storage/hybrid_buffer.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace storage {
+
+HybridBuffer::HybridBuffer(const BatteryParams &supercap,
+                           const BatteryParams &battery)
+    : supercap_(supercap), battery_(battery)
+{
+}
+
+BufferFlow
+HybridBuffer::step(double teg_w, double demand_w, double dt_s)
+{
+    expect(teg_w >= 0.0 && demand_w >= 0.0 && dt_s > 0.0,
+           "buffer step arguments must be non-negative (dt positive)");
+
+    BufferFlow flow;
+    flow.direct_w = std::min(teg_w, demand_w);
+    double surplus = teg_w - flow.direct_w;
+    double deficit = demand_w - flow.direct_w;
+
+    if (surplus > 0.0) {
+        // Charge SC first (fast path), then the battery. Clamp the
+        // remainders at zero: rounding in the Wh<->W conversions can
+        // otherwise leave them at -epsilon.
+        double into_sc = supercap_.charge(surplus, dt_s);
+        double into_bat =
+            battery_.charge(std::max(0.0, surplus - into_sc), dt_s);
+        flow.stored_w = into_sc + into_bat;
+        flow.spilled_w = std::max(0.0, surplus - flow.stored_w);
+    } else if (deficit > 0.0) {
+        double from_sc = supercap_.discharge(deficit, dt_s);
+        double from_bat = battery_.discharge(
+            std::max(0.0, deficit - from_sc), dt_s);
+        flow.served_w = from_sc + from_bat;
+        flow.shortfall_w = std::max(0.0, deficit - flow.served_w);
+    }
+    return flow;
+}
+
+double
+HybridBuffer::stored() const
+{
+    return supercap_.stored() + battery_.stored();
+}
+
+} // namespace storage
+} // namespace h2p

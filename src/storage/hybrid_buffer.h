@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Hybrid energy buffer: super-capacitor + battery (Sec. VI-B).
+ *
+ * Mirrors the HEB idea the paper cites: the super-capacitor absorbs
+ * and serves fast power transients at high efficiency; the battery
+ * provides bulk capacity. Surplus TEG power charges the SC first,
+ * then the battery; demand is served from the SC first, then the
+ * battery, then (unmet) reported as shortfall.
+ */
+
+#ifndef H2P_STORAGE_HYBRID_BUFFER_H_
+#define H2P_STORAGE_HYBRID_BUFFER_H_
+
+#include "storage/battery.h"
+
+namespace h2p {
+namespace storage {
+
+/** Outcome of one buffer step. */
+struct BufferFlow
+{
+    /** TEG power directly consumed by the load, W. */
+    double direct_w = 0.0;
+    /** Power absorbed into storage, W. */
+    double stored_w = 0.0;
+    /** Power served from storage, W. */
+    double served_w = 0.0;
+    /** Surplus that could not be stored (spilled), W. */
+    double spilled_w = 0.0;
+    /** Demand that could not be met, W. */
+    double shortfall_w = 0.0;
+};
+
+/**
+ * Super-capacitor + battery buffer between the TEG modules and a DC
+ * load (e.g. the LED lighting of Sec. VI-C2 or TEC drivers of
+ * Sec. VI-C1).
+ */
+class HybridBuffer
+{
+  public:
+    HybridBuffer()
+        : HybridBuffer(supercapParams(), BatteryParams{})
+    {
+    }
+
+    HybridBuffer(const BatteryParams &supercap,
+                 const BatteryParams &battery);
+
+    /**
+     * Advance one interval: @p teg_w of generation meets @p demand_w
+     * of load for @p dt_s seconds.
+     */
+    BufferFlow step(double teg_w, double demand_w, double dt_s);
+
+    /** Total stored energy across both stores, Wh. */
+    double stored() const;
+
+    const Battery &supercap() const { return supercap_; }
+    const Battery &battery() const { return battery_; }
+
+  private:
+    Battery supercap_;
+    Battery battery_;
+};
+
+} // namespace storage
+} // namespace h2p
+
+#endif // H2P_STORAGE_HYBRID_BUFFER_H_

@@ -1,0 +1,31 @@
+#include "storage/led.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace storage {
+
+size_t
+ledsSupported(double available_w, const LedParams &led)
+{
+    expect(available_w >= 0.0, "available power must be non-negative");
+    expect(led.power_w > 0.0, "LED power must be positive");
+    return static_cast<size_t>(std::floor(available_w / led.power_w));
+}
+
+double
+lightingCoverage(double teg_w_per_server, size_t leds_per_server,
+                 const LedParams &led)
+{
+    expect(teg_w_per_server >= 0.0, "TEG power must be non-negative");
+    expect(leds_per_server >= 1, "need at least one LED per server");
+    double budget_w =
+        static_cast<double>(leds_per_server) * led.power_w;
+    return std::min(1.0, teg_w_per_server / budget_w);
+}
+
+} // namespace storage
+} // namespace h2p

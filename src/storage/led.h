@@ -1,0 +1,45 @@
+/**
+ * @file
+ * LED lighting load (Sec. VI-C2).
+ *
+ * Lighting is ~1 % of datacenter energy; the paper argues the 3+ W a
+ * TEG module generates per CPU is enough to power several of the LEDs
+ * used for datacenter lighting (ordinary LEDs ~0.05 W, high-power
+ * 1-2 W). This helper sizes that application.
+ */
+
+#ifndef H2P_STORAGE_LED_H_
+#define H2P_STORAGE_LED_H_
+
+#include <cstddef>
+
+namespace h2p {
+namespace storage {
+
+/** One LED class. */
+struct LedParams
+{
+    /** Electrical power of one LED, W (ordinary: 0.05; high: 1-2). */
+    double power_w = 0.05;
+    /** Operating voltage, V. */
+    double voltage_v = 2.5;
+};
+
+/**
+ * Number of LEDs of class @p led that @p available_w watts can drive
+ * simultaneously.
+ */
+size_t ledsSupported(double available_w, const LedParams &led);
+
+/**
+ * Fraction of a lighting budget covered: a hall with
+ * @p leds_per_server LEDs of class @p led per server, fed by
+ * @p teg_w_per_server of TEG output.
+ */
+double lightingCoverage(double teg_w_per_server, size_t leds_per_server,
+                        const LedParams &led);
+
+} // namespace storage
+} // namespace h2p
+
+#endif // H2P_STORAGE_LED_H_

@@ -1,0 +1,27 @@
+#include "thermal/cold_plate.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace thermal {
+
+ColdPlate::ColdPlate(const ColdPlateParams &params) : params_(params)
+{
+    expect(params.base_resistance_kpw >= 0.0,
+           "cold plate base resistance must be non-negative");
+    expect(params.conv_scale > 0.0,
+           "cold plate convective scale must be positive");
+}
+
+double
+ColdPlate::resistance(double flow_lph) const
+{
+    expect(flow_lph > 0.0, "cold plate flow rate must be positive");
+    return params_.base_resistance_kpw +
+           params_.conv_scale / std::pow(flow_lph, params_.flow_exponent);
+}
+
+} // namespace thermal
+} // namespace h2p

@@ -1,0 +1,141 @@
+#include "thermal/rc_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace thermal {
+
+NodeId
+RcNetwork::addNode(const std::string &name, double capacitance_jpk,
+                   double initial_c)
+{
+    expect(capacitance_jpk > 0.0, "node capacitance must be positive");
+    Node n;
+    n.name = name;
+    n.capacitance = capacitance_jpk;
+    n.temp = initial_c;
+    nodes_.push_back(std::move(n));
+    return NodeId{nodes_.size() - 1};
+}
+
+NodeId
+RcNetwork::addBoundary(const std::string &name, double temp_c)
+{
+    Node n;
+    n.name = name;
+    n.temp = temp_c;
+    n.boundary = true;
+    nodes_.push_back(std::move(n));
+    return NodeId{nodes_.size() - 1};
+}
+
+void
+RcNetwork::checkNode(NodeId n) const
+{
+    expect(n.index < nodes_.size(), "invalid node id");
+}
+
+size_t
+RcNetwork::connect(NodeId a, NodeId b, double resistance_kpw)
+{
+    checkNode(a);
+    checkNode(b);
+    expect(resistance_kpw > 0.0, "edge resistance must be positive");
+    expect(a.index != b.index, "cannot connect a node to itself");
+    edges_.push_back(Edge{a.index, b.index, 1.0 / resistance_kpw});
+    return edges_.size() - 1;
+}
+
+void
+RcNetwork::setEdgeResistance(size_t edge, double resistance_kpw)
+{
+    expect(edge < edges_.size(), "edge index out of range");
+    expect(resistance_kpw > 0.0, "edge resistance must be positive");
+    edges_[edge].conductance = 1.0 / resistance_kpw;
+}
+
+void
+RcNetwork::setPower(NodeId n, double watts)
+{
+    checkNode(n);
+    expect(!nodes_[n.index].boundary,
+           "cannot inject power into a boundary node");
+    nodes_[n.index].power = watts;
+}
+
+void
+RcNetwork::setBoundary(NodeId n, double temp_c)
+{
+    checkNode(n);
+    expect(nodes_[n.index].boundary, "node is not a boundary node");
+    nodes_[n.index].temp = temp_c;
+}
+
+double
+RcNetwork::temperature(NodeId n) const
+{
+    checkNode(n);
+    return nodes_[n.index].temp;
+}
+
+const std::string &
+RcNetwork::name(NodeId n) const
+{
+    checkNode(n);
+    return nodes_[n.index].name;
+}
+
+double
+RcNetwork::maxStableStep() const
+{
+    // Explicit Euler is stable when dt < C / sum(G) at every node;
+    // use half that as a margin.
+    double best = 1.0;
+    std::vector<double> gsum(nodes_.size(), 0.0);
+    for (const auto &e : edges_) {
+        gsum[e.a] += e.conductance;
+        gsum[e.b] += e.conductance;
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].boundary || gsum[i] <= 0.0)
+            continue;
+        best = std::min(best, 0.5 * nodes_[i].capacitance / gsum[i]);
+    }
+    return best;
+}
+
+void
+RcNetwork::step(double seconds)
+{
+    expect(seconds >= 0.0, "cannot step backwards in time");
+    if (seconds == 0.0 || nodes_.empty())
+        return;
+
+    double dt = maxStableStep();
+    size_t substeps =
+        std::max<size_t>(1, static_cast<size_t>(std::ceil(seconds / dt)));
+    double h = seconds / static_cast<double>(substeps);
+
+    std::vector<double> flux(nodes_.size());
+    for (size_t s = 0; s < substeps; ++s) {
+        std::fill(flux.begin(), flux.end(), 0.0);
+        for (const auto &e : edges_) {
+            double q =
+                (nodes_[e.a].temp - nodes_[e.b].temp) * e.conductance;
+            flux[e.a] -= q;
+            flux[e.b] += q;
+        }
+        for (size_t i = 0; i < nodes_.size(); ++i) {
+            auto &n = nodes_[i];
+            if (n.boundary)
+                continue;
+            n.temp += h * (flux[i] + n.power) / n.capacitance;
+        }
+    }
+}
+
+} // namespace thermal
+} // namespace h2p

@@ -1,0 +1,82 @@
+#include "thermal/tec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace thermal {
+
+Tec::Tec(const TecParams &params) : params_(params)
+{
+    expect(params.seebeck_vpk > 0.0, "TEC Seebeck must be positive");
+    expect(params.resistance_ohm > 0.0, "TEC resistance must be positive");
+    expect(params.conductance_wpk > 0.0,
+           "TEC conductance must be positive");
+    expect(params.max_current_a > 0.0, "TEC max current must be positive");
+}
+
+TecOperatingPoint
+Tec::evaluate(double current_a, double t_cold_c, double t_hot_c) const
+{
+    expect(current_a >= 0.0, "TEC current must be non-negative");
+    double i = std::min(current_a, params_.max_current_a);
+    double tc = units::celsiusToKelvin(t_cold_c);
+    double dt = t_hot_c - t_cold_c;
+
+    TecOperatingPoint op;
+    op.heat_pumped_w = params_.seebeck_vpk * i * tc -
+                       0.5 * i * i * params_.resistance_ohm -
+                       params_.conductance_wpk * dt;
+    op.power_in_w =
+        params_.seebeck_vpk * i * dt + i * i * params_.resistance_ohm;
+    if (op.power_in_w > 0.0 && op.heat_pumped_w > 0.0)
+        op.cop = op.heat_pumped_w / op.power_in_w;
+    return op;
+}
+
+double
+Tec::optimalCurrent(double t_cold_c) const
+{
+    double tc = units::celsiusToKelvin(t_cold_c);
+    double i = params_.seebeck_vpk * tc / params_.resistance_ohm;
+    return std::min(i, params_.max_current_a);
+}
+
+TecOperatingPoint
+Tec::maxCooling(double t_cold_c, double t_hot_c) const
+{
+    return evaluate(optimalCurrent(t_cold_c), t_cold_c, t_hot_c);
+}
+
+TecOperatingPoint
+Tec::currentForHeat(double heat_w, double t_cold_c, double t_hot_c,
+                    double *current_out) const
+{
+    expect(heat_w >= 0.0, "requested heat must be non-negative");
+    double i_hi = optimalCurrent(t_cold_c);
+    TecOperatingPoint best = evaluate(i_hi, t_cold_c, t_hot_c);
+    if (best.heat_pumped_w < heat_w) {
+        // Unreachable: run flat out.
+        if (current_out)
+            *current_out = i_hi;
+        return best;
+    }
+    double lo = 0.0, hi = i_hi;
+    for (int iter = 0; iter < 60; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        TecOperatingPoint op = evaluate(mid, t_cold_c, t_hot_c);
+        if (op.heat_pumped_w >= heat_w)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    if (current_out)
+        *current_out = hi;
+    return evaluate(hi, t_cold_c, t_hot_c);
+}
+
+} // namespace thermal
+} // namespace h2p

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Thermoelectric cooler (TEC) model.
+ *
+ * H2P assumes the hybrid warm-water cooling architecture of Jiang et
+ * al. (ISCA '19), in which a TEC per CPU provides fast fine-grained
+ * spot cooling when a hot spot appears, so the loop inlet can stay
+ * warm. This substrate implements the standard Peltier module model:
+ *
+ *   Q_c  = alpha I T_c - I^2 R / 2 - K dT        (heat pumped)
+ *   P_in = alpha I dT + I^2 R                    (electrical input)
+ *
+ * with T_c in Kelvin and dT = T_h - T_c. It also computes the current
+ * that maximizes Q_c, used by the hot-spot controller, and supports
+ * Sec. VI-C1 ("TEGs for powering TECs") where the TEC draws its power
+ * from the TEG energy buffer.
+ */
+
+#ifndef H2P_THERMAL_TEC_H_
+#define H2P_THERMAL_TEC_H_
+
+namespace h2p {
+namespace thermal {
+
+/** Parameters of a Peltier module (defaults ~ TEC1-12706 class). */
+struct TecParams
+{
+    /** Module Seebeck coefficient, V/K. */
+    double seebeck_vpk = 0.051;
+    /** Module electrical resistance, ohm. */
+    double resistance_ohm = 1.8;
+    /** Module thermal conductance, W/K. */
+    double conductance_wpk = 0.70;
+    /** Maximum drive current, A. */
+    double max_current_a = 6.0;
+};
+
+/** Operating point of a TEC at a given drive current. */
+struct TecOperatingPoint
+{
+    /** Heat absorbed on the cold side, W (can be negative). */
+    double heat_pumped_w = 0.0;
+    /** Electrical power drawn, W. */
+    double power_in_w = 0.0;
+    /** Coefficient of performance (0 when no heat is pumped). */
+    double cop = 0.0;
+};
+
+/**
+ * A single Peltier cooling module.
+ */
+class Tec
+{
+  public:
+    Tec() : Tec(TecParams{}) {}
+
+    explicit Tec(const TecParams &params);
+
+    /**
+     * Evaluate the module at drive current @p current_a with cold-side
+     * temperature @p t_cold_c and hot-side @p t_hot_c (Celsius).
+     */
+    TecOperatingPoint evaluate(double current_a, double t_cold_c,
+                               double t_hot_c) const;
+
+    /**
+     * Current maximizing the pumped heat: I* = alpha T_c / R, clamped
+     * to the drive limit.
+     */
+    double optimalCurrent(double t_cold_c) const;
+
+    /**
+     * Maximum heat the module can pump given the temperatures
+     * (evaluate at the optimal current).
+     */
+    TecOperatingPoint maxCooling(double t_cold_c, double t_hot_c) const;
+
+    /**
+     * Smallest current pumping at least @p heat_w, by bisection on
+     * [0, I*]; returns the drive-limit point when unreachable.
+     */
+    TecOperatingPoint
+    currentForHeat(double heat_w, double t_cold_c, double t_hot_c,
+                   double *current_out = nullptr) const;
+
+    const TecParams &params() const { return params_; }
+
+  private:
+    TecParams params_;
+};
+
+} // namespace thermal
+} // namespace h2p
+
+#endif // H2P_THERMAL_TEC_H_

@@ -1,0 +1,123 @@
+#include "thermal/teg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace thermal {
+
+TegDevice::TegDevice(const TegParams &params) : params_(params)
+{
+    expect(params.resistance_ohm > 0.0,
+           "TEG electrical resistance must be positive");
+    expect(params.thermal_resistance_kpw > 0.0,
+           "TEG thermal resistance must be positive");
+    expect(params.voc_slope > 0.0, "TEG V_oc slope must be positive");
+    expect(params.reference_flow_lph > 0.0,
+           "TEG reference flow must be positive");
+}
+
+double
+TegDevice::openCircuitVoltage(double coolant_dt) const
+{
+    double v = params_.voc_slope * coolant_dt + params_.voc_offset;
+    return std::max(0.0, v);
+}
+
+double
+TegDevice::maxPowerEmpirical(double coolant_dt) const
+{
+    if (coolant_dt <= 0.0)
+        return 0.0;
+    double p = (params_.pfit_a * coolant_dt + params_.pfit_b) * coolant_dt +
+               params_.pfit_c;
+    return std::max(0.0, p);
+}
+
+double
+TegDevice::maxPowerPhysical(double coolant_dt) const
+{
+    double v = openCircuitVoltage(coolant_dt);
+    return v * v / (4.0 * params_.resistance_ohm);
+}
+
+double
+TegDevice::powerAtLoad(double coolant_dt, double load_ohm) const
+{
+    expect(load_ohm >= 0.0, "load resistance must be non-negative");
+    double v = openCircuitVoltage(coolant_dt);
+    double i = v / (params_.resistance_ohm + load_ohm);
+    return i * i * load_ohm;
+}
+
+TegModule::TegModule(size_t count, const TegParams &params,
+                     const ColdPlateParams &plate)
+    : count_(count), device_(params), plate_(plate)
+{
+    expect(count >= 1, "a TEG module needs at least one device");
+}
+
+double
+TegModule::resistance() const
+{
+    return static_cast<double>(count_) * device_.resistance();
+}
+
+double
+TegModule::flowCoupling(double flow_lph) const
+{
+    // Effective junction dT fraction: the TEG's own thermal resistance
+    // against the two plate film resistances, normalized so the
+    // empirical fits are exact at the reference flow.
+    auto raw = [this](double f) {
+        double r_teg = device_.thermalResistance();
+        double r_plates = 2.0 * plate_.resistance(f);
+        return r_teg / (r_teg + r_plates);
+    };
+    return raw(flow_lph) / raw(device_.params().reference_flow_lph);
+}
+
+double
+TegModule::openCircuitVoltage(double coolant_dt, double flow_lph) const
+{
+    double dt_eff = coolant_dt * flowCoupling(flow_lph);
+    return static_cast<double>(count_) *
+           device_.openCircuitVoltage(dt_eff);
+}
+
+double
+TegModule::openCircuitVoltage(double coolant_dt) const
+{
+    return static_cast<double>(count_) *
+           device_.openCircuitVoltage(coolant_dt);
+}
+
+double
+TegModule::maxPower(double coolant_dt) const
+{
+    return static_cast<double>(count_) *
+           device_.maxPowerEmpirical(coolant_dt);
+}
+
+double
+TegModule::maxPower(double coolant_dt, double flow_lph) const
+{
+    double dt_eff = coolant_dt * flowCoupling(flow_lph);
+    return static_cast<double>(count_) *
+           device_.maxPowerEmpirical(dt_eff);
+}
+
+double
+TegModule::powerFromTemps(double t_warm_out, double t_cold,
+                          double flow_lph) const
+{
+    double dt = t_warm_out - t_cold; // Paper Eq. 2.
+    if (dt <= 0.0)
+        return 0.0;
+    return maxPower(dt, flow_lph);
+}
+
+} // namespace thermal
+} // namespace h2p

@@ -1,0 +1,79 @@
+#include "thermal/teg_material.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace thermal {
+
+TegMaterial
+TegMaterial::bismuthTelluride()
+{
+    return TegMaterial{"Bi2Te3", 1.0};
+}
+
+TegMaterial
+TegMaterial::heuslerAlloy()
+{
+    return TegMaterial{"Fe2V0.8W0.2Al (Heusler)", 6.0};
+}
+
+TegMaterial
+TegMaterial::hypothetical(double zt)
+{
+    expect(zt > 0.0, "ZT must be positive");
+    return TegMaterial{"ZT=" + strings::fixed(zt, 1), zt};
+}
+
+double
+carnotEfficiency(double t_hot_c, double t_cold_c)
+{
+    double th = units::celsiusToKelvin(t_hot_c);
+    double tc = units::celsiusToKelvin(t_cold_c);
+    if (th <= tc)
+        return 0.0;
+    return (th - tc) / th;
+}
+
+double
+tegEfficiency(double zt, double t_hot_c, double t_cold_c)
+{
+    expect(zt > 0.0, "ZT must be positive");
+    double th = units::celsiusToKelvin(t_hot_c);
+    double tc = units::celsiusToKelvin(t_cold_c);
+    if (th <= tc)
+        return 0.0;
+    double s = std::sqrt(1.0 + zt);
+    return carnotEfficiency(t_hot_c, t_cold_c) * (s - 1.0) /
+           (s + tc / th);
+}
+
+TegParams
+scaleToMaterial(const TegParams &base, const TegMaterial &from,
+                const TegMaterial &to)
+{
+    // Reference operating point of the H2P characterization.
+    const double t_hot = 45.0, t_cold = 20.0;
+    double eff_from = tegEfficiency(from.zt, t_hot, t_cold);
+    double eff_to = tegEfficiency(to.zt, t_hot, t_cold);
+    expect(eff_from > 0.0, "calibration material has zero efficiency");
+
+    double power_ratio = eff_to / eff_from;
+    // Power scales with the efficiency ratio; at a fixed internal
+    // resistance V_oc scales with its square root (P = V^2 / 4R).
+    double volt_ratio = std::sqrt(power_ratio);
+
+    TegParams out = base;
+    out.voc_slope *= volt_ratio;
+    out.voc_offset *= volt_ratio;
+    out.pfit_a *= power_ratio;
+    out.pfit_b *= power_ratio;
+    out.pfit_c *= power_ratio;
+    return out;
+}
+
+} // namespace thermal
+} // namespace h2p

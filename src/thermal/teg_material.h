@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Thermoelectric material model (Sec. VI-D).
+ *
+ * The SP 1848-27145 is Bi2Te3 with ZT ~ 1 at 300-330 K and ~5 %
+ * conversion efficiency; laboratory Heusler alloys
+ * (Fe2V0.8W0.2Al thin films) reach ZT ~ 6 near 360 K. This module
+ * implements the standard ZT efficiency model,
+ *
+ *   eta = (dT / T_h) * (sqrt(1 + ZT) - 1) / (sqrt(1 + ZT) + T_c/T_h)
+ *
+ * (Carnot times the material factor), and can scale a calibrated
+ * TegParams to a hypothetical material so the whole evaluation
+ * pipeline can answer "what would ZT = 6 do to H2P?".
+ */
+
+#ifndef H2P_THERMAL_TEG_MATERIAL_H_
+#define H2P_THERMAL_TEG_MATERIAL_H_
+
+#include <string>
+
+#include "thermal/teg.h"
+
+namespace h2p {
+namespace thermal {
+
+/** A thermoelectric material. */
+struct TegMaterial
+{
+    /** Display name. */
+    std::string name = "Bi2Te3";
+    /** Dimensionless figure of merit at the operating point. */
+    double zt = 1.0;
+
+    /** The paper's production material (SP 1848-27145). */
+    static TegMaterial bismuthTelluride();
+
+    /** The Nature 2019 thin-film Heusler alloy (ZT ~ 6 at 360 K). */
+    static TegMaterial heuslerAlloy();
+
+    /** A hypothetical material with the given ZT. */
+    static TegMaterial hypothetical(double zt);
+};
+
+/**
+ * Maximum conversion efficiency of a thermoelectric leg between hot
+ * side @p t_hot_c and cold side @p t_cold_c (Celsius) for material
+ * figure of merit @p zt. Returns 0 when dT <= 0.
+ */
+double tegEfficiency(double zt, double t_hot_c, double t_cold_c);
+
+/** Carnot efficiency between the same temperatures (upper bound). */
+double carnotEfficiency(double t_hot_c, double t_cold_c);
+
+/**
+ * Scale a calibrated TegParams to a different material: the voltage
+ * and power fits are multiplied by the efficiency ratio of the new
+ * material to the calibration material at a reference operating
+ * point (hot 45 C / cold 20 C), keeping everything else (geometry,
+ * thermal resistance, price) equal.
+ *
+ * @param base Calibrated parameters (Bi2Te3 by default).
+ * @param from Material the base parameters were measured with.
+ * @param to Material to project to.
+ */
+TegParams scaleToMaterial(const TegParams &base, const TegMaterial &from,
+                          const TegMaterial &to);
+
+} // namespace thermal
+} // namespace h2p
+
+#endif // H2P_THERMAL_TEG_MATERIAL_H_

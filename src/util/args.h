@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the examples and tools.
+ *
+ * Supports `--name value` options with typed accessors and defaults,
+ * `--flag` booleans, and generated usage text. Unknown options throw
+ * h2p::Error with the usage attached.
+ */
+
+#ifndef H2P_UTIL_ARGS_H_
+#define H2P_UTIL_ARGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace h2p {
+
+/**
+ * Declarative argument parser.
+ */
+class ArgParser
+{
+  public:
+    /** @param program Name shown in usage text. */
+    explicit ArgParser(std::string program,
+                       std::string description = "");
+
+    /** Declare a string option `--name` with a default. */
+    ArgParser &addString(const std::string &name,
+                         const std::string &default_value,
+                         const std::string &help);
+
+    /** Declare a numeric option. */
+    ArgParser &addDouble(const std::string &name, double default_value,
+                         const std::string &help);
+
+    /** Declare an integer option. */
+    ArgParser &addLong(const std::string &name, long default_value,
+                       const std::string &help);
+
+    /** Declare a boolean flag (false unless present). */
+    ArgParser &addFlag(const std::string &name,
+                       const std::string &help);
+
+    /**
+     * Parse argv. Throws h2p::Error on unknown options or bad
+     * values; returns false (after printing usage) when --help was
+     * requested.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** Typed accessors (throw on undeclared names). */
+    std::string getString(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    long getLong(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** Rendered usage text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Double, Long, Flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string value; // current value (string form)
+        std::string default_value;
+        std::string help;
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+
+    std::string program_;
+    std::string description_;
+    std::vector<std::string> order_;
+    std::map<std::string, Option> options_;
+};
+
+} // namespace h2p
+
+#endif // H2P_UTIL_ARGS_H_

@@ -1,0 +1,22 @@
+#include "util/error.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace h2p {
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const char *expr,
+          const std::string &msg)
+{
+    std::cerr << "panic: assertion `" << expr << "' failed at " << file
+              << ":" << line;
+    if (!msg.empty())
+        std::cerr << ": " << msg;
+    std::cerr << std::endl;
+    std::abort();
+}
+
+} // namespace detail
+} // namespace h2p

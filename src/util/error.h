@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Error handling primitives for the H2P library.
+ *
+ * Two failure categories are distinguished, following common simulator
+ * practice:
+ *
+ *  - h2p::Error (thrown via h2p::fatal): the *user's* fault — bad
+ *    configuration, out-of-range parameters, malformed input files.
+ *    Callers may catch and recover.
+ *  - H2P_ASSERT / h2p::panic: an internal invariant was violated — a bug
+ *    in the library itself. Aborts the process.
+ */
+
+#ifndef H2P_UTIL_ERROR_H_
+#define H2P_UTIL_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace h2p {
+
+/**
+ * Exception type for all user-recoverable errors raised by the library.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *expr,
+                            const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Raise an h2p::Error for a user-caused failure (bad config, bad input).
+ *
+ * @param args Streamable message fragments.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw Error(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Check a user-supplied condition; throws h2p::Error when it fails.
+ */
+template <typename... Args>
+void
+expect(bool cond, Args &&...args)
+{
+    if (!cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+} // namespace h2p
+
+/**
+ * Assert an internal invariant. Violations abort: they indicate a bug in
+ * H2P itself, never a user error.
+ */
+#define H2P_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::h2p::detail::panicImpl(__FILE__, __LINE__, #cond,             \
+                                     ::h2p::detail::concat(__VA_ARGS__));   \
+        }                                                                   \
+    } while (0)
+
+#endif // H2P_UTIL_ERROR_H_

@@ -1,0 +1,27 @@
+#include "util/logging.h"
+
+namespace h2p {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+const char *
+Logger::prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug: ";
+      case LogLevel::Info:
+        return "info: ";
+      case LogLevel::Warn:
+        return "warn: ";
+      default:
+        return "";
+    }
+}
+
+} // namespace h2p

@@ -1,0 +1,85 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace h2p {
+
+double
+Rng::uniform(double lo, double hi)
+{
+    H2P_ASSERT(lo <= hi, "uniform bounds inverted");
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    H2P_ASSERT(lo <= hi, "uniformInt bounds inverted");
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::normal(double mu, double sigma)
+{
+    H2P_ASSERT(sigma >= 0.0, "negative sigma");
+    std::normal_distribution<double> dist(mu, sigma);
+    return dist(engine_);
+}
+
+double
+Rng::truncNormal(double mu, double sigma, double lo, double hi)
+{
+    H2P_ASSERT(lo <= hi, "truncNormal bounds inverted");
+    for (int i = 0; i < 64; ++i) {
+        double x = normal(mu, sigma);
+        if (x >= lo && x <= hi)
+            return x;
+    }
+    return std::clamp(mu, lo, hi);
+}
+
+double
+Rng::exponential(double rate)
+{
+    H2P_ASSERT(rate > 0.0, "non-positive rate");
+    std::exponential_distribution<double> dist(rate);
+    return dist(engine_);
+}
+
+int
+Rng::poisson(double mean)
+{
+    H2P_ASSERT(mean >= 0.0, "negative mean");
+    if (mean == 0.0)
+        return 0;
+    std::poisson_distribution<int> dist(mean);
+    return dist(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    H2P_ASSERT(p >= 0.0 && p <= 1.0, "probability out of range");
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+Rng
+Rng::fork(uint64_t stream_id) const
+{
+    // Derive a child seed by mixing the parent's *seed* (not its
+    // evolving engine state) with the stream id via the splitmix64
+    // finalizer: the i-th fork is stable no matter how many draws the
+    // parent has made.
+    uint64_t z = seed_ ^ (stream_id + 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z = z ^ (z >> 31);
+    return Rng(z);
+}
+
+} // namespace h2p

@@ -1,0 +1,83 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace strings {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            break;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return fields;
+}
+
+std::string
+trim(std::string_view text)
+{
+    size_t b = 0;
+    size_t e = text.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])))
+        --e;
+    return std::string(text.substr(b, e - b));
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+double
+toDouble(std::string_view text)
+{
+    std::string t = trim(text);
+    expect(!t.empty(), "cannot parse empty string as a number");
+    char *end = nullptr;
+    double v = std::strtod(t.c_str(), &end);
+    expect(end == t.c_str() + t.size(),
+           "cannot parse `", t, "' as a floating-point number");
+    return v;
+}
+
+long
+toLong(std::string_view text)
+{
+    std::string t = trim(text);
+    expect(!t.empty(), "cannot parse empty string as an integer");
+    long v = 0;
+    auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+    expect(ec == std::errc() && ptr == t.data() + t.size(),
+           "cannot parse `", t, "' as an integer");
+    return v;
+}
+
+std::string
+fixed(double value, int digits)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(digits);
+    os << value;
+    return os.str();
+}
+
+} // namespace strings
+} // namespace h2p

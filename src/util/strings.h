@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string utilities shared by the CSV layer and table printer.
+ */
+
+#ifndef H2P_UTIL_STRINGS_H_
+#define H2P_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h2p {
+namespace strings {
+
+/** Split @p text on @p sep; keeps empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(std::string_view text);
+
+/** True when @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Parse a double, throwing h2p::Error with context on failure. */
+double toDouble(std::string_view text);
+
+/** Parse an integer, throwing h2p::Error with context on failure. */
+long toLong(std::string_view text);
+
+/** Format @p value with @p digits digits after the decimal point. */
+std::string fixed(double value, int digits);
+
+} // namespace strings
+} // namespace h2p
+
+#endif // H2P_UTIL_STRINGS_H_

@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace h2p {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    expect(header_.empty() || cells.size() == header_.size(),
+           "table row width ", cells.size(), " does not match header ",
+           header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addRow(const std::string &label,
+                     const std::vector<double> &vals, int digits)
+{
+    std::vector<std::string> cells;
+    cells.reserve(vals.size() + 1);
+    cells.push_back(label);
+    for (double v : vals)
+        cells.push_back(strings::fixed(v, digits));
+    addRow(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    if (ncols == 0)
+        return;
+
+    std::vector<size_t> width(ncols, 0);
+    auto grow = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            os << cell << std::string(width[i] - cell.size(), ' ');
+            os << (i + 1 < ncols ? "  " : "");
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : width)
+            total += w;
+        os << std::string(total + 2 * (ncols - 1), '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+} // namespace h2p

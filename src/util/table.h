@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-width console table printer.
+ *
+ * Every bench binary reports its figure/table rows through this printer
+ * so the output format is uniform across the whole reproduction suite.
+ */
+
+#ifndef H2P_UTIL_TABLE_H_
+#define H2P_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace h2p {
+
+/**
+ * Collects rows of strings/numbers and renders them as an aligned
+ * ASCII table with a title and a rule under the header.
+ */
+class TablePrinter
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TablePrinter(std::string title = "");
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a pre-formatted row of cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Append a row of doubles formatted with @p digits decimals; the
+     * first cell may be given as a label.
+     */
+    void addRow(const std::string &label, const std::vector<double> &vals,
+                int digits = 3);
+
+    /** Render to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace h2p
+
+#endif // H2P_UTIL_TABLE_H_

@@ -1,0 +1,35 @@
+#include "workload/cpu_power.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace workload {
+
+CpuPowerModel::CpuPowerModel(const CpuPowerParams &params)
+    : params_(params)
+{
+    expect(params.scale > 0.0, "power-model scale must be positive");
+    expect(params.shift > 0.0, "power-model shift must be positive");
+}
+
+double
+CpuPowerModel::power(double u) const
+{
+    expect(u >= 0.0 && u <= 1.0, "utilization must be in [0, 1], got ",
+           u);
+    return params_.scale * std::log(u + params_.shift) + params_.offset;
+}
+
+double
+CpuPowerModel::utilizationForPower(double watts) const
+{
+    double u =
+        std::exp((watts - params_.offset) / params_.scale) - params_.shift;
+    return std::clamp(u, 0.0, 1.0);
+}
+
+} // namespace workload
+} // namespace h2p

@@ -1,0 +1,32 @@
+#include "workload/governor.h"
+
+#include "util/error.h"
+
+namespace h2p {
+namespace workload {
+
+Governor::Governor(const GovernorParams &params) : params_(params)
+{
+    expect(params.min_ghz > 0.0, "min frequency must be positive");
+    expect(params.knee_ghz >= params.min_ghz,
+           "knee frequency must be >= min frequency");
+    expect(params.max_ghz >= params.knee_ghz,
+           "max frequency must be >= knee frequency");
+    expect(params.knee_util > 0.0 && params.knee_util < 1.0,
+           "knee utilization must be in (0, 1)");
+}
+
+double
+Governor::frequency(double u) const
+{
+    expect(u >= 0.0 && u <= 1.0, "utilization must be in [0, 1]");
+    if (u <= params_.knee_util) {
+        double t = u / params_.knee_util;
+        return params_.min_ghz + t * (params_.knee_ghz - params_.min_ghz);
+    }
+    double t = (u - params_.knee_util) / (1.0 - params_.knee_util);
+    return params_.knee_ghz + t * (params_.max_ghz - params_.knee_ghz);
+}
+
+} // namespace workload
+} // namespace h2p

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CPU frequency governor model ("powersave", Fig. 10).
+ *
+ * The prototype runs the powersave governor: frequency climbs quickly
+ * with utilization, starts increasing slower past 50 % and settles at
+ * about 2.5 GHz. The governor model reproduces that knee so the
+ * Fig. 10 bench can plot frequency next to temperature.
+ */
+
+#ifndef H2P_WORKLOAD_GOVERNOR_H_
+#define H2P_WORKLOAD_GOVERNOR_H_
+
+namespace h2p {
+namespace workload {
+
+/** Governor calibration. */
+struct GovernorParams
+{
+    /** Idle frequency, GHz. */
+    double min_ghz = 1.2;
+    /** Frequency reached at the knee, GHz. */
+    double knee_ghz = 2.4;
+    /** Settling frequency at full load, GHz (paper: ~2.5). */
+    double max_ghz = 2.5;
+    /** Utilization where the fast ramp ends. */
+    double knee_util = 0.5;
+};
+
+/**
+ * Piecewise-linear powersave governor: fast ramp to the knee, slow
+ * creep to the settling frequency above it.
+ */
+class Governor
+{
+  public:
+    Governor() : Governor(GovernorParams{}) {}
+
+    explicit Governor(const GovernorParams &params);
+
+    /** Operating frequency at utilization @p u in [0, 1], GHz. */
+    double frequency(double u) const;
+
+    const GovernorParams &params() const { return params_; }
+
+  private:
+    GovernorParams params_;
+};
+
+} // namespace workload
+} // namespace h2p
+
+#endif // H2P_WORKLOAD_GOVERNOR_H_

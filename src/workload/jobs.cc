@@ -1,0 +1,159 @@
+#include "workload/jobs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace workload {
+
+std::vector<Job>
+generateJobs(const JobStreamParams &params, double duration_s, Rng &rng)
+{
+    expect(params.arrival_rate_hz > 0.0,
+           "arrival rate must be positive");
+    expect(params.duration_median_s > 0.0,
+           "duration median must be positive");
+    expect(params.demand_min > 0.0 &&
+               params.demand_max <= 1.0 &&
+               params.demand_min <= params.demand_max,
+           "demand range must satisfy 0 < min <= max <= 1");
+    expect(duration_s > 0.0, "stream duration must be positive");
+
+    std::vector<Job> jobs;
+    double t = 0.0;
+    double mu = std::log(params.duration_median_s);
+    while (true) {
+        t += rng.exponential(params.arrival_rate_hz);
+        if (t >= duration_s)
+            break;
+        Job job;
+        job.arrival_s = t;
+        job.duration_s =
+            std::exp(rng.normal(mu, params.duration_sigma));
+        job.demand =
+            rng.uniform(params.demand_min, params.demand_max);
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+std::string
+toString(JobPlacement placement)
+{
+    switch (placement) {
+      case JobPlacement::Random:
+        return "random";
+      case JobPlacement::LeastLoaded:
+        return "least-loaded";
+      case JobPlacement::FirstFit:
+        return "first-fit";
+    }
+    return "unknown";
+}
+
+JobSimResult
+simulateJobs(const std::vector<Job> &jobs, size_t num_servers,
+             JobPlacement placement, double duration_s, double dt_s,
+             Rng &rng)
+{
+    expect(num_servers >= 1, "need at least one server");
+    expect(duration_s > 0.0 && dt_s > 0.0,
+           "duration and dt must be positive");
+
+    // Departure events: (time, server, demand).
+    struct Departure
+    {
+        double time;
+        size_t server;
+        double demand;
+        bool operator>(const Departure &o) const
+        {
+            return time > o.time;
+        }
+    };
+    std::priority_queue<Departure, std::vector<Departure>,
+                        std::greater<Departure>>
+        departures;
+    std::vector<double> load(num_servers, 0.0);
+
+    size_t steps = static_cast<size_t>(std::ceil(duration_s / dt_s));
+    JobSimResult result{UtilizationTrace(num_servers, dt_s), 0};
+
+    auto drain = [&](double until) {
+        while (!departures.empty() &&
+               departures.top().time <= until) {
+            const Departure d = departures.top();
+            departures.pop();
+            load[d.server] =
+                std::max(0.0, load[d.server] - d.demand);
+        }
+    };
+
+    auto place = [&](const Job &job) -> bool {
+        size_t chosen = num_servers; // sentinel: nowhere
+        switch (placement) {
+          case JobPlacement::Random: {
+            // Up to a few probes for a server with room.
+            for (int probe = 0; probe < 16; ++probe) {
+                size_t s = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int>(num_servers) - 1));
+                if (load[s] + job.demand <= 1.0) {
+                    chosen = s;
+                    break;
+                }
+            }
+            break;
+          }
+          case JobPlacement::LeastLoaded: {
+            size_t best = 0;
+            for (size_t s = 1; s < num_servers; ++s) {
+                if (load[s] < load[best])
+                    best = s;
+            }
+            if (load[best] + job.demand <= 1.0)
+                chosen = best;
+            break;
+          }
+          case JobPlacement::FirstFit: {
+            for (size_t s = 0; s < num_servers; ++s) {
+                if (load[s] + job.demand <= 1.0) {
+                    chosen = s;
+                    break;
+                }
+            }
+            break;
+          }
+        }
+        if (chosen >= num_servers)
+            return false;
+        load[chosen] += job.demand;
+        departures.push(Departure{job.arrival_s + job.duration_s,
+                                  chosen, job.demand});
+        return true;
+    };
+
+    size_t next_job = 0;
+    for (size_t step = 0; step < steps; ++step) {
+        double step_end = dt_s * static_cast<double>(step + 1);
+        while (next_job < jobs.size() &&
+               jobs[next_job].arrival_s < step_end) {
+            const Job &job = jobs[next_job];
+            drain(job.arrival_s);
+            if (!place(job))
+                ++result.rejected;
+            ++next_job;
+        }
+        drain(step_end);
+        std::vector<double> snapshot(load);
+        for (double &u : snapshot)
+            u = std::min(1.0, u);
+        result.trace.addStep(std::move(snapshot));
+    }
+    return result;
+}
+
+} // namespace workload
+} // namespace h2p

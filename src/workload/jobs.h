@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Job-level workload model.
+ *
+ * The paper's "dynamic workload scheduling (i.e., workload
+ * balancing)" abstracts scheduling as smearing utilization numbers.
+ * Underneath, a cluster schedules *jobs*: they arrive, occupy CPU
+ * share on some server for a while, and leave. This module provides
+ * that substrate — a Poisson/lognormal job generator and a
+ * placement-driven cluster simulator that renders the resulting
+ * per-server utilization trace — so the balancing story can be told
+ * at the fidelity a real scheduler would face (jobs are atomic; you
+ * cannot put 0.31415 of a job on every server).
+ */
+
+#ifndef H2P_WORKLOAD_JOBS_H_
+#define H2P_WORKLOAD_JOBS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/trace.h"
+
+namespace h2p {
+namespace workload {
+
+/** One job. */
+struct Job
+{
+    /** Arrival time, seconds from trace start. */
+    double arrival_s = 0.0;
+    /** Runtime, seconds. */
+    double duration_s = 0.0;
+    /** CPU share it occupies on its server, fraction of one CPU. */
+    double demand = 0.0;
+};
+
+/** Statistical shape of the job stream. */
+struct JobStreamParams
+{
+    /** Mean arrivals per second, cluster-wide. */
+    double arrival_rate_hz = 0.05;
+    /** Lognormal duration: median, seconds. */
+    double duration_median_s = 1800.0;
+    /** Lognormal duration: sigma of the underlying normal. */
+    double duration_sigma = 0.8;
+    /** Per-job CPU demand range (uniform). */
+    double demand_min = 0.05;
+    double demand_max = 0.35;
+};
+
+/** Generate a job stream covering @p duration_s (sorted by arrival). */
+std::vector<Job> generateJobs(const JobStreamParams &params,
+                              double duration_s, Rng &rng);
+
+/** How the cluster picks a server for each arriving job. */
+enum class JobPlacement {
+    /** Uniformly random server with room. */
+    Random,
+    /** Least-loaded server (the balancing scheduler). */
+    LeastLoaded,
+    /** First server with room (the consolidating scheduler). */
+    FirstFit,
+};
+
+/** Human-readable placement name. */
+std::string toString(JobPlacement placement);
+
+/** Result of simulating a job stream onto a cluster. */
+struct JobSimResult
+{
+    /** Rendered per-server utilization trace. */
+    UtilizationTrace trace;
+    /** Jobs that could not be placed anywhere (capacity 1.0 full). */
+    size_t rejected = 0;
+};
+
+/**
+ * Simulate placement of @p jobs onto @p num_servers servers and
+ * render the per-server utilization at @p dt_s resolution.
+ *
+ * @param jobs Sorted job stream (from generateJobs).
+ * @param num_servers Cluster size.
+ * @param placement Scheduler policy.
+ * @param duration_s Rendered trace length, seconds.
+ * @param dt_s Sampling interval, seconds.
+ * @param rng Used by the Random policy.
+ */
+JobSimResult simulateJobs(const std::vector<Job> &jobs,
+                          size_t num_servers, JobPlacement placement,
+                          double duration_s, double dt_s, Rng &rng);
+
+} // namespace workload
+} // namespace h2p
+
+#endif // H2P_WORKLOAD_JOBS_H_

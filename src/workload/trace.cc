@@ -1,0 +1,104 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace workload {
+
+UtilizationTrace::UtilizationTrace(size_t num_servers, double dt_s)
+    : num_servers_(num_servers), dt_(dt_s)
+{
+    expect(num_servers >= 1, "trace needs at least one server");
+    expect(dt_s > 0.0, "trace interval must be positive");
+}
+
+void
+UtilizationTrace::addStep(std::vector<double> utils)
+{
+    expect(utils.size() == num_servers_, "trace step has ", utils.size(),
+           " entries; expected ", num_servers_);
+    for (double u : utils) {
+        expect(u >= 0.0 && u <= 1.0,
+               "trace utilization out of [0, 1]: ", u);
+    }
+    data_.push_back(std::move(utils));
+}
+
+double
+UtilizationTrace::util(size_t step, size_t server) const
+{
+    expect(step < data_.size(), "trace step ", step, " out of range");
+    expect(server < num_servers_, "server ", server, " out of range");
+    return data_[step][server];
+}
+
+const std::vector<double> &
+UtilizationTrace::step(size_t s) const
+{
+    expect(s < data_.size(), "trace step ", s, " out of range");
+    return data_[s];
+}
+
+double
+UtilizationTrace::meanAt(size_t s) const
+{
+    const auto &row = step(s);
+    double sum = 0.0;
+    for (double u : row)
+        sum += u;
+    return sum / static_cast<double>(row.size());
+}
+
+double
+UtilizationTrace::maxAt(size_t s) const
+{
+    const auto &row = step(s);
+    return *std::max_element(row.begin(), row.end());
+}
+
+double
+UtilizationTrace::overallMean() const
+{
+    if (data_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t s = 0; s < data_.size(); ++s)
+        sum += meanAt(s);
+    return sum / static_cast<double>(data_.size());
+}
+
+double
+UtilizationTrace::volatility() const
+{
+    if (data_.size() < 2)
+        return 0.0;
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t s = 1; s < data_.size(); ++s) {
+        for (size_t i = 0; i < num_servers_; ++i) {
+            sum += std::abs(data_[s][i] - data_[s - 1][i]);
+            ++count;
+        }
+    }
+    return sum / static_cast<double>(count);
+}
+
+UtilizationTrace
+UtilizationTrace::firstServers(size_t n) const
+{
+    expect(n >= 1 && n <= num_servers_,
+           "cannot slice ", n, " servers from a ", num_servers_,
+           "-server trace");
+    UtilizationTrace out(n, dt_);
+    for (const auto &row : data_) {
+        out.addStep(
+            std::vector<double>(row.begin(), row.begin() + n));
+    }
+    return out;
+}
+
+} // namespace workload
+} // namespace h2p

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Trace import/export in CSV form.
+ *
+ * Layout: one row per scheduling step, one column per server, values
+ * in [0, 1]. A header row names the servers (s0, s1, ...). This is
+ * the interchange format for users who do have the real Google or
+ * Alibaba traces: convert them to this matrix form and load them here
+ * to re-run the evaluation on real data.
+ */
+
+#ifndef H2P_WORKLOAD_TRACE_IO_H_
+#define H2P_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "workload/trace.h"
+
+namespace h2p {
+namespace workload {
+
+/** Write @p trace to @p path as a CSV matrix. */
+void saveTraceCsv(const UtilizationTrace &trace, const std::string &path);
+
+/**
+ * Load a trace from a CSV matrix written by saveTraceCsv (or converted
+ * from a real cluster trace). @p dt_s is the scheduling interval of
+ * the file.
+ */
+UtilizationTrace loadTraceCsv(const std::string &path, double dt_s);
+
+} // namespace workload
+} // namespace h2p
+
+#endif // H2P_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,71 @@
+#include "workload/trace_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace workload {
+
+TraceStats
+characterize(const UtilizationTrace &trace)
+{
+    expect(trace.numSteps() >= 2,
+           "trace characterization needs at least 2 steps");
+
+    TraceStats out;
+    stats::RunningStats all;
+    std::vector<double> samples;
+    samples.reserve(trace.numSteps() * trace.numServers());
+    for (size_t s = 0; s < trace.numSteps(); ++s) {
+        for (size_t i = 0; i < trace.numServers(); ++i) {
+            double u = trace.util(s, i);
+            all.add(u);
+            samples.push_back(u);
+        }
+    }
+    out.mean = all.mean();
+    out.stddev = all.stddev();
+    out.peak = all.max();
+    out.p95 = stats::percentile(samples, 95.0);
+    out.volatility = trace.volatility();
+
+    double burst_level = out.mean + 2.0 * out.stddev;
+    size_t bursts = 0;
+    for (double u : samples) {
+        if (u > burst_level)
+            ++bursts;
+    }
+    out.burst_fraction =
+        static_cast<double>(bursts) / static_cast<double>(samples.size());
+
+    // Mean lag-1 autocorrelation across servers.
+    double ac_sum = 0.0;
+    size_t ac_count = 0;
+    for (size_t i = 0; i < trace.numServers(); ++i) {
+        stats::RunningStats per;
+        for (size_t s = 0; s < trace.numSteps(); ++s)
+            per.add(trace.util(s, i));
+        double mu = per.mean();
+        double num = 0.0, den = 0.0;
+        for (size_t s = 0; s < trace.numSteps(); ++s) {
+            double d = trace.util(s, i) - mu;
+            den += d * d;
+            if (s + 1 < trace.numSteps())
+                num += d * (trace.util(s + 1, i) - mu);
+        }
+        if (den > 1e-12) {
+            ac_sum += num / den;
+            ++ac_count;
+        }
+    }
+    out.autocorr1 =
+        ac_count ? ac_sum / static_cast<double>(ac_count) : 0.0;
+    return out;
+}
+
+} // namespace workload
+} // namespace h2p

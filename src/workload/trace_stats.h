@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace characterization.
+ *
+ * The paper distinguishes its three trace classes qualitatively
+ * ("drastic and frequent fluctuations", "occasional high peaks",
+ * "very little fluctuations"). This module quantifies a trace so the
+ * classes are testable: moments, volatility, peakiness and the lag-1
+ * autocorrelation of the per-server series.
+ */
+
+#ifndef H2P_WORKLOAD_TRACE_STATS_H_
+#define H2P_WORKLOAD_TRACE_STATS_H_
+
+#include "workload/trace.h"
+
+namespace h2p {
+namespace workload {
+
+/** Summary statistics of a utilization trace. */
+struct TraceStats
+{
+    /** Grand mean utilization. */
+    double mean = 0.0;
+    /** Pooled per-sample standard deviation. */
+    double stddev = 0.0;
+    /** Mean absolute step-to-step change (volatility). */
+    double volatility = 0.0;
+    /** Largest single utilization sample. */
+    double peak = 0.0;
+    /** 95th percentile of all samples. */
+    double p95 = 0.0;
+    /**
+     * Fraction of samples above mean + 2 * stddev — the "occasional
+     * high peaks" signature of the irregular class.
+     */
+    double burst_fraction = 0.0;
+    /** Mean lag-1 autocorrelation of the per-server series. */
+    double autocorr1 = 0.0;
+};
+
+/** Compute the statistics of @p trace (needs >= 2 steps). */
+TraceStats characterize(const UtilizationTrace &trace);
+
+} // namespace workload
+} // namespace h2p
+
+#endif // H2P_WORKLOAD_TRACE_STATS_H_

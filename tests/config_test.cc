@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the configuration stack: the argument parser, the INI
+ * parser, and the H2PConfig binding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config_io.h"
+#include "sim/config.h"
+#include "util/args.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace {
+
+// ------------------------------------------------------------------ args
+
+TEST(ArgsTest, DefaultsApplyWhenUnset)
+{
+    ArgParser args("prog");
+    args.addString("name", "foo", "a name")
+        .addDouble("x", 2.5, "a number")
+        .addLong("n", 7, "a count")
+        .addFlag("fast", "go fast");
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(args.parse(1, argv));
+    EXPECT_EQ(args.getString("name"), "foo");
+    EXPECT_DOUBLE_EQ(args.getDouble("x"), 2.5);
+    EXPECT_EQ(args.getLong("n"), 7);
+    EXPECT_FALSE(args.getFlag("fast"));
+}
+
+TEST(ArgsTest, ParsesValuesAndFlags)
+{
+    ArgParser args("prog");
+    args.addString("name", "foo", "");
+    args.addDouble("x", 0.0, "");
+    args.addFlag("fast", "");
+    const char *argv[] = {"prog", "--name", "bar", "--x", "3.5",
+                          "--fast"};
+    ASSERT_TRUE(args.parse(6, argv));
+    EXPECT_EQ(args.getString("name"), "bar");
+    EXPECT_DOUBLE_EQ(args.getDouble("x"), 3.5);
+    EXPECT_TRUE(args.getFlag("fast"));
+}
+
+TEST(ArgsTest, HelpReturnsFalse)
+{
+    ArgParser args("prog");
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(args.parse(2, argv));
+}
+
+TEST(ArgsTest, RejectsUnknownAndMalformed)
+{
+    ArgParser args("prog");
+    args.addDouble("x", 0.0, "");
+    const char *bad_name[] = {"prog", "--y", "1"};
+    EXPECT_THROW(args.parse(3, bad_name), Error);
+    const char *bad_value[] = {"prog", "--x", "abc"};
+    EXPECT_THROW(args.parse(3, bad_value), Error);
+    const char *missing[] = {"prog", "--x"};
+    EXPECT_THROW(args.parse(2, missing), Error);
+    const char *positional[] = {"prog", "stray"};
+    EXPECT_THROW(args.parse(2, positional), Error);
+}
+
+TEST(ArgsTest, TypeMismatchAccessThrows)
+{
+    ArgParser args("prog");
+    args.addDouble("x", 1.0, "");
+    const char *argv[] = {"prog"};
+    args.parse(1, argv);
+    EXPECT_THROW(args.getString("x"), Error);
+    EXPECT_THROW(args.getDouble("missing"), Error);
+}
+
+TEST(ArgsTest, UsageListsOptions)
+{
+    ArgParser args("prog", "does things");
+    args.addLong("count", 3, "how many");
+    std::string u = args.usage();
+    EXPECT_NE(u.find("--count"), std::string::npos);
+    EXPECT_NE(u.find("how many"), std::string::npos);
+    EXPECT_NE(u.find("default: 3"), std::string::npos);
+}
+
+TEST(ArgsTest, RejectsDuplicateDeclaration)
+{
+    ArgParser args("prog");
+    args.addFlag("x", "");
+    EXPECT_THROW(args.addDouble("x", 1.0, ""), Error);
+}
+
+// ---------------------------------------------------------------- config
+
+TEST(ConfigTest, ParsesSectionsAndValues)
+{
+    std::stringstream ss(
+        "# comment\n[alpha]\nx = 1.5\nname = hello\n\n"
+        "[beta]\nn = 42\n");
+    sim::Config cfg = sim::Config::parse(ss);
+    EXPECT_TRUE(cfg.hasSection("alpha"));
+    EXPECT_DOUBLE_EQ(cfg.getDouble("alpha", "x"), 1.5);
+    EXPECT_EQ(cfg.getString("alpha", "name"), "hello");
+    EXPECT_EQ(cfg.getLong("beta", "n"), 42);
+    EXPECT_EQ(cfg.sections(),
+              (std::vector<std::string>{"alpha", "beta"}));
+    EXPECT_EQ(cfg.keys("alpha"),
+              (std::vector<std::string>{"name", "x"}));
+}
+
+TEST(ConfigTest, DefaultsWhenAbsent)
+{
+    std::stringstream ss("[s]\nk = 1\n");
+    sim::Config cfg = sim::Config::parse(ss);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("s", "missing", 9.0), 9.0);
+    EXPECT_EQ(cfg.getLong("other", "k", 5), 5);
+    EXPECT_EQ(cfg.getString("s", "missing", "d"), "d");
+}
+
+TEST(ConfigTest, ErrorsCarryContext)
+{
+    std::stringstream ss("[s]\nk = abc\n");
+    sim::Config cfg = sim::Config::parse(ss);
+    try {
+        cfg.getDouble("s", "k");
+        FAIL() << "expected an error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("[s] k"),
+                  std::string::npos);
+    }
+}
+
+TEST(ConfigTest, RejectsMalformedInput)
+{
+    std::stringstream no_section("k = 1\n");
+    EXPECT_THROW(sim::Config::parse(no_section), Error);
+    std::stringstream bad_header("[oops\nk = 1\n");
+    EXPECT_THROW(sim::Config::parse(bad_header), Error);
+    std::stringstream no_eq("[s]\njust text\n");
+    EXPECT_THROW(sim::Config::parse(no_eq), Error);
+}
+
+TEST(ConfigTest, RoundTripThroughWrite)
+{
+    sim::Config cfg;
+    cfg.set("a", "x", "1.25");
+    cfg.set("b", "y", "hello");
+    std::stringstream ss;
+    cfg.write(ss);
+    sim::Config back = sim::Config::parse(ss);
+    EXPECT_DOUBLE_EQ(back.getDouble("a", "x"), 1.25);
+    EXPECT_EQ(back.getString("b", "y"), "hello");
+}
+
+TEST(ConfigTest, LoadRejectsMissingFile)
+{
+    EXPECT_THROW(sim::Config::load("/nonexistent/h2p.ini"), Error);
+}
+
+// -------------------------------------------------------------- bindings
+
+TEST(ConfigIoTest, EmptyIniYieldsDefaults)
+{
+    sim::Config ini;
+    core::H2PConfig cfg = core::configFromIni(ini);
+    core::H2PConfig defaults;
+    EXPECT_EQ(cfg.datacenter.num_servers,
+              defaults.datacenter.num_servers);
+    EXPECT_DOUBLE_EQ(cfg.optimizer.t_safe_c,
+                     defaults.optimizer.t_safe_c);
+    EXPECT_DOUBLE_EQ(cfg.datacenter.server.teg.voc_slope,
+                     defaults.datacenter.server.teg.voc_slope);
+}
+
+TEST(ConfigIoTest, OverridesApply)
+{
+    std::stringstream ss(
+        "[datacenter]\nnum_servers = 64\ncold_source_c = 15\n"
+        "[optimizer]\nt_safe_c = 66\n"
+        "[teg]\nresistance_ohm = 2.5\n");
+    sim::Config ini = sim::Config::parse(ss);
+    core::H2PConfig cfg = core::configFromIni(ini);
+    EXPECT_EQ(cfg.datacenter.num_servers, 64u);
+    EXPECT_DOUBLE_EQ(cfg.datacenter.cold_source_c, 15.0);
+    EXPECT_DOUBLE_EQ(cfg.optimizer.t_safe_c, 66.0);
+    EXPECT_DOUBLE_EQ(cfg.datacenter.server.teg.resistance_ohm, 2.5);
+}
+
+TEST(ConfigIoTest, TraceRequestParsing)
+{
+    std::stringstream ss(
+        "[trace]\nprofile = irregular\nseed = 9\nservers = 32\n");
+    sim::Config ini = sim::Config::parse(ss);
+    core::TraceRequest req = core::traceRequestFromIni(ini);
+    EXPECT_EQ(req.profile, workload::TraceProfile::Irregular);
+    EXPECT_EQ(req.seed, 9u);
+    EXPECT_EQ(req.servers, 32u);
+    auto trace = core::makeTrace(req);
+    EXPECT_EQ(trace.numServers(), 32u);
+}
+
+TEST(ConfigIoTest, RejectsUnknownProfile)
+{
+    std::stringstream ss("[trace]\nprofile = bursty\n");
+    sim::Config ini = sim::Config::parse(ss);
+    EXPECT_THROW(core::traceRequestFromIni(ini), Error);
+}
+
+TEST(ConfigIoTest, ConfiguredSystemRuns)
+{
+    std::stringstream ss(
+        "[datacenter]\nnum_servers = 40\n"
+        "servers_per_circulation = 20\n"
+        "[trace]\nprofile = common\nservers = 40\n");
+    sim::Config ini = sim::Config::parse(ss);
+    core::H2PSystem sys(core::configFromIni(ini));
+    auto trace = core::makeTrace(core::traceRequestFromIni(ini));
+    auto r = sys.run(trace, sched::Policy::TegLoadBalance);
+    EXPECT_GT(r.summary.avg_teg_w, 2.0);
+}
+
+} // namespace
+} // namespace h2p

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the core module (H2PSystem, VirtualPrototype) and
+ * the sim recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/h2p_system.h"
+#include "core/prototype.h"
+#include "sim/recorder.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "workload/trace_gen.h"
+
+namespace h2p {
+namespace core {
+namespace {
+
+// -------------------------------------------------------------- recorder
+
+TEST(RecorderTest, RecordsAndRetrieves)
+{
+    sim::Recorder rec(300.0);
+    rec.record("x", 1.0);
+    rec.record("x", 2.0);
+    rec.record("y", 5.0);
+    EXPECT_TRUE(rec.has("x"));
+    EXPECT_FALSE(rec.has("z"));
+    EXPECT_EQ(rec.series("x").size(), 2u);
+    EXPECT_DOUBLE_EQ(rec.series("y").at(0), 5.0);
+    EXPECT_EQ(rec.channels(), (std::vector<std::string>{"x", "y"}));
+    EXPECT_THROW(rec.series("z"), Error);
+}
+
+TEST(RecorderTest, CsvExportBalancedChannels)
+{
+    sim::Recorder rec(10.0);
+    rec.record("a", 1.0);
+    rec.record("b", 2.0);
+    std::string path = testing::TempDir() + "/h2p_rec_test.csv";
+    rec.saveCsv(path);
+    CsvTable t = CsvTable::load(path);
+    EXPECT_EQ(t.numRows(), 1u);
+    EXPECT_EQ(t.numCols(), 3u); // time + 2 channels
+    std::remove(path.c_str());
+}
+
+TEST(RecorderTest, CsvExportRejectsRaggedChannels)
+{
+    sim::Recorder rec(10.0);
+    rec.record("a", 1.0);
+    rec.record("a", 2.0);
+    rec.record("b", 2.0);
+    EXPECT_THROW(rec.saveCsv("/tmp/never.csv"), Error);
+}
+
+// --------------------------------------------------------------- system
+
+class SystemFixture : public ::testing::Test
+{
+  protected:
+    SystemFixture()
+    {
+        cfg.datacenter.num_servers = 100;
+        cfg.datacenter.servers_per_circulation = 25;
+        sys = std::make_unique<H2PSystem>(cfg);
+        workload::TraceGenerator gen(99);
+        trace = std::make_unique<workload::UtilizationTrace>(
+            gen.generateProfile(workload::TraceProfile::Common, 100));
+    }
+    H2PConfig cfg;
+    std::unique_ptr<H2PSystem> sys;
+    std::unique_ptr<workload::UtilizationTrace> trace;
+};
+
+TEST_F(SystemFixture, SummaryConsistentWithRecorder)
+{
+    RunResult r = sys->run(*trace, sched::Policy::TegOriginal);
+    const auto &teg = r.recorder->series("teg_w_per_server");
+    EXPECT_NEAR(r.summary.avg_teg_w, teg.mean(), 1e-9);
+    EXPECT_NEAR(r.summary.peak_teg_w, teg.max(), 1e-9);
+    EXPECT_EQ(teg.size(), trace->numSteps());
+}
+
+TEST_F(SystemFixture, PreIsEnergyRatio)
+{
+    RunResult r = sys->run(*trace, sched::Policy::TegLoadBalance);
+    EXPECT_NEAR(r.summary.pre,
+                r.summary.teg_energy_kwh / r.summary.cpu_energy_kwh,
+                1e-9);
+    // Paper band: PRE between ~10 % and ~17 %.
+    EXPECT_GT(r.summary.pre, 0.08);
+    EXPECT_LT(r.summary.pre, 0.20);
+}
+
+TEST_F(SystemFixture, LoadBalanceBeatsOriginal)
+{
+    RunResult orig = sys->run(*trace, sched::Policy::TegOriginal);
+    RunResult lb = sys->run(*trace, sched::Policy::TegLoadBalance);
+    EXPECT_GT(lb.summary.avg_teg_w, orig.summary.avg_teg_w);
+    EXPECT_GT(lb.summary.avg_t_in_c, orig.summary.avg_t_in_c);
+}
+
+TEST_F(SystemFixture, AverageTegPowerInPaperBand)
+{
+    // Paper Fig. 14: ~3.5-4.4 W per CPU averaged over a trace.
+    RunResult lb = sys->run(*trace, sched::Policy::TegLoadBalance);
+    EXPECT_GT(lb.summary.avg_teg_w, 3.0);
+    EXPECT_LT(lb.summary.avg_teg_w, 5.0);
+}
+
+TEST_F(SystemFixture, EveryIntervalStaysSafe)
+{
+    RunResult r = sys->run(*trace, sched::Policy::TegLoadBalance);
+    EXPECT_DOUBLE_EQ(r.summary.safe_fraction, 1.0);
+    EXPECT_LT(r.recorder->series("max_die_c").max(), 78.9);
+}
+
+TEST_F(SystemFixture, EvaluateStepMatchesRunChannels)
+{
+    std::vector<double> utils(100, 0.4);
+    cluster::DatacenterState st =
+        sys->evaluateStep(utils, sched::Policy::TegOriginal);
+    EXPECT_GT(st.teg_power_w, 0.0);
+    EXPECT_GT(st.cpu_power_w, 0.0);
+    EXPECT_TRUE(st.all_safe);
+}
+
+TEST_F(SystemFixture, RejectsUndersizedTrace)
+{
+    workload::UtilizationTrace tiny(10, 300.0);
+    tiny.addStep(std::vector<double>(10, 0.5));
+    EXPECT_THROW(sys->run(tiny, sched::Policy::TegOriginal), Error);
+}
+
+TEST_F(SystemFixture, OversizedTraceIsSliced)
+{
+    workload::TraceGenerator gen(3);
+    auto big = gen.generate(workload::TraceGenParams{}, 150, 1800.0);
+    RunResult r = sys->run(big, sched::Policy::TegOriginal);
+    EXPECT_EQ(r.recorder->series("teg_w_per_server").size(),
+              big.numSteps());
+}
+
+// ------------------------------------------------------------- prototype
+
+TEST(PrototypeTest, VocMeasurementMatchesModule)
+{
+    VirtualPrototype proto;
+    thermal::TegModule module(6, proto.params().server.teg);
+    EXPECT_NEAR(proto.measureVoc(6, 15.0, 20.0),
+                module.openCircuitVoltage(15.0, 20.0), 1e-9);
+}
+
+TEST(PrototypeTest, PowerMeasurementMatchesEq7)
+{
+    VirtualPrototype proto;
+    thermal::TegModule module(12, proto.params().server.teg);
+    EXPECT_NEAR(proto.measureModulePower(12, 20.0),
+                module.maxPower(20.0), 1e-9);
+}
+
+TEST(PrototypeTest, CpuMeasurementFields)
+{
+    VirtualPrototype proto;
+    CpuMeasurement m = proto.measureCpu(0.5, 20.0, 40.0);
+    EXPECT_DOUBLE_EQ(m.util, 0.5);
+    EXPECT_NEAR(m.delta_out_in_c, m.t_out_c - m.t_in_c, 1e-12);
+    EXPECT_GT(m.t_cpu_c, m.t_in_c);
+    EXPECT_GT(m.freq_ghz, 1.0);
+    EXPECT_GT(m.power_w, 0.0);
+}
+
+TEST(PrototypeTest, NoiseIsSeededAndReproducible)
+{
+    PrototypeParams p;
+    p.voltage_noise_v = 0.01;
+    p.seed = 7;
+    VirtualPrototype a(p), b(p);
+    EXPECT_DOUBLE_EQ(a.measureVoc(6, 15.0, 20.0),
+                     b.measureVoc(6, 15.0, 20.0));
+}
+
+TEST(PrototypeTest, Fig3Cpu0ApproachesMaxAt20Percent)
+{
+    VirtualPrototype proto;
+    auto samples = proto.runTegConductance();
+    ASSERT_FALSE(samples.empty());
+    // Locate the end of the 20 % phase (third of four phases).
+    size_t per_phase = samples.size() / 4;
+    const auto &end20 = samples[3 * per_phase - 1];
+    // CPU0 (TEG in the stack) climbs near the 78.9 C maximum...
+    EXPECT_GT(end20.cpu0_c, 70.0);
+    EXPECT_LT(end20.cpu0_c, 78.9);
+    // ... while CPU1 and the coolant stay cool and stable (Fig. 3).
+    EXPECT_LT(end20.cpu1_c, 40.0);
+    EXPECT_NEAR(end20.coolant_c, proto.params().testbed_coolant_c,
+                0.5);
+    // The voltage tracks CPU0's gradient.
+    EXPECT_GT(end20.voc_v, 1.0);
+}
+
+TEST(PrototypeTest, Fig3RecoversAfterLoadRemoved)
+{
+    VirtualPrototype proto;
+    auto samples = proto.runTegConductance();
+    size_t per_phase = samples.size() / 4;
+    const auto &end20 = samples[3 * per_phase - 1];
+    const auto &end_idle = samples.back();
+    EXPECT_LT(end_idle.cpu0_c, end20.cpu0_c - 10.0);
+}
+
+TEST(PrototypeTest, Fig3VoltageFollowsCpu0)
+{
+    VirtualPrototype proto;
+    auto samples = proto.runTegConductance();
+    size_t per_phase = samples.size() / 4;
+    double v_idle = samples[per_phase - 1].voc_v;
+    double v_20 = samples[3 * per_phase - 1].voc_v;
+    EXPECT_GT(v_20, v_idle);
+}
+
+TEST(PrototypeTest, RejectsBadProtocol)
+{
+    VirtualPrototype proto;
+    EXPECT_THROW(proto.runTegConductance({}, 750.0, 10.0), Error);
+    EXPECT_THROW(proto.runTegConductance({0.1}, 0.0, 10.0), Error);
+}
+
+} // namespace
+} // namespace core
+} // namespace h2p

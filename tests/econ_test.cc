@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the econ module: PRE/ERE/PUE metrics and the TCO
+ * model, pinned to the paper's published numbers (Sec. V-C/V-D,
+ * Table I).
+ */
+
+#include <gtest/gtest.h>
+
+#include "econ/metrics.h"
+#include "econ/tco.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace econ {
+namespace {
+
+// --------------------------------------------------------------- metrics
+
+TEST(MetricsTest, PreIsSimpleRatio)
+{
+    // Eq. 19 at the paper's averages: 4.177 W TEG on ~29.4 W CPU
+    // gives ~14.2 % (the reported average PRE).
+    EXPECT_NEAR(pre(4.177, 29.35), 0.1423, 0.0005);
+    EXPECT_THROW(pre(-1.0, 10.0), Error);
+    EXPECT_THROW(pre(1.0, 0.0), Error);
+}
+
+TEST(MetricsTest, EreBelowOneWithEnoughReuse)
+{
+    EnergyBreakdown e;
+    e.it = 100.0;
+    e.cooling = 10.0;
+    e.power_distribution = 5.0;
+    e.lighting = 1.0;
+    e.reused = 20.0;
+    EXPECT_NEAR(ere(e), 0.96, 1e-12);
+    EXPECT_NEAR(pue(e), 1.16, 1e-12);
+}
+
+TEST(MetricsTest, EreEqualsPueWithoutReuse)
+{
+    EnergyBreakdown e;
+    e.it = 50.0;
+    e.cooling = 10.0;
+    EXPECT_DOUBLE_EQ(ere(e), pue(e));
+}
+
+TEST(MetricsTest, RejectsZeroIt)
+{
+    EnergyBreakdown e;
+    EXPECT_THROW(ere(e), Error);
+    EXPECT_THROW(pue(e), Error);
+}
+
+// ------------------------------------------------------------------- TCO
+
+TEST(TcoTest, BaselineMatchesTableI)
+{
+    TcoModel tco;
+    // 21.26 + 31.25 + 7.63 + 1.56 = 61.70 USD/(server x month).
+    EXPECT_NEAR(tco.tcoNoTeg(), 61.70, 1e-9);
+}
+
+TEST(TcoTest, TegCapexMatchesTableI)
+{
+    // 12 TEGs x $1 over 25 years = 0.04 USD/(server x month).
+    TcoModel tco;
+    EXPECT_NEAR(tco.tegCapexPerServerMonth(), 0.04, 1e-9);
+}
+
+TEST(TcoTest, TegRevMatchesTableI)
+{
+    TcoModel tco;
+    // TEG_Original: 3.694 W -> ~0.34; TEG_LoadBalance: 4.177 W ->
+    // ~0.39 USD/(server x month) at 13 cents/kWh.
+    EXPECT_NEAR(tco.tegRevPerServerMonth(3.694), 0.34, 0.012);
+    EXPECT_NEAR(tco.tegRevPerServerMonth(4.177), 0.39, 0.012);
+}
+
+TEST(TcoTest, ReductionsMatchPaper)
+{
+    TcoModel tco;
+    // Paper: TEG_Original reduces TCO by 0.49 %, TEG_LoadBalance by
+    // 0.57 %.
+    EXPECT_NEAR(tco.compare(3.694).reduction_pct, 0.49, 0.03);
+    EXPECT_NEAR(tco.compare(4.177).reduction_pct, 0.57, 0.03);
+}
+
+TEST(TcoTest, Eq22Composition)
+{
+    TcoModel tco;
+    TcoResult r = tco.compare(4.0);
+    EXPECT_NEAR(r.tco_h2p, r.tco_no_teg + r.teg_capex - r.teg_rev,
+                1e-12);
+}
+
+TEST(TcoTest, BreakEvenNear920Days)
+{
+    TcoModel tco;
+    // Paper Sec. V-D: $1.2M of TEGs on 100k CPUs paid back by
+    // $1,303.2/day -> 920 days. Per server the math is identical.
+    EXPECT_NEAR(tco.breakEvenDays(4.177), 920.0, 5.0);
+}
+
+TEST(TcoTest, DailyGenerationMatchesPaper)
+{
+    TcoModel tco;
+    // 4.177 W x 100,000 CPUs x 24 h = 10,024.8 kWh/day.
+    EXPECT_NEAR(tco.dailyGenerationKwh(4.177, 100000), 10024.8, 0.1);
+}
+
+TEST(TcoTest, AnnualSavingsInPaperRange)
+{
+    TcoModel tco;
+    // Paper: $350,000 - $410,000+ per year for 100,000 CPUs.
+    double orig = tco.annualSavingsUsd(3.694, 100000);
+    double lb = tco.annualSavingsUsd(4.177, 100000);
+    EXPECT_GT(orig, 330000.0);
+    EXPECT_LT(orig, 400000.0);
+    EXPECT_GT(lb, 380000.0);
+    EXPECT_LT(lb, 460000.0);
+    EXPECT_GT(lb, orig);
+}
+
+TEST(TcoTest, ZeroPowerMeansNetLoss)
+{
+    TcoModel tco;
+    TcoResult r = tco.compare(0.0);
+    EXPECT_LT(r.reduction_pct, 0.0); // CapEx with no revenue
+}
+
+TEST(TcoTest, RejectsBadInput)
+{
+    TcoModel tco;
+    EXPECT_THROW(tco.tegRevPerServerMonth(-1.0), Error);
+    EXPECT_THROW(tco.breakEvenDays(0.0), Error);
+    TcoParams p;
+    p.teg_lifespan_years = 0.0;
+    EXPECT_THROW(TcoModel{p}, Error);
+}
+
+/** Parameterized: TCO reduction grows monotonically with TEG output. */
+class TcoMonotonicTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TcoMonotonicTest, MoreGenerationMoreReduction)
+{
+    TcoModel tco;
+    double w = GetParam();
+    EXPECT_GT(tco.compare(w + 0.5).reduction_pct,
+              tco.compare(w).reduction_pct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TcoMonotonicTest,
+                         ::testing::Values(0.0, 1.0, 2.0, 3.0, 4.0,
+                                           5.0, 8.0));
+
+} // namespace
+} // namespace econ
+} // namespace h2p

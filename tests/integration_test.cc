@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Cross-module integration tests: the full evaluation pipeline
+ * (Sec. V-C), the paper's headline claims as end-to-end assertions,
+ * and the closing of the measurement-fit loop (simulated prototype
+ * measurements re-produce the published device fits).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/h2p_system.h"
+#include "core/prototype.h"
+#include "econ/tco.h"
+#include "sched/circulation_design.h"
+#include "stats/regression.h"
+#include "storage/hybrid_buffer.h"
+#include "workload/trace_gen.h"
+
+namespace h2p {
+namespace {
+
+/** Shared small-cluster system so the suite stays fast. */
+class PipelineTest : public ::testing::Test
+{
+  protected:
+    static core::H2PSystem &system()
+    {
+        static core::H2PSystem *sys = [] {
+            core::H2PConfig cfg;
+            cfg.datacenter.num_servers = 200;
+            cfg.datacenter.servers_per_circulation = 50;
+            return new core::H2PSystem(cfg);
+        }();
+        return *sys;
+    }
+
+    static workload::UtilizationTrace
+    trace(workload::TraceProfile profile)
+    {
+        workload::TraceGenerator gen(2020);
+        return gen.generateProfile(profile, 200);
+    }
+};
+
+TEST_F(PipelineTest, LoadBalanceImprovesAllThreeTraces)
+{
+    // The paper's central evaluation claim: workload balancing
+    // raises the generated power on every trace class (avg +13 %).
+    for (auto prof : {workload::TraceProfile::Drastic,
+                      workload::TraceProfile::Irregular,
+                      workload::TraceProfile::Common}) {
+        auto t = trace(prof);
+        auto orig = system().run(t, sched::Policy::TegOriginal);
+        auto lb = system().run(t, sched::Policy::TegLoadBalance);
+        EXPECT_GT(lb.summary.avg_teg_w, orig.summary.avg_teg_w)
+            << toString(prof);
+        double gain =
+            lb.summary.avg_teg_w / orig.summary.avg_teg_w - 1.0;
+        EXPECT_GT(gain, 0.02) << toString(prof);
+        EXPECT_LT(gain, 0.40) << toString(prof);
+    }
+}
+
+TEST_F(PipelineTest, AveragePowerNearPaperHeadline)
+{
+    // Paper: TEG_LoadBalance generates 4.177 W per CPU on average
+    // across the three traces. Our simulator must land within ~15 %.
+    double sum = 0.0;
+    for (auto prof : {workload::TraceProfile::Drastic,
+                      workload::TraceProfile::Irregular,
+                      workload::TraceProfile::Common}) {
+        sum += system()
+                   .run(trace(prof), sched::Policy::TegLoadBalance)
+                   .summary.avg_teg_w;
+    }
+    EXPECT_NEAR(sum / 3.0, 4.177, 0.65);
+}
+
+TEST_F(PipelineTest, PreNearPaperAverage)
+{
+    // Paper: average PRE of TEG_LoadBalance is 14.23 %.
+    double sum = 0.0;
+    for (auto prof : {workload::TraceProfile::Drastic,
+                      workload::TraceProfile::Irregular,
+                      workload::TraceProfile::Common}) {
+        sum += system()
+                   .run(trace(prof), sched::Policy::TegLoadBalance)
+                   .summary.pre;
+    }
+    EXPECT_NEAR(sum / 3.0, 0.1423, 0.035);
+}
+
+TEST_F(PipelineTest, PowerAnticorrelatesWithUtilization)
+{
+    // Fig. 14a: when utilization is high the generated power is low.
+    auto r = system().run(trace(workload::TraceProfile::Drastic),
+                          sched::Policy::TegOriginal);
+    const auto &teg = r.recorder->series("teg_w_per_server");
+    const auto &umax = r.recorder->series("util_max");
+    double mt = teg.mean(), mu = umax.mean();
+    double cov = 0.0, vt = 0.0, vu = 0.0;
+    for (size_t i = 0; i < teg.size(); ++i) {
+        double a = teg.at(i) - mt, b = umax.at(i) - mu;
+        cov += a * b;
+        vt += a * a;
+        vu += b * b;
+    }
+    double corr = cov / std::sqrt(vt * vu);
+    EXPECT_LT(corr, -0.5);
+}
+
+TEST_F(PipelineTest, SafetyNeverViolated)
+{
+    for (auto policy : {sched::Policy::TegOriginal,
+                        sched::Policy::TegLoadBalance}) {
+        auto r = system().run(trace(workload::TraceProfile::Drastic),
+                              policy);
+        EXPECT_DOUBLE_EQ(r.summary.safe_fraction, 1.0);
+    }
+}
+
+TEST_F(PipelineTest, EndToEndTcoReduction)
+{
+    // Chain the trace-driven power into the TCO model and verify the
+    // headline "TCO reduced by up to ~0.6 %".
+    auto lb = system().run(trace(workload::TraceProfile::Drastic),
+                           sched::Policy::TegLoadBalance);
+    econ::TcoModel tco;
+    double pct = tco.compare(lb.summary.avg_teg_w).reduction_pct;
+    EXPECT_GT(pct, 0.40);
+    EXPECT_LT(pct, 0.70);
+}
+
+TEST_F(PipelineTest, BufferSmoothsTegOutputForLedLoad)
+{
+    // Sec. VI-B/VI-C2 end to end: feed the recorded TEG series into
+    // the hybrid buffer against a constant LED load equal to the
+    // series mean; the buffer must serve nearly all of it.
+    auto r = system().run(trace(workload::TraceProfile::Irregular),
+                          sched::Policy::TegLoadBalance);
+    const auto &teg = r.recorder->series("teg_w_per_server");
+    double demand = teg.mean() * 0.95;
+    storage::HybridBuffer buffer;
+    double served = 0.0, total = 0.0;
+    for (size_t i = 0; i < teg.size(); ++i) {
+        auto f = buffer.step(teg.at(i), demand, teg.dt());
+        served += f.direct_w + f.served_w;
+        total += demand;
+    }
+    EXPECT_GT(served / total, 0.97);
+}
+
+// ------------------------------------------- closing the fit loop
+
+TEST(FitLoopTest, SimulatedVocMeasurementsReproduceEq3)
+{
+    // Run the Fig. 8a protocol on the virtual prototype with
+    // realistic measurement noise, fit a line, and recover the
+    // paper's published coefficients.
+    core::PrototypeParams pp;
+    pp.voltage_noise_v = 0.02;
+    core::VirtualPrototype proto(pp);
+    std::vector<double> dts, vs;
+    for (double dt = 1.0; dt <= 25.0; dt += 0.5) {
+        dts.push_back(dt);
+        // Single-device voltage = module voltage / 6.
+        vs.push_back(proto.measureVoc(6, dt, 200.0) / 6.0);
+    }
+    auto fit = stats::fitLinear(dts, vs);
+    EXPECT_NEAR(fit.slope, 0.0448, 0.002);
+    EXPECT_NEAR(fit.intercept, -0.0051, 0.02);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitLoopTest, SimulatedPowerMeasurementsReproduceEq6)
+{
+    core::VirtualPrototype proto;
+    std::vector<double> dts, ps;
+    for (double dt = 2.0; dt <= 25.0; dt += 1.0) {
+        dts.push_back(dt);
+        ps.push_back(proto.measureModulePower(1, dt));
+    }
+    auto fit = stats::fitQuadratic(dts, ps);
+    EXPECT_NEAR(fit.a, 0.0003, 2e-5);
+    EXPECT_NEAR(fit.b, -0.0003, 3e-4);
+}
+
+TEST(FitLoopTest, SimulatedCpuPowerReproducesEq20)
+{
+    core::VirtualPrototype proto;
+    std::vector<double> us, ps;
+    for (double u = 0.0; u <= 1.0; u += 0.1) {
+        us.push_back(u);
+        ps.push_back(proto.measureCpu(u, 20.0, 40.0).power_w);
+    }
+    auto fit = stats::fitLogShifted(us, ps, 1.17);
+    EXPECT_NEAR(fit.slope, 109.71, 0.01);
+    EXPECT_NEAR(fit.intercept, -7.83, 0.01);
+}
+
+TEST(FitLoopTest, MeasuredSlopeKWithinPaperBand)
+{
+    // Fit T_CPU vs T_in at fixed flow/util, as the paper does in
+    // Fig. 11, and check k lands in [1, 1.3].
+    core::VirtualPrototype proto;
+    for (double f : {20.0, 50.0, 250.0}) {
+        std::vector<double> tins, tcpus;
+        for (double t = 30.0; t <= 50.0; t += 2.0) {
+            tins.push_back(t);
+            tcpus.push_back(proto.measureCpu(1.0, f, t).t_cpu_c);
+        }
+        auto fit = stats::fitLinear(tins, tcpus);
+        EXPECT_GE(fit.slope, 1.0) << "flow " << f;
+        EXPECT_LE(fit.slope, 1.3) << "flow " << f;
+    }
+}
+
+// ----------------------------------- design + economics integration
+
+TEST(DesignEconTest, WarmDesignReducesChillerEnergy)
+{
+    // Smaller loops need less chiller duty; the designer's energy
+    // column must reflect the order-statistics effect end to end.
+    sched::CirculationDesignParams p;
+    p.cpu_temp_mu_c = 60.0;
+    p.t_safe_c = 62.0;
+    sched::CirculationDesigner designer(p);
+    auto small = designer.evaluate(5);
+    auto large = designer.evaluate(500);
+    // chiller_energy_kwh is the cluster-wide total; smaller loops
+    // need a smaller expected supply reduction, hence less energy.
+    EXPECT_LT(small.chiller_energy_kwh, large.chiller_energy_kwh);
+    EXPECT_LT(small.expected_delta_t_c, large.expected_delta_t_c);
+}
+
+} // namespace
+} // namespace h2p

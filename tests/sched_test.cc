@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Unit tests for the sched module: look-up space (Fig. 12), cooling
+ * optimizer (Sec. V-B Steps 1-3), balancers, scheduler and the
+ * circulation designer (Sec. V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/datacenter.h"
+#include "sched/circulation_design.h"
+#include "sched/cooling_optimizer.h"
+#include "sched/load_balancer.h"
+#include "sched/lookup_space.h"
+#include "sched/scheduler.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace sched {
+namespace {
+
+cluster::Server
+defaultServer()
+{
+    return cluster::Server{};
+}
+
+// ---------------------------------------------------------- lookup space
+
+TEST(LookupSpaceTest, InterpolationCloseToDirectModel)
+{
+    cluster::Server server = defaultServer();
+    LookupSpace space(server);
+    const auto &thermal = server.thermalModel();
+    const auto &power = server.powerModel();
+    // Probe off-grid points; the model is near-linear so trilinear
+    // interpolation must be accurate.
+    for (double u : {0.13, 0.42, 0.77}) {
+        for (double f : {17.0, 55.0, 93.0}) {
+            for (double t : {23.0, 38.5, 52.0}) {
+                double direct =
+                    thermal.dieTemperature(power.power(u), f, t);
+                EXPECT_NEAR(space.cpuTemp(u, f, t), direct, 0.6)
+                    << "u=" << u << " f=" << f << " t=" << t;
+            }
+        }
+    }
+}
+
+TEST(LookupSpaceTest, ExactOnGridPoints)
+{
+    cluster::Server server = defaultServer();
+    LookupSpaceParams p;
+    LookupSpace space(server, p);
+    double u = 0.5, f = 55.0, t = 40.0; // all on-grid coordinates
+    double direct = server.thermalModel().dieTemperature(
+        server.powerModel().power(u), f, t);
+    EXPECT_NEAR(space.cpuTemp(u, f, t), direct, 1e-9);
+}
+
+TEST(LookupSpaceTest, SliceEnumeratesFullPlane)
+{
+    LookupSpace space(defaultServer());
+    auto pts = space.slice(0.4);
+    EXPECT_EQ(pts.size(), space.params().flow_points *
+                              space.params().tin_points);
+    for (const auto &p : pts)
+        EXPECT_DOUBLE_EQ(p.util, 0.4);
+}
+
+TEST(LookupSpaceTest, NumPointsMatchesAxes)
+{
+    LookupSpaceParams p;
+    p.util_points = 5;
+    p.flow_points = 4;
+    p.tin_points = 3;
+    LookupSpace space(defaultServer(), p);
+    EXPECT_EQ(space.numPoints(), 60u);
+}
+
+TEST(LookupSpaceTest, OutletTempAboveInlet)
+{
+    LookupSpace space(defaultServer());
+    for (const auto &p : space.slice(0.6))
+        EXPECT_GT(p.t_out_c, p.t_in_c);
+}
+
+TEST(LookupSpaceTest, RejectsDegenerateAxes)
+{
+    LookupSpaceParams p;
+    p.flow_points = 1;
+    EXPECT_THROW(LookupSpace(defaultServer(), p), Error);
+}
+
+// ------------------------------------------------------------- optimizer
+
+struct OptFixture : ::testing::Test
+{
+    OptFixture()
+        : server(), space(server), teg(12), opt(space, teg)
+    {
+    }
+    cluster::Server server;
+    LookupSpace space;
+    thermal::TegModule teg;
+    CoolingOptimizer opt;
+};
+
+TEST_F(OptFixture, ChosenSettingKeepsCpuNearTsafe)
+{
+    OptimizerResult r = opt.choose(0.5);
+    EXPECT_LE(r.t_cpu_c,
+              opt.params().t_safe_c + opt.params().band_c + 1e-9);
+}
+
+TEST_F(OptFixture, ChoiceIsArgmaxOverCandidates)
+{
+    double plan = 0.45;
+    OptimizerResult r = opt.choose(plan);
+    for (const auto &p : opt.candidateSet(plan)) {
+        double power = teg.powerFromTemps(
+            p.t_out_c, opt.params().cold_source_c, p.flow_lph);
+        EXPECT_LE(power, r.teg_power_w + 1e-9);
+    }
+}
+
+TEST_F(OptFixture, HigherPlanUtilGivesColderInlet)
+{
+    // The hotter the planned workload, the colder the inlet water
+    // must be (Fig. 14's anticorrelation).
+    double prev = 1e9;
+    for (double u : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        OptimizerResult r = opt.choose(u);
+        EXPECT_LE(r.setting.t_in_c, prev + 1e-9) << "u=" << u;
+        prev = r.setting.t_in_c;
+    }
+}
+
+TEST_F(OptFixture, HigherPlanUtilGivesLessTegPower)
+{
+    double p_low = opt.choose(0.1).teg_power_w;
+    double p_high = opt.choose(0.9).teg_power_w;
+    EXPECT_GT(p_low, p_high);
+}
+
+TEST_F(OptFixture, TegPowerScaleMatchesPaper)
+{
+    // The paper's per-CPU module output is ~3-4.6 W across the
+    // whole evaluation; the optimizer must land in that band.
+    for (double u : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+        OptimizerResult r = opt.choose(u);
+        EXPECT_GT(r.teg_power_w, 2.0) << "u=" << u;
+        EXPECT_LT(r.teg_power_w, 5.0) << "u=" << u;
+    }
+}
+
+TEST_F(OptFixture, CandidateSetRespectsBand)
+{
+    for (const auto &p : opt.candidateSet(0.5)) {
+        EXPECT_NEAR(p.t_cpu_c, opt.params().t_safe_c,
+                    opt.params().band_c + 1e-9);
+    }
+}
+
+TEST_F(OptFixture, FallbackWhenBandUnreachable)
+{
+    // With a T_safe far above anything reachable the band is empty;
+    // the optimizer must still return a (safe) setting.
+    OptimizerParams pp;
+    pp.t_safe_c = 200.0;
+    CoolingOptimizer opt2(space, teg, pp);
+    OptimizerResult r = opt2.choose(0.5);
+    EXPECT_TRUE(r.fallback);
+    EXPECT_EQ(r.candidates, 0u);
+    // Empty band with everything "safe": pick warmest -> highest
+    // power; it must equal the global max over the slice.
+    double best = 0.0;
+    for (const auto &p : space.slice(0.5)) {
+        best = std::max(best, teg.powerFromTemps(p.t_out_c, 20.0,
+                                                 p.flow_lph));
+    }
+    EXPECT_NEAR(r.teg_power_w, best, 1e-9);
+}
+
+TEST_F(OptFixture, MaxCoolingWhenNothingSafe)
+{
+    OptimizerParams pp;
+    pp.t_safe_c = 21.0; // nothing reaches down to 21 C
+    pp.band_c = 0.1;
+    CoolingOptimizer opt2(space, teg, pp);
+    OptimizerResult r = opt2.choose(1.0);
+    EXPECT_TRUE(r.fallback);
+    // Must pick the coldest achievable die temperature.
+    double coldest = 1e9;
+    for (const auto &p : space.slice(1.0))
+        coldest = std::min(coldest, p.t_cpu_c);
+    EXPECT_NEAR(r.t_cpu_c, coldest, 1e-9);
+}
+
+TEST_F(OptFixture, RejectsOutOfRangePlanUtil)
+{
+    EXPECT_THROW(opt.choose(-0.1), Error);
+    EXPECT_THROW(opt.choose(1.1), Error);
+}
+
+// -------------------------------------------------------------- balancer
+
+TEST(BalancerTest, PerfectBalancePreservesWork)
+{
+    std::vector<double> utils{0.1, 0.9, 0.2, 0.6};
+    auto b = balancePerfect(utils);
+    EXPECT_DOUBLE_EQ(meanUtil(b), meanUtil(utils));
+    for (double u : b)
+        EXPECT_DOUBLE_EQ(u, 0.45);
+}
+
+TEST(BalancerTest, MaxAndMeanHelpers)
+{
+    std::vector<double> utils{0.1, 0.9, 0.2};
+    EXPECT_DOUBLE_EQ(maxUtil(utils), 0.9);
+    EXPECT_NEAR(meanUtil(utils), 0.4, 1e-12);
+    EXPECT_THROW(maxUtil({}), Error);
+}
+
+TEST(BalancerTest, LimitedBalancePreservesWork)
+{
+    std::vector<double> utils{0.1, 0.9, 0.2, 0.6};
+    auto b = balanceLimited(utils, 0.1);
+    EXPECT_NEAR(meanUtil(b), meanUtil(utils), 1e-12);
+}
+
+TEST(BalancerTest, LimitedBalanceRespectsCap)
+{
+    std::vector<double> utils{0.1, 0.9};
+    auto b = balanceLimited(utils, 0.1);
+    EXPECT_NEAR(b[1], 0.8, 1e-12); // shed exactly the cap
+    EXPECT_NEAR(b[0], 0.2, 1e-12);
+}
+
+TEST(BalancerTest, LargeCapEqualsPerfect)
+{
+    std::vector<double> utils{0.1, 0.9, 0.3};
+    auto b = balanceLimited(utils, 1.0);
+    for (double u : b)
+        EXPECT_NEAR(u, meanUtil(utils), 1e-12);
+}
+
+TEST(BalancerTest, LimitedReducesSpread)
+{
+    std::vector<double> utils{0.05, 0.95, 0.5, 0.3};
+    auto b = balanceLimited(utils, 0.15);
+    EXPECT_LT(maxUtil(b), maxUtil(utils));
+}
+
+// -------------------------------------------------------------- scheduler
+
+struct SchedFixture : ::testing::Test
+{
+    SchedFixture()
+    {
+        params.num_servers = 8;
+        params.servers_per_circulation = 4;
+        dc = std::make_unique<cluster::Datacenter>(params);
+        server = std::make_unique<cluster::Server>(params.server);
+        space = std::make_unique<LookupSpace>(*server);
+        teg = std::make_unique<thermal::TegModule>(12);
+        opt = std::make_unique<CoolingOptimizer>(*space, *teg);
+    }
+    cluster::DatacenterParams params;
+    std::unique_ptr<cluster::Datacenter> dc;
+    std::unique_ptr<cluster::Server> server;
+    std::unique_ptr<LookupSpace> space;
+    std::unique_ptr<thermal::TegModule> teg;
+    std::unique_ptr<CoolingOptimizer> opt;
+};
+
+TEST_F(SchedFixture, OriginalKeepsUtilsUnchanged)
+{
+    Scheduler s(*dc, *opt, Policy::TegOriginal);
+    std::vector<double> utils{0.1, 0.9, 0.2, 0.3, 0.5, 0.5, 0.5, 0.5};
+    auto d = s.decide(utils);
+    EXPECT_EQ(d.utils, utils);
+    EXPECT_EQ(d.settings.size(), 2u);
+}
+
+TEST_F(SchedFixture, LoadBalanceFlattensWithinCirculation)
+{
+    Scheduler s(*dc, *opt, Policy::TegLoadBalance);
+    std::vector<double> utils{0.1, 0.9, 0.2, 0.4, 0.6, 0.6, 0.6, 0.6};
+    auto d = s.decide(utils);
+    // First circulation: all at its mean 0.4.
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(d.utils[i], 0.4, 1e-12);
+    // Second circulation was already flat.
+    for (size_t i = 4; i < 8; ++i)
+        EXPECT_NEAR(d.utils[i], 0.6, 1e-12);
+}
+
+TEST_F(SchedFixture, LoadBalanceGivesWarmerInletOnSkewedLoad)
+{
+    std::vector<double> utils{0.1, 0.9, 0.2, 0.4, 0.1, 0.9, 0.2, 0.4};
+    Scheduler orig(*dc, *opt, Policy::TegOriginal);
+    Scheduler lb(*dc, *opt, Policy::TegLoadBalance);
+    auto d_orig = orig.decide(utils);
+    auto d_lb = lb.decide(utils);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_GT(d_lb.settings[i].t_in_c,
+                  d_orig.settings[i].t_in_c);
+    }
+}
+
+TEST_F(SchedFixture, PolicyNames)
+{
+    EXPECT_EQ(toString(Policy::TegOriginal), "TEG_Original");
+    EXPECT_EQ(toString(Policy::TegLoadBalance), "TEG_LoadBalance");
+}
+
+// ---------------------------------------------------- circulation design
+
+TEST(CirculationDesignTest, ExpectedMaxGrowsWithLoopSize)
+{
+    CirculationDesigner designer;
+    double prev = 0.0;
+    for (size_t n : {1u, 2u, 10u, 100u, 1000u}) {
+        DesignPoint p = designer.evaluate(n);
+        EXPECT_GT(p.expected_max_temp_c, prev);
+        prev = p.expected_max_temp_c;
+    }
+}
+
+TEST(CirculationDesignTest, CapexFallsWithLoopSize)
+{
+    CirculationDesigner designer;
+    DesignPoint small = designer.evaluate(10);
+    DesignPoint big = designer.evaluate(100);
+    EXPECT_GT(small.capex_usd, big.capex_usd);
+}
+
+TEST(CirculationDesignTest, SingleServerLoopNeedsNoChiller)
+{
+    // With mu well below T_safe, a 1-server loop never exceeds it in
+    // expectation, so the expected chiller duty is zero.
+    CirculationDesignParams p;
+    p.cpu_temp_mu_c = 55.0;
+    p.t_safe_c = 63.0;
+    CirculationDesigner designer(p);
+    EXPECT_DOUBLE_EQ(designer.evaluate(1).expected_delta_t_c, 0.0);
+}
+
+TEST(CirculationDesignTest, DivisorCandidatesOf1000)
+{
+    CirculationDesigner designer;
+    auto divs = designer.divisorCandidates();
+    EXPECT_EQ(divs.size(), 16u); // 1000 has 16 divisors
+    EXPECT_EQ(divs.front(), 1u);
+    EXPECT_EQ(divs.back(), 1000u);
+}
+
+TEST(CirculationDesignTest, OptimizeIsMinimumOfSweep)
+{
+    CirculationDesigner designer;
+    auto pts = designer.sweep(designer.divisorCandidates());
+    DesignPoint best = designer.optimize();
+    for (const auto &p : pts)
+        EXPECT_GE(p.total_cost_usd, best.total_cost_usd - 1e-9);
+}
+
+TEST(CirculationDesignTest, InteriorOptimumUnderTension)
+{
+    // With hot CPUs (energy pushes toward small loops) and real
+    // chiller capital (pushes toward big loops) the optimum should
+    // be strictly between the extremes.
+    CirculationDesignParams p;
+    p.cpu_temp_mu_c = 60.0;
+    p.cpu_temp_sigma_c = 5.0;
+    p.t_safe_c = 62.0;
+    p.chiller_cost_usd = 1500.0;
+    CirculationDesigner designer(p);
+    DesignPoint best = designer.optimize();
+    EXPECT_GT(best.servers_per_circulation, 1u);
+    EXPECT_LT(best.servers_per_circulation, 1000u);
+}
+
+TEST(CirculationDesignTest, Eq18AppliedThroughSlopeK)
+{
+    CirculationDesignParams p;
+    p.cpu_temp_mu_c = 62.0; // at T_safe: every loop size exceeds it
+    p.k = 2.0;
+    CirculationDesigner d2(p);
+    p.k = 1.0;
+    CirculationDesigner d1(p);
+    // Larger k -> smaller supply reduction for the same excess.
+    EXPECT_NEAR(d1.evaluate(100).expected_delta_t_c,
+                2.0 * d2.evaluate(100).expected_delta_t_c, 1e-9);
+}
+
+TEST(CirculationDesignTest, RejectsOutOfRangeSize)
+{
+    CirculationDesigner designer;
+    EXPECT_THROW(designer.evaluate(0), Error);
+    EXPECT_THROW(designer.evaluate(1001), Error);
+}
+
+} // namespace
+} // namespace sched
+} // namespace h2p
