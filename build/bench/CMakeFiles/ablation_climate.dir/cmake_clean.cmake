@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_climate.dir/ablation_climate.cc.o"
+  "CMakeFiles/ablation_climate.dir/ablation_climate.cc.o.d"
+  "ablation_climate"
+  "ablation_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cold_source.dir/ablation_cold_source.cc.o"
+  "CMakeFiles/ablation_cold_source.dir/ablation_cold_source.cc.o.d"
+  "ablation_cold_source"
+  "ablation_cold_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cold_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

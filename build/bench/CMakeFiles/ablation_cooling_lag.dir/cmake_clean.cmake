@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cooling_lag.dir/ablation_cooling_lag.cc.o"
+  "CMakeFiles/ablation_cooling_lag.dir/ablation_cooling_lag.cc.o.d"
+  "ablation_cooling_lag"
+  "ablation_cooling_lag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cooling_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dc_bus.dir/ablation_dc_bus.cc.o"
+  "CMakeFiles/ablation_dc_bus.dir/ablation_dc_bus.cc.o.d"
+  "ablation_dc_bus"
+  "ablation_dc_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dc_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

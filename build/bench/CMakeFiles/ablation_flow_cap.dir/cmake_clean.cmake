@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flow_cap.dir/ablation_flow_cap.cc.o"
+  "CMakeFiles/ablation_flow_cap.dir/ablation_flow_cap.cc.o.d"
+  "ablation_flow_cap"
+  "ablation_flow_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flow_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seed_robustness.dir/ablation_seed_robustness.cc.o"
+  "CMakeFiles/ablation_seed_robustness.dir/ablation_seed_robustness.cc.o.d"
+  "ablation_seed_robustness"
+  "ablation_seed_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tco_sensitivity.dir/ablation_tco_sensitivity.cc.o"
+  "CMakeFiles/ablation_tco_sensitivity.dir/ablation_tco_sensitivity.cc.o.d"
+  "ablation_tco_sensitivity"
+  "ablation_tco_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tco_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tec_powering.dir/ablation_tec_powering.cc.o"
+  "CMakeFiles/ablation_tec_powering.dir/ablation_tec_powering.cc.o.d"
+  "ablation_tec_powering"
+  "ablation_tec_powering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tec_powering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_tec_powering.
+# This may be replaced when dependencies are built.

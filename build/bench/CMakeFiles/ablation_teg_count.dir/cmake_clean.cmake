@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_teg_count.dir/ablation_teg_count.cc.o"
+  "CMakeFiles/ablation_teg_count.dir/ablation_teg_count.cc.o.d"
+  "ablation_teg_count"
+  "ablation_teg_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_teg_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tsafe.dir/ablation_tsafe.cc.o"
+  "CMakeFiles/ablation_tsafe.dir/ablation_tsafe.cc.o.d"
+  "ablation_tsafe"
+  "ablation_tsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zt_materials.dir/ablation_zt_materials.cc.o"
+  "CMakeFiles/ablation_zt_materials.dir/ablation_zt_materials.cc.o.d"
+  "ablation_zt_materials"
+  "ablation_zt_materials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zt_materials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

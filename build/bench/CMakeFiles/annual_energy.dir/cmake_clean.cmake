@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annual_energy.dir/annual_energy.cc.o"
+  "CMakeFiles/annual_energy.dir/annual_energy.cc.o.d"
+  "annual_energy"
+  "annual_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annual_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

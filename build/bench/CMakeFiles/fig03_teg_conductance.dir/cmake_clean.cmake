@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_teg_conductance.dir/fig03_teg_conductance.cc.o"
+  "CMakeFiles/fig03_teg_conductance.dir/fig03_teg_conductance.cc.o.d"
+  "fig03_teg_conductance"
+  "fig03_teg_conductance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_teg_conductance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_voc_flow.dir/fig07_voc_flow.cc.o"
+  "CMakeFiles/fig07_voc_flow.dir/fig07_voc_flow.cc.o.d"
+  "fig07_voc_flow"
+  "fig07_voc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_voc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

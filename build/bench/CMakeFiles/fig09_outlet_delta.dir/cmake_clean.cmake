@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_outlet_delta.dir/fig09_outlet_delta.cc.o"
+  "CMakeFiles/fig09_outlet_delta.dir/fig09_outlet_delta.cc.o.d"
+  "fig09_outlet_delta"
+  "fig09_outlet_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_outlet_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

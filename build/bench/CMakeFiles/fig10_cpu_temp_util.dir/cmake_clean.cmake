@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cpu_temp_util.dir/fig10_cpu_temp_util.cc.o"
+  "CMakeFiles/fig10_cpu_temp_util.dir/fig10_cpu_temp_util.cc.o.d"
+  "fig10_cpu_temp_util"
+  "fig10_cpu_temp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_temp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cpu_temp_flow.dir/fig11_cpu_temp_flow.cc.o"
+  "CMakeFiles/fig11_cpu_temp_flow.dir/fig11_cpu_temp_flow.cc.o.d"
+  "fig11_cpu_temp_flow"
+  "fig11_cpu_temp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cpu_temp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

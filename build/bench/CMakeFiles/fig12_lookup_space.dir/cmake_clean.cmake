@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_lookup_space.dir/fig12_lookup_space.cc.o"
+  "CMakeFiles/fig12_lookup_space.dir/fig12_lookup_space.cc.o.d"
+  "fig12_lookup_space"
+  "fig12_lookup_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lookup_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

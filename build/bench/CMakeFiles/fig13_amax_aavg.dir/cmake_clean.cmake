@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_amax_aavg.dir/fig13_amax_aavg.cc.o"
+  "CMakeFiles/fig13_amax_aavg.dir/fig13_amax_aavg.cc.o.d"
+  "fig13_amax_aavg"
+  "fig13_amax_aavg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_amax_aavg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

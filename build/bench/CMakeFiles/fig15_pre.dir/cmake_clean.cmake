@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pre.dir/fig15_pre.cc.o"
+  "CMakeFiles/fig15_pre.dir/fig15_pre.cc.o.d"
+  "fig15_pre"
+  "fig15_pre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

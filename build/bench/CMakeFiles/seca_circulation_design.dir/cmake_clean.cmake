@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seca_circulation_design.dir/seca_circulation_design.cc.o"
+  "CMakeFiles/seca_circulation_design.dir/seca_circulation_design.cc.o.d"
+  "seca_circulation_design"
+  "seca_circulation_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seca_circulation_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

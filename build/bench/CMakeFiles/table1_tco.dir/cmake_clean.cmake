@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tco.dir/table1_tco.cc.o"
+  "CMakeFiles/table1_tco.dir/table1_tco.cc.o.d"
+  "table1_tco"
+  "table1_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_transient.dir/validation_transient.cc.o"
+  "CMakeFiles/validation_transient.dir/validation_transient.cc.o.d"
+  "validation_transient"
+  "validation_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployable_controller.dir/deployable_controller.cpp.o"
+  "CMakeFiles/deployable_controller.dir/deployable_controller.cpp.o.d"
+  "deployable_controller"
+  "deployable_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployable_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_recycling_study.dir/heat_recycling_study.cpp.o"
+  "CMakeFiles/heat_recycling_study.dir/heat_recycling_study.cpp.o.d"
+  "heat_recycling_study"
+  "heat_recycling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_recycling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_rescue.dir/hotspot_rescue.cpp.o"
+  "CMakeFiles/hotspot_rescue.dir/hotspot_rescue.cpp.o.d"
+  "hotspot_rescue"
+  "hotspot_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/h2p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/h2p_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/h2p_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/h2p_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/h2p_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/h2p_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/h2p_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydraulic/CMakeFiles/h2p_hydraulic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/h2p_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

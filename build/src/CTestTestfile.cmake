@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("thermal")
+subdirs("hydraulic")
+subdirs("workload")
+subdirs("cluster")
+subdirs("sched")
+subdirs("econ")
+subdirs("storage")
+subdirs("sim")
+subdirs("core")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/circulation.cc" "src/cluster/CMakeFiles/h2p_cluster.dir/circulation.cc.o" "gcc" "src/cluster/CMakeFiles/h2p_cluster.dir/circulation.cc.o.d"
+  "/root/repo/src/cluster/datacenter.cc" "src/cluster/CMakeFiles/h2p_cluster.dir/datacenter.cc.o" "gcc" "src/cluster/CMakeFiles/h2p_cluster.dir/datacenter.cc.o.d"
+  "/root/repo/src/cluster/server.cc" "src/cluster/CMakeFiles/h2p_cluster.dir/server.cc.o" "gcc" "src/cluster/CMakeFiles/h2p_cluster.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/h2p_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydraulic/CMakeFiles/h2p_hydraulic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/h2p_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2p_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/h2p_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_cluster.dir/circulation.cc.o"
+  "CMakeFiles/h2p_cluster.dir/circulation.cc.o.d"
+  "CMakeFiles/h2p_cluster.dir/datacenter.cc.o"
+  "CMakeFiles/h2p_cluster.dir/datacenter.cc.o.d"
+  "CMakeFiles/h2p_cluster.dir/server.cc.o"
+  "CMakeFiles/h2p_cluster.dir/server.cc.o.d"
+  "libh2p_cluster.a"
+  "libh2p_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_core.dir/config_io.cc.o"
+  "CMakeFiles/h2p_core.dir/config_io.cc.o.d"
+  "CMakeFiles/h2p_core.dir/cooling_lag.cc.o"
+  "CMakeFiles/h2p_core.dir/cooling_lag.cc.o.d"
+  "CMakeFiles/h2p_core.dir/h2p_system.cc.o"
+  "CMakeFiles/h2p_core.dir/h2p_system.cc.o.d"
+  "CMakeFiles/h2p_core.dir/prototype.cc.o"
+  "CMakeFiles/h2p_core.dir/prototype.cc.o.d"
+  "CMakeFiles/h2p_core.dir/transient_circulation.cc.o"
+  "CMakeFiles/h2p_core.dir/transient_circulation.cc.o.d"
+  "libh2p_core.a"
+  "libh2p_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

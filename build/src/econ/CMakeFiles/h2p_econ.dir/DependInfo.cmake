@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/district_heating.cc" "src/econ/CMakeFiles/h2p_econ.dir/district_heating.cc.o" "gcc" "src/econ/CMakeFiles/h2p_econ.dir/district_heating.cc.o.d"
+  "/root/repo/src/econ/metrics.cc" "src/econ/CMakeFiles/h2p_econ.dir/metrics.cc.o" "gcc" "src/econ/CMakeFiles/h2p_econ.dir/metrics.cc.o.d"
+  "/root/repo/src/econ/npv.cc" "src/econ/CMakeFiles/h2p_econ.dir/npv.cc.o" "gcc" "src/econ/CMakeFiles/h2p_econ.dir/npv.cc.o.d"
+  "/root/repo/src/econ/tco.cc" "src/econ/CMakeFiles/h2p_econ.dir/tco.cc.o" "gcc" "src/econ/CMakeFiles/h2p_econ.dir/tco.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/h2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_econ.dir/district_heating.cc.o"
+  "CMakeFiles/h2p_econ.dir/district_heating.cc.o.d"
+  "CMakeFiles/h2p_econ.dir/metrics.cc.o"
+  "CMakeFiles/h2p_econ.dir/metrics.cc.o.d"
+  "CMakeFiles/h2p_econ.dir/npv.cc.o"
+  "CMakeFiles/h2p_econ.dir/npv.cc.o.d"
+  "CMakeFiles/h2p_econ.dir/tco.cc.o"
+  "CMakeFiles/h2p_econ.dir/tco.cc.o.d"
+  "libh2p_econ.a"
+  "libh2p_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

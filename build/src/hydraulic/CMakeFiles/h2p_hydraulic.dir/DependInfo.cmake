@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hydraulic/chiller.cc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/chiller.cc.o" "gcc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/chiller.cc.o.d"
+  "/root/repo/src/hydraulic/climate.cc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/climate.cc.o" "gcc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/climate.cc.o.d"
+  "/root/repo/src/hydraulic/cooling_tower.cc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/cooling_tower.cc.o" "gcc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/cooling_tower.cc.o.d"
+  "/root/repo/src/hydraulic/flow_network.cc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/flow_network.cc.o" "gcc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/flow_network.cc.o.d"
+  "/root/repo/src/hydraulic/heat_exchanger.cc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/heat_exchanger.cc.o" "gcc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/heat_exchanger.cc.o.d"
+  "/root/repo/src/hydraulic/loop.cc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/loop.cc.o" "gcc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/loop.cc.o.d"
+  "/root/repo/src/hydraulic/plant.cc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/plant.cc.o" "gcc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/plant.cc.o.d"
+  "/root/repo/src/hydraulic/pump.cc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/pump.cc.o" "gcc" "src/hydraulic/CMakeFiles/h2p_hydraulic.dir/pump.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/h2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_hydraulic.dir/chiller.cc.o"
+  "CMakeFiles/h2p_hydraulic.dir/chiller.cc.o.d"
+  "CMakeFiles/h2p_hydraulic.dir/climate.cc.o"
+  "CMakeFiles/h2p_hydraulic.dir/climate.cc.o.d"
+  "CMakeFiles/h2p_hydraulic.dir/cooling_tower.cc.o"
+  "CMakeFiles/h2p_hydraulic.dir/cooling_tower.cc.o.d"
+  "CMakeFiles/h2p_hydraulic.dir/flow_network.cc.o"
+  "CMakeFiles/h2p_hydraulic.dir/flow_network.cc.o.d"
+  "CMakeFiles/h2p_hydraulic.dir/heat_exchanger.cc.o"
+  "CMakeFiles/h2p_hydraulic.dir/heat_exchanger.cc.o.d"
+  "CMakeFiles/h2p_hydraulic.dir/loop.cc.o"
+  "CMakeFiles/h2p_hydraulic.dir/loop.cc.o.d"
+  "CMakeFiles/h2p_hydraulic.dir/plant.cc.o"
+  "CMakeFiles/h2p_hydraulic.dir/plant.cc.o.d"
+  "CMakeFiles/h2p_hydraulic.dir/pump.cc.o"
+  "CMakeFiles/h2p_hydraulic.dir/pump.cc.o.d"
+  "libh2p_hydraulic.a"
+  "libh2p_hydraulic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_hydraulic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

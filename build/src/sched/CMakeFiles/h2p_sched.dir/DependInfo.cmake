@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/circulation_design.cc" "src/sched/CMakeFiles/h2p_sched.dir/circulation_design.cc.o" "gcc" "src/sched/CMakeFiles/h2p_sched.dir/circulation_design.cc.o.d"
+  "/root/repo/src/sched/consolidation.cc" "src/sched/CMakeFiles/h2p_sched.dir/consolidation.cc.o" "gcc" "src/sched/CMakeFiles/h2p_sched.dir/consolidation.cc.o.d"
+  "/root/repo/src/sched/cooling_optimizer.cc" "src/sched/CMakeFiles/h2p_sched.dir/cooling_optimizer.cc.o" "gcc" "src/sched/CMakeFiles/h2p_sched.dir/cooling_optimizer.cc.o.d"
+  "/root/repo/src/sched/load_balancer.cc" "src/sched/CMakeFiles/h2p_sched.dir/load_balancer.cc.o" "gcc" "src/sched/CMakeFiles/h2p_sched.dir/load_balancer.cc.o.d"
+  "/root/repo/src/sched/lookup_space.cc" "src/sched/CMakeFiles/h2p_sched.dir/lookup_space.cc.o" "gcc" "src/sched/CMakeFiles/h2p_sched.dir/lookup_space.cc.o.d"
+  "/root/repo/src/sched/placement.cc" "src/sched/CMakeFiles/h2p_sched.dir/placement.cc.o" "gcc" "src/sched/CMakeFiles/h2p_sched.dir/placement.cc.o.d"
+  "/root/repo/src/sched/predictor.cc" "src/sched/CMakeFiles/h2p_sched.dir/predictor.cc.o" "gcc" "src/sched/CMakeFiles/h2p_sched.dir/predictor.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/h2p_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/h2p_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/h2p_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/h2p_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/h2p_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2p_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydraulic/CMakeFiles/h2p_hydraulic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/h2p_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_sched.dir/circulation_design.cc.o"
+  "CMakeFiles/h2p_sched.dir/circulation_design.cc.o.d"
+  "CMakeFiles/h2p_sched.dir/consolidation.cc.o"
+  "CMakeFiles/h2p_sched.dir/consolidation.cc.o.d"
+  "CMakeFiles/h2p_sched.dir/cooling_optimizer.cc.o"
+  "CMakeFiles/h2p_sched.dir/cooling_optimizer.cc.o.d"
+  "CMakeFiles/h2p_sched.dir/load_balancer.cc.o"
+  "CMakeFiles/h2p_sched.dir/load_balancer.cc.o.d"
+  "CMakeFiles/h2p_sched.dir/lookup_space.cc.o"
+  "CMakeFiles/h2p_sched.dir/lookup_space.cc.o.d"
+  "CMakeFiles/h2p_sched.dir/placement.cc.o"
+  "CMakeFiles/h2p_sched.dir/placement.cc.o.d"
+  "CMakeFiles/h2p_sched.dir/predictor.cc.o"
+  "CMakeFiles/h2p_sched.dir/predictor.cc.o.d"
+  "CMakeFiles/h2p_sched.dir/scheduler.cc.o"
+  "CMakeFiles/h2p_sched.dir/scheduler.cc.o.d"
+  "libh2p_sched.a"
+  "libh2p_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

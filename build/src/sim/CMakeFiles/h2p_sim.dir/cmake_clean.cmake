@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_sim.dir/config.cc.o"
+  "CMakeFiles/h2p_sim.dir/config.cc.o.d"
+  "CMakeFiles/h2p_sim.dir/recorder.cc.o"
+  "CMakeFiles/h2p_sim.dir/recorder.cc.o.d"
+  "libh2p_sim.a"
+  "libh2p_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/h2p_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/h2p_stats.dir/histogram.cc.o"
+  "CMakeFiles/h2p_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/h2p_stats.dir/integrate.cc.o"
+  "CMakeFiles/h2p_stats.dir/integrate.cc.o.d"
+  "CMakeFiles/h2p_stats.dir/normal.cc.o"
+  "CMakeFiles/h2p_stats.dir/normal.cc.o.d"
+  "CMakeFiles/h2p_stats.dir/order_stats.cc.o"
+  "CMakeFiles/h2p_stats.dir/order_stats.cc.o.d"
+  "CMakeFiles/h2p_stats.dir/regression.cc.o"
+  "CMakeFiles/h2p_stats.dir/regression.cc.o.d"
+  "CMakeFiles/h2p_stats.dir/summary.cc.o"
+  "CMakeFiles/h2p_stats.dir/summary.cc.o.d"
+  "libh2p_stats.a"
+  "libh2p_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

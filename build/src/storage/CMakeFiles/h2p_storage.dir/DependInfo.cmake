@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/battery.cc" "src/storage/CMakeFiles/h2p_storage.dir/battery.cc.o" "gcc" "src/storage/CMakeFiles/h2p_storage.dir/battery.cc.o.d"
+  "/root/repo/src/storage/dc_bus.cc" "src/storage/CMakeFiles/h2p_storage.dir/dc_bus.cc.o" "gcc" "src/storage/CMakeFiles/h2p_storage.dir/dc_bus.cc.o.d"
+  "/root/repo/src/storage/hybrid_buffer.cc" "src/storage/CMakeFiles/h2p_storage.dir/hybrid_buffer.cc.o" "gcc" "src/storage/CMakeFiles/h2p_storage.dir/hybrid_buffer.cc.o.d"
+  "/root/repo/src/storage/led.cc" "src/storage/CMakeFiles/h2p_storage.dir/led.cc.o" "gcc" "src/storage/CMakeFiles/h2p_storage.dir/led.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/h2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

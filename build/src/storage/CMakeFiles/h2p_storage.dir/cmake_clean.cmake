@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_storage.dir/battery.cc.o"
+  "CMakeFiles/h2p_storage.dir/battery.cc.o.d"
+  "CMakeFiles/h2p_storage.dir/dc_bus.cc.o"
+  "CMakeFiles/h2p_storage.dir/dc_bus.cc.o.d"
+  "CMakeFiles/h2p_storage.dir/hybrid_buffer.cc.o"
+  "CMakeFiles/h2p_storage.dir/hybrid_buffer.cc.o.d"
+  "CMakeFiles/h2p_storage.dir/led.cc.o"
+  "CMakeFiles/h2p_storage.dir/led.cc.o.d"
+  "libh2p_storage.a"
+  "libh2p_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/cold_plate.cc" "src/thermal/CMakeFiles/h2p_thermal.dir/cold_plate.cc.o" "gcc" "src/thermal/CMakeFiles/h2p_thermal.dir/cold_plate.cc.o.d"
+  "/root/repo/src/thermal/cpu.cc" "src/thermal/CMakeFiles/h2p_thermal.dir/cpu.cc.o" "gcc" "src/thermal/CMakeFiles/h2p_thermal.dir/cpu.cc.o.d"
+  "/root/repo/src/thermal/rc_network.cc" "src/thermal/CMakeFiles/h2p_thermal.dir/rc_network.cc.o" "gcc" "src/thermal/CMakeFiles/h2p_thermal.dir/rc_network.cc.o.d"
+  "/root/repo/src/thermal/tec.cc" "src/thermal/CMakeFiles/h2p_thermal.dir/tec.cc.o" "gcc" "src/thermal/CMakeFiles/h2p_thermal.dir/tec.cc.o.d"
+  "/root/repo/src/thermal/teg.cc" "src/thermal/CMakeFiles/h2p_thermal.dir/teg.cc.o" "gcc" "src/thermal/CMakeFiles/h2p_thermal.dir/teg.cc.o.d"
+  "/root/repo/src/thermal/teg_material.cc" "src/thermal/CMakeFiles/h2p_thermal.dir/teg_material.cc.o" "gcc" "src/thermal/CMakeFiles/h2p_thermal.dir/teg_material.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/h2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

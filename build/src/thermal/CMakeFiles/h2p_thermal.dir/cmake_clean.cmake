@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_thermal.dir/cold_plate.cc.o"
+  "CMakeFiles/h2p_thermal.dir/cold_plate.cc.o.d"
+  "CMakeFiles/h2p_thermal.dir/cpu.cc.o"
+  "CMakeFiles/h2p_thermal.dir/cpu.cc.o.d"
+  "CMakeFiles/h2p_thermal.dir/rc_network.cc.o"
+  "CMakeFiles/h2p_thermal.dir/rc_network.cc.o.d"
+  "CMakeFiles/h2p_thermal.dir/tec.cc.o"
+  "CMakeFiles/h2p_thermal.dir/tec.cc.o.d"
+  "CMakeFiles/h2p_thermal.dir/teg.cc.o"
+  "CMakeFiles/h2p_thermal.dir/teg.cc.o.d"
+  "CMakeFiles/h2p_thermal.dir/teg_material.cc.o"
+  "CMakeFiles/h2p_thermal.dir/teg_material.cc.o.d"
+  "libh2p_thermal.a"
+  "libh2p_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

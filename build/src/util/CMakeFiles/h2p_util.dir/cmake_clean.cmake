@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_util.dir/args.cc.o"
+  "CMakeFiles/h2p_util.dir/args.cc.o.d"
+  "CMakeFiles/h2p_util.dir/csv.cc.o"
+  "CMakeFiles/h2p_util.dir/csv.cc.o.d"
+  "CMakeFiles/h2p_util.dir/error.cc.o"
+  "CMakeFiles/h2p_util.dir/error.cc.o.d"
+  "CMakeFiles/h2p_util.dir/interpolate.cc.o"
+  "CMakeFiles/h2p_util.dir/interpolate.cc.o.d"
+  "CMakeFiles/h2p_util.dir/logging.cc.o"
+  "CMakeFiles/h2p_util.dir/logging.cc.o.d"
+  "CMakeFiles/h2p_util.dir/random.cc.o"
+  "CMakeFiles/h2p_util.dir/random.cc.o.d"
+  "CMakeFiles/h2p_util.dir/strings.cc.o"
+  "CMakeFiles/h2p_util.dir/strings.cc.o.d"
+  "CMakeFiles/h2p_util.dir/table.cc.o"
+  "CMakeFiles/h2p_util.dir/table.cc.o.d"
+  "CMakeFiles/h2p_util.dir/time_series.cc.o"
+  "CMakeFiles/h2p_util.dir/time_series.cc.o.d"
+  "libh2p_util.a"
+  "libh2p_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

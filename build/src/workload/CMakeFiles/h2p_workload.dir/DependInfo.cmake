@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cpu_power.cc" "src/workload/CMakeFiles/h2p_workload.dir/cpu_power.cc.o" "gcc" "src/workload/CMakeFiles/h2p_workload.dir/cpu_power.cc.o.d"
+  "/root/repo/src/workload/governor.cc" "src/workload/CMakeFiles/h2p_workload.dir/governor.cc.o" "gcc" "src/workload/CMakeFiles/h2p_workload.dir/governor.cc.o.d"
+  "/root/repo/src/workload/jobs.cc" "src/workload/CMakeFiles/h2p_workload.dir/jobs.cc.o" "gcc" "src/workload/CMakeFiles/h2p_workload.dir/jobs.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/h2p_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/h2p_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/workload/CMakeFiles/h2p_workload.dir/trace_gen.cc.o" "gcc" "src/workload/CMakeFiles/h2p_workload.dir/trace_gen.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/h2p_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/h2p_workload.dir/trace_io.cc.o.d"
+  "/root/repo/src/workload/trace_stats.cc" "src/workload/CMakeFiles/h2p_workload.dir/trace_stats.cc.o" "gcc" "src/workload/CMakeFiles/h2p_workload.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/h2p_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_workload.dir/cpu_power.cc.o"
+  "CMakeFiles/h2p_workload.dir/cpu_power.cc.o.d"
+  "CMakeFiles/h2p_workload.dir/governor.cc.o"
+  "CMakeFiles/h2p_workload.dir/governor.cc.o.d"
+  "CMakeFiles/h2p_workload.dir/jobs.cc.o"
+  "CMakeFiles/h2p_workload.dir/jobs.cc.o.d"
+  "CMakeFiles/h2p_workload.dir/trace.cc.o"
+  "CMakeFiles/h2p_workload.dir/trace.cc.o.d"
+  "CMakeFiles/h2p_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/h2p_workload.dir/trace_gen.cc.o.d"
+  "CMakeFiles/h2p_workload.dir/trace_io.cc.o"
+  "CMakeFiles/h2p_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/h2p_workload.dir/trace_stats.cc.o"
+  "CMakeFiles/h2p_workload.dir/trace_stats.cc.o.d"
+  "libh2p_workload.a"
+  "libh2p_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

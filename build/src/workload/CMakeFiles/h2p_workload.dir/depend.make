@@ -1,0 +1,2 @@
+# Empty dependencies file for h2p_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydraulic_test.dir/hydraulic_test.cc.o"
+  "CMakeFiles/hydraulic_test.dir/hydraulic_test.cc.o.d"
+  "hydraulic_test"
+  "hydraulic_test.pdb"
+  "hydraulic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydraulic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
