@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Resilience scenarios: what faults cost, and what degraded-mode
+ * control buys back.
+ *
+ * Part 1 replays the headline scripted scenario — a pump degradation
+ * to 15 % of the commanded flow on one loop, mid-trace — with the
+ * baseline controller and with safe-mode control, showing the
+ * baseline riding the dead operating point into a sustained T_safe
+ * violation while the safety monitor's flow-delivery check catches it
+ * within one interval and falls back to maximum cooling.
+ *
+ * Part 2 sweeps an accelerated-aging fault-rate multiplier over a
+ * sampled scenario (pump wear, TEG failures, plant outages, sensor
+ * faults) with safe mode off and on, reporting safety, harvest and
+ * the resilience accounting channels.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/h2p_system.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/trace_gen.h"
+
+using namespace h2p;
+
+namespace {
+
+core::H2PConfig
+baseConfig()
+{
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = 200;
+    cfg.datacenter.servers_per_circulation = 50;
+    return cfg;
+}
+
+core::RunSummary
+runWith(const core::H2PConfig &cfg,
+        const workload::UtilizationTrace &trace)
+{
+    core::H2PSystem sys(cfg);
+    return sys.run(trace, sched::Policy::TegLoadBalance).summary;
+}
+
+} // namespace
+
+int
+main()
+{
+    workload::TraceGenerator gen(2020);
+    auto trace =
+        gen.generateProfile(workload::TraceProfile::Drastic, 200);
+
+    // ---------------- Part 1: scripted pump degradation ----------------
+    fault::FaultEvent pump;
+    pump.time_s = 6.0 * 3600.0;
+    pump.kind = fault::FaultKind::PumpDegraded;
+    pump.circulation = 0;
+    pump.magnitude = 0.15;
+
+    TablePrinter demo(
+        "Scripted pump degradation (loop 0 drops to 15 % flow at "
+        "t=6 h; drastic trace, TEG_LoadBalance)");
+    demo.setHeader({"controller", "safe", "loop0 safe", "worst die[C]",
+                    "TEG avg[W]", "safe-mode steps", "trips"});
+    CsvTable demo_csv({"safe_mode", "safe_fraction", "loop0_safe",
+                       "worst_die_c", "teg_w", "safe_mode_steps",
+                       "throttle_events"});
+
+    for (bool guarded : {false, true}) {
+        core::H2PConfig cfg = baseConfig();
+        cfg.faults.scripted.push_back(pump);
+        cfg.safe_mode.enabled = guarded;
+        core::H2PSystem sys(cfg);
+        auto r = sys.run(trace, sched::Policy::TegLoadBalance);
+        double worst = r.recorder->series("max_die_c").max();
+        const core::RunSummary &s = r.summary;
+        const char *name = guarded ? "safe-mode" : "baseline";
+        demo.addRow(name,
+                    {s.safe_fraction, s.circulation_safe_fraction[0],
+                     worst, s.avg_teg_w,
+                     static_cast<double>(s.safe_mode_steps),
+                     static_cast<double>(s.throttle_events)},
+                    2);
+        demo_csv.addRow({static_cast<double>(guarded), s.safe_fraction,
+                         s.circulation_safe_fraction[0], worst,
+                         s.avg_teg_w,
+                         static_cast<double>(s.safe_mode_steps),
+                         static_cast<double>(s.throttle_events)});
+    }
+    demo.print(std::cout);
+
+    // ------------- Part 2: accelerated-aging rate sweep ----------------
+    TablePrinter table(
+        "Accelerated-aging sweep (rate multiplier x nominal; "
+        "safe mode off vs on)");
+    table.setHeader({"aging/mode", "events", "safe", "TEG avg[W]",
+                     "lost[kWh]", "deferred[sv-h]", "max faulted"});
+    CsvTable csv({"aging", "safe_mode", "fault_events", "safe_fraction",
+                  "teg_w", "teg_lost_kwh", "deferred_server_hours",
+                  "max_faulted_servers"});
+
+    for (double aging : {0.0, 100.0, 300.0, 1000.0}) {
+        for (bool guarded : {false, true}) {
+            core::H2PConfig cfg = baseConfig();
+            // Nominal per-year rates, scaled by the aging multiplier
+            // so a day-long trace sees a lifetime of faults.
+            cfg.faults.seed = 7;
+            cfg.faults.pump_degrade_per_circ_year = 0.5 * aging;
+            cfg.faults.pump_fail_per_circ_year = 0.1 * aging;
+            cfg.faults.teg_open_per_server_year = 0.05 * aging;
+            cfg.faults.teg_short_per_server_year = 0.1 * aging;
+            cfg.faults.chiller_outages_per_year = 0.5 * aging;
+            cfg.faults.die_sensor_faults_per_circ_year = 0.5 * aging;
+            cfg.faults.flow_sensor_faults_per_circ_year = 0.25 * aging;
+            cfg.safe_mode.enabled = guarded;
+            core::RunSummary s = runWith(cfg, trace);
+
+            const char *mode = guarded ? "on" : "off";
+            table.addRow(strings::fixed(aging, 0) + "x/" + mode,
+                         {static_cast<double>(s.fault_events),
+                          s.safe_fraction, s.avg_teg_w,
+                          s.teg_energy_lost_kwh,
+                          s.throttled_work_server_hours,
+                          static_cast<double>(s.max_faulted_servers)},
+                         2);
+            csv.addRow({aging, static_cast<double>(guarded),
+                        static_cast<double>(s.fault_events),
+                        s.safe_fraction, s.avg_teg_w,
+                        s.teg_energy_lost_kwh,
+                        s.throttled_work_server_hours,
+                        static_cast<double>(s.max_faulted_servers)});
+        }
+    }
+    table.print(std::cout);
+    bench::saveCsv(csv, "resilience_scenarios");
+    bench::saveCsv(demo_csv, "resilience_pump_demo");
+
+    std::cout << "\nFaults cost harvest before they cost safety: TEG "
+                 "failures only dent the average output, while pump "
+                 "and sensor faults break the optimizer's planned "
+                 "operating point. Degraded-mode control restores "
+                 "safety at the price of the faulted loop's harvest.\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fault injection and degraded-mode operation, end to end.
+ *
+ * Loads a fault scenario (default: examples/configs/resilience.ini's
+ * accelerated-aging rates) and runs the same trace three ways:
+ *
+ *   1. healthy     - no faults, the paper's fault-free evaluation;
+ *   2. baseline    - faults injected, controller unaware;
+ *   3. safe-mode   - faults injected, degraded-mode control on
+ *                    (safety monitor + thermal-trip watchdog).
+ *
+ * The comparison shows the two halves of the resilience story: what
+ * the faults cost, and how much of it degraded-mode control buys
+ * back — safety first, harvest second.
+ *
+ *   ./examples/resilience_demo --config examples/configs/resilience.ini
+ */
+
+#include <iostream>
+
+#include "core/config_io.h"
+#include "core/h2p_system.h"
+#include "util/args.h"
+#include "util/error.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2p;
+    try {
+        ArgParser args("resilience_demo",
+                       "Compare healthy, faulted-baseline and "
+                       "faulted-safe-mode runs of one trace.");
+        args.addString("config", "examples/configs/resilience.ini",
+                       "path to the scenario INI");
+        if (!args.parse(argc, argv))
+            return 0;
+
+        sim::Config ini = sim::Config::load(args.getString("config"));
+        core::H2PConfig cfg = core::configFromIni(ini);
+        core::TraceRequest treq = core::traceRequestFromIni(ini);
+        if (treq.servers == 0)
+            treq.servers = cfg.datacenter.num_servers;
+        auto trace = core::makeTrace(treq);
+
+        struct Variant
+        {
+            const char *name;
+            bool faults;
+            bool safe_mode;
+        };
+        const Variant variants[] = {{"healthy", false, false},
+                                    {"baseline", true, false},
+                                    {"safe-mode", true, true}};
+
+        TablePrinter table("Resilience comparison (" +
+                           toString(sched::Policy::TegLoadBalance) +
+                           ")");
+        table.setHeader({"run", "events", "safe", "TEG avg[W]",
+                         "lost[kWh]", "trips", "deferred[sv-h]"});
+
+        for (const Variant &v : variants) {
+            core::H2PConfig run_cfg = cfg;
+            if (!v.faults)
+                run_cfg.faults = fault::FaultScenarioParams{};
+            run_cfg.safe_mode.enabled = v.safe_mode;
+            core::H2PSystem sys(run_cfg);
+            core::RunSummary s =
+                sys.run(trace, sched::Policy::TegLoadBalance).summary;
+            table.addRow(v.name,
+                         {static_cast<double>(s.fault_events),
+                          s.safe_fraction, s.avg_teg_w,
+                          s.teg_energy_lost_kwh,
+                          static_cast<double>(s.throttle_events),
+                          s.throttled_work_server_hours},
+                         2);
+        }
+        table.print(std::cout);
+
+        std::cout
+            << "\nThe baseline keeps harvesting through faults it "
+               "cannot see and spends intervals above the vendor "
+               "maximum; safe mode detects the broken loops, falls "
+               "back to maximum cooling there, and the watchdog "
+               "throttles any die that still trips.\n";
+        return 0;
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -24,6 +24,7 @@ Circulation::evaluate(const std::vector<double> &utils,
 
     CirculationState state;
     state.setting = setting;
+    state.delivered_flow_lph = setting.flow_lph;
     state.servers.reserve(count_);
 
     double sum_return = 0.0;
@@ -44,6 +45,59 @@ Circulation::evaluate(const std::vector<double> &utils,
     // branch: total power = count * affinity-law power at branch flow.
     state.pump_power_w =
         pump_.power(setting.flow_lph) * static_cast<double>(count_);
+    return state;
+}
+
+CirculationState
+Circulation::evaluate(const std::vector<double> &utils,
+                      const CoolingSetting &setting, double t_cold_c,
+                      const CirculationHealth &health) const
+{
+    if (health.clean())
+        return evaluate(utils, setting, t_cold_c);
+    expect(utils.size() == count_, "expected ", count_,
+           " utilizations, got ", utils.size());
+    expect(setting.flow_lph > 0.0, "flow must be positive");
+    expect(health.pump_flow_factor >= 0.0 &&
+               health.pump_flow_factor <= 1.0,
+           "pump flow factor must be in [0, 1]");
+    expect(health.servers.empty() || health.servers.size() == count_,
+           "expected ", count_, " server healths, got ",
+           health.servers.size());
+
+    // The pump delivers only a fraction of the command; the thermal
+    // model sees at least the stagnant trickle so it stays finite.
+    double hydraulic_flow = setting.flow_lph * health.pump_flow_factor;
+    double thermal_flow = std::max(hydraulic_flow, kStagnantFlowLph);
+
+    CirculationState state;
+    state.setting = setting;
+    state.delivered_flow_lph = hydraulic_flow;
+    state.servers.reserve(count_);
+
+    static const ServerHealth healthy_server;
+    double sum_return = 0.0;
+    for (size_t i = 0; i < count_; ++i) {
+        const ServerHealth &sh =
+            health.servers.empty() ? healthy_server : health.servers[i];
+        ServerState s = server_.evaluate(utils[i], thermal_flow,
+                                         setting.t_in_c, t_cold_c, sh);
+        state.cpu_power_w += s.cpu_power_w;
+        state.teg_power_w += s.teg_power_w;
+        state.teg_power_lost_w += s.teg_power_lost_w;
+        state.heat_w += s.heat_w;
+        state.max_die_c = std::max(state.max_die_c, s.die_temp_c);
+        state.all_safe = state.all_safe && s.safe;
+        if (s.faulted || health.pump_flow_factor < 1.0)
+            ++state.faulted_servers;
+        sum_return += s.outlet_c;
+        state.servers.push_back(std::move(s));
+    }
+    state.return_c = sum_return / static_cast<double>(count_);
+    // The degraded pump still runs its electronics but moves only the
+    // delivered flow (a dead pump idles).
+    state.pump_power_w =
+        pump_.power(hydraulic_flow) * static_cast<double>(count_);
     return state;
 }
 

@@ -30,6 +30,31 @@ struct CoolingSetting
     double flow_lph = 20.0;
 };
 
+/**
+ * Degradation of one circulation (fault model). A default-constructed
+ * health is a clean loop.
+ */
+struct CirculationHealth
+{
+    /**
+     * Fraction of the commanded flow the pump still delivers: 1 =
+     * healthy, (0, 1) = degraded (worn impeller, scale), 0 = failed.
+     */
+    double pump_flow_factor = 1.0;
+    /** Per-server health; empty means every server is healthy. */
+    std::vector<ServerHealth> servers;
+
+    bool clean() const
+    {
+        if (pump_flow_factor < 1.0)
+            return false;
+        for (const ServerHealth &s : servers)
+            if (!s.clean())
+                return false;
+        return true;
+    }
+};
+
 /** Aggregate state of one circulation for one interval. */
 struct CirculationState
 {
@@ -48,6 +73,12 @@ struct CirculationState
     double pump_power_w = 0.0;
     /** Hottest die temperature, C. */
     double max_die_c = 0.0;
+    /** Per-branch flow the pump actually delivered, L/H. */
+    double delivered_flow_lph = 0.0;
+    /** Servers evaluated under a non-clean health. */
+    size_t faulted_servers = 0;
+    /** Harvest lost to TEG faults, W. */
+    double teg_power_lost_w = 0.0;
     /** All dies at or below the vendor maximum? */
     bool all_safe = true;
 };
@@ -80,6 +111,22 @@ class Circulation
     CirculationState evaluate(const std::vector<double> &utils,
                               const CoolingSetting &setting,
                               double t_cold_c) const;
+
+    /**
+     * Evaluate a degraded circulation. The pump delivers only
+     * pump_flow_factor of the commanded flow (a dead pump leaves a
+     * stagnant trickle, kStagnantFlowLph, so the steady-state thermal
+     * model stays finite — the dies then run far beyond the vendor
+     * maximum) and each server sees its own ServerHealth. A clean
+     * health reproduces the healthy evaluation exactly.
+     */
+    CirculationState evaluate(const std::vector<double> &utils,
+                              const CoolingSetting &setting,
+                              double t_cold_c,
+                              const CirculationHealth &health) const;
+
+    /** Residual natural-circulation flow of a dead pump, L/H. */
+    static constexpr double kStagnantFlowLph = 2.0;
 
     const Server &server() const { return server_; }
 

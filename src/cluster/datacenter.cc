@@ -16,6 +16,10 @@ Datacenter::Datacenter(const DatacenterParams &params)
     expect(params.num_servers >= 1, "datacenter needs servers");
     expect(params.servers_per_circulation >= 1,
            "circulations need at least one server");
+    expect(params.cold_source_c > 0.0,
+           "cold-source temperature must be positive (liquid water)");
+    expect(params.server.tegs_per_server >= 1,
+           "servers need at least one TEG device");
 
     size_t remaining = params.num_servers;
     size_t offset = 0;
@@ -90,6 +94,72 @@ Datacenter::evaluate(const std::vector<double> &utils,
     // The plant must honour the coldest requested supply temperature.
     hydraulic::PlantPower pp =
         plant_.power(state.heat_w, min_supply_c, total_flow_lph);
+    state.plant_power_w = pp.total();
+    return state;
+}
+
+DatacenterState
+Datacenter::evaluate(const std::vector<double> &utils,
+                     const std::vector<CoolingSetting> &settings,
+                     const DatacenterHealth &health) const
+{
+    if (health.clean())
+        return evaluate(utils, settings);
+    expect(settings.size() == circulation_sizes_.size(), "expected ",
+           circulation_sizes_.size(), " cooling settings, got ",
+           settings.size());
+    expect(health.circulations.empty() ||
+               health.circulations.size() == circulation_sizes_.size(),
+           "expected ", circulation_sizes_.size(),
+           " circulation healths, got ", health.circulations.size());
+
+    DatacenterState state;
+    state.circulations.reserve(circulation_sizes_.size());
+
+    static const CirculationHealth healthy_circulation;
+    double total_flow_lph = 0.0;
+    double min_supply_c = 1e9;
+    for (size_t i = 0; i < circulation_sizes_.size(); ++i) {
+        const size_t n = circulation_sizes_[i];
+        const CirculationHealth &ch = health.circulations.empty()
+                                          ? healthy_circulation
+                                          : health.circulations[i];
+        // A plant outage warms the supply every loop actually gets.
+        CoolingSetting setting = settings[i];
+        double achievable =
+            plant_.achievableSupply(setting.t_in_c, health.plant);
+        state.plant_degraded |= achievable != setting.t_in_c;
+        setting.t_in_c = achievable;
+
+        CirculationState cs;
+        if (n == circulation_.size()) {
+            cs = circulation_.evaluate(circulationUtils(utils, i),
+                                       setting, params_.cold_source_c,
+                                       ch);
+        } else {
+            Circulation partial(n, params_.server, params_.pump);
+            cs = partial.evaluate(circulationUtils(utils, i), setting,
+                                  params_.cold_source_c, ch);
+        }
+        state.cpu_power_w += cs.cpu_power_w;
+        state.teg_power_w += cs.teg_power_w;
+        state.teg_power_lost_w += cs.teg_power_lost_w;
+        state.heat_w += cs.heat_w;
+        state.pump_power_w += cs.pump_power_w;
+        state.faulted_servers += cs.faulted_servers;
+        state.all_safe = state.all_safe && cs.all_safe;
+        total_flow_lph +=
+            cs.delivered_flow_lph * static_cast<double>(n);
+        min_supply_c = std::min(min_supply_c, setting.t_in_c);
+        state.circulations.push_back(std::move(cs));
+    }
+
+    // Keep the plant model fed with a positive flow even when every
+    // pump in the building is dead.
+    total_flow_lph =
+        std::max(total_flow_lph, Circulation::kStagnantFlowLph);
+    hydraulic::PlantPower pp = plant_.power(
+        state.heat_w, min_supply_c, total_flow_lph, health.plant);
     state.plant_power_w = pp.total();
     return state;
 }

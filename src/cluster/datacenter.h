@@ -35,6 +35,28 @@ struct DatacenterParams
     hydraulic::PlantParams plant;
 };
 
+/**
+ * Degradation of the whole datacenter (fault model). A default
+ * constructed health is a fully healthy plant and cluster.
+ */
+struct DatacenterHealth
+{
+    /** Per-circulation health; empty means every loop is healthy. */
+    std::vector<CirculationHealth> circulations;
+    /** Facility plant availability. */
+    hydraulic::PlantHealth plant;
+
+    bool clean() const
+    {
+        if (!plant.clean())
+            return false;
+        for (const CirculationHealth &c : circulations)
+            if (!c.clean())
+                return false;
+        return true;
+    }
+};
+
 /** Aggregate state of the datacenter for one interval. */
 struct DatacenterState
 {
@@ -50,12 +72,20 @@ struct DatacenterState
     double pump_power_w = 0.0;
     /** Facility plant power (chiller + tower fans), W. */
     double plant_power_w = 0.0;
+    /** Servers currently affected by a hardware fault. */
+    size_t faulted_servers = 0;
+    /** Harvest lost to TEG faults, W. */
+    double teg_power_lost_w = 0.0;
+    /** Plant forced off its requested supply temperature? */
+    bool plant_degraded = false;
     /** All dies safe this interval? */
     bool all_safe = true;
 
     /** Mean TEG output per server, W (the paper's headline metric). */
     double tegPowerPerServer(size_t num_servers) const
     {
+        if (num_servers == 0)
+            return 0.0;
         return teg_power_w / static_cast<double>(num_servers);
     }
 };
@@ -90,6 +120,16 @@ class Datacenter
     DatacenterState evaluate(const std::vector<double> &utils,
                              const std::vector<CoolingSetting> &settings)
         const;
+
+    /**
+     * Evaluate one interval under hardware faults: plant outages warm
+     * the delivered supply temperature of every circulation, degraded
+     * pumps starve their loop, and per-server faults flow through.
+     * A clean @p health reproduces the healthy evaluation exactly.
+     */
+    DatacenterState evaluate(const std::vector<double> &utils,
+                             const std::vector<CoolingSetting> &settings,
+                             const DatacenterHealth &health) const;
 
     /** Slice the utilizations belonging to circulation @p i. */
     std::vector<double> circulationUtils(

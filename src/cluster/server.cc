@@ -1,5 +1,7 @@
 #include "cluster/server.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace h2p {
@@ -24,6 +26,36 @@ Server::evaluate(double util, double flow_lph, double t_in_c,
     s.outlet_c =
         thermal_.outletTemperature(s.cpu_power_w, flow_lph, t_in_c);
     s.teg_power_w = teg_.powerFromTemps(s.outlet_c, t_cold_c, flow_lph);
+    s.safe = s.die_temp_c <= params_.thermal.max_operating_c;
+    return s;
+}
+
+ServerState
+Server::evaluate(double util, double flow_lph, double t_in_c,
+                 double t_cold_c, const ServerHealth &health) const
+{
+    if (health.clean())
+        return evaluate(util, flow_lph, t_in_c, t_cold_c);
+
+    ServerState s;
+    s.util = util;
+    s.faulted = true;
+    s.cpu_power_w = power_.power(util);
+    s.die_temp_c = thermal_.dieTemperature(s.cpu_power_w, flow_lph,
+                                           t_in_c, health.fouling_kpw);
+    s.heat_w = thermal_.heatToCoolant(s.cpu_power_w, flow_lph, t_in_c,
+                                      health.fouling_kpw);
+    s.outlet_c = thermal_.outletTemperature(s.cpu_power_w, flow_lph,
+                                            t_in_c, health.fouling_kpw);
+    double healthy_w =
+        teg_.powerFromTemps(s.outlet_c, t_cold_c, flow_lph);
+    size_t active =
+        health.teg_open
+            ? 0
+            : teg_.count() - std::min(teg_.count(), health.tegs_shorted);
+    s.teg_power_w =
+        teg_.powerFromTemps(s.outlet_c, t_cold_c, flow_lph, active);
+    s.teg_power_lost_w = healthy_w - s.teg_power_w;
     s.safe = s.die_temp_c <= params_.thermal.max_operating_c;
     return s;
 }

@@ -31,6 +31,26 @@ struct ServerParams
     size_t tegs_per_server = 12;
 };
 
+/**
+ * Hardware degradation of one server (fault model). Defaults describe
+ * a healthy machine; Server::evaluate with a clean health is exactly
+ * the healthy evaluation.
+ */
+struct ServerHealth
+{
+    /** One series TEG went open-circuit: the whole string is dead. */
+    bool teg_open = false;
+    /** Short-circuited TEGs: dropped from the string, rest generate. */
+    size_t tegs_shorted = 0;
+    /** Cold-plate fouling: extra die-to-coolant resistance, K/W. */
+    double fouling_kpw = 0.0;
+
+    bool clean() const
+    {
+        return !teg_open && tegs_shorted == 0 && fouling_kpw <= 0.0;
+    }
+};
+
 /** Instantaneous operating state of a server. */
 struct ServerState
 {
@@ -46,6 +66,10 @@ struct ServerState
     double heat_w = 0.0;
     /** TEG module electrical output at matched load, W. */
     double teg_power_w = 0.0;
+    /** Harvest lost to TEG faults at this operating point, W. */
+    double teg_power_lost_w = 0.0;
+    /** Evaluated under a non-clean ServerHealth? */
+    bool faulted = false;
     /** Die at or below the vendor maximum? */
     bool safe = false;
 };
@@ -70,6 +94,17 @@ class Server
      */
     ServerState evaluate(double util, double flow_lph, double t_in_c,
                          double t_cold_c) const;
+
+    /**
+     * Evaluate a degraded server: cold-plate fouling raises the die
+     * temperature, TEG faults cut the harvest. The lost harvest
+     * (healthy module at the same thermal operating point minus the
+     * degraded output) is reported in ServerState::teg_power_lost_w.
+     * A clean @p health reproduces the healthy evaluation exactly.
+     */
+    ServerState evaluate(double util, double flow_lph, double t_in_c,
+                         double t_cold_c,
+                         const ServerHealth &health) const;
 
     const workload::CpuPowerModel &powerModel() const { return power_; }
     const thermal::CpuThermalModel &thermalModel() const

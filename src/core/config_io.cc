@@ -75,6 +75,73 @@ configFromIni(const sim::Config &ini)
                                            plant.tower.approach_c);
     plant.cdu_approach_c = ini.getDouble("plant", "cdu_approach_c",
                                          plant.cdu_approach_c);
+
+    auto &faults = cfg.faults;
+    faults.seed = static_cast<uint64_t>(ini.getLong(
+        "fault", "seed", static_cast<long>(faults.seed)));
+    faults.pump_degrade_per_circ_year =
+        ini.getDouble("fault", "pump_degrade_per_circ_year",
+                      faults.pump_degrade_per_circ_year);
+    faults.pump_fail_per_circ_year =
+        ini.getDouble("fault", "pump_fail_per_circ_year",
+                      faults.pump_fail_per_circ_year);
+    faults.teg_open_per_server_year =
+        ini.getDouble("fault", "teg_open_per_server_year",
+                      faults.teg_open_per_server_year);
+    faults.teg_short_per_server_year =
+        ini.getDouble("fault", "teg_short_per_server_year",
+                      faults.teg_short_per_server_year);
+    faults.chiller_outages_per_year =
+        ini.getDouble("fault", "chiller_outages_per_year",
+                      faults.chiller_outages_per_year);
+    faults.tower_outages_per_year =
+        ini.getDouble("fault", "tower_outages_per_year",
+                      faults.tower_outages_per_year);
+    faults.die_sensor_faults_per_circ_year =
+        ini.getDouble("fault", "die_sensor_faults_per_circ_year",
+                      faults.die_sensor_faults_per_circ_year);
+    faults.flow_sensor_faults_per_circ_year =
+        ini.getDouble("fault", "flow_sensor_faults_per_circ_year",
+                      faults.flow_sensor_faults_per_circ_year);
+    faults.fouling_kpw_per_year =
+        ini.getDouble("fault", "fouling_kpw_per_year",
+                      faults.fouling_kpw_per_year);
+    faults.outage_duration_hours =
+        ini.getDouble("fault", "outage_duration_hours",
+                      faults.outage_duration_hours);
+    faults.sensor_fault_duration_hours =
+        ini.getDouble("fault", "sensor_fault_duration_hours",
+                      faults.sensor_fault_duration_hours);
+    faults.sensor_drift_c_per_hour =
+        ini.getDouble("fault", "sensor_drift_c_per_hour",
+                      faults.sensor_drift_c_per_hour);
+    faults.pump_degraded_flow_factor =
+        ini.getDouble("fault", "pump_degraded_flow_factor",
+                      faults.pump_degraded_flow_factor);
+
+    auto &sm = cfg.safe_mode;
+    sm.enabled =
+        ini.getLong("safe_mode", "enabled", sm.enabled ? 1 : 0) != 0;
+    sm.margin_c = ini.getDouble("safe_mode", "margin_c", sm.margin_c);
+    sm.min_plausible_c = ini.getDouble("safe_mode", "min_plausible_c",
+                                       sm.min_plausible_c);
+    sm.max_plausible_c = ini.getDouble("safe_mode", "max_plausible_c",
+                                       sm.max_plausible_c);
+    sm.max_rate_c_per_s = ini.getDouble("safe_mode", "max_rate_c_per_s",
+                                        sm.max_rate_c_per_s);
+    sm.flow_tolerance = ini.getDouble("safe_mode", "flow_tolerance",
+                                      sm.flow_tolerance);
+    sm.hold_steps = static_cast<size_t>(ini.getLong(
+        "safe_mode", "hold_steps", static_cast<long>(sm.hold_steps)));
+    sm.watchdog_enabled =
+        ini.getLong("safe_mode", "watchdog_enabled",
+                    sm.watchdog_enabled ? 1 : 0) != 0;
+    sm.throttle_factor = ini.getDouble("safe_mode", "throttle_factor",
+                                       sm.throttle_factor);
+    sm.recovery_margin_c = ini.getDouble(
+        "safe_mode", "recovery_margin_c", sm.recovery_margin_c);
+    sm.release_step =
+        ini.getDouble("safe_mode", "release_step", sm.release_step);
     return cfg;
 }
 

@@ -16,6 +16,19 @@
  *                tin_min_c, tin_max_c, tin_points, util_points
  *   [plant]      wet_bulb_c, cop, tower_approach_c, cdu_approach_c
  *   [trace]      profile (drastic|irregular|common), seed, servers
+ *   [fault]      seed, pump_degrade_per_circ_year,
+ *                pump_fail_per_circ_year, teg_open_per_server_year,
+ *                teg_short_per_server_year, chiller_outages_per_year,
+ *                tower_outages_per_year,
+ *                die_sensor_faults_per_circ_year,
+ *                flow_sensor_faults_per_circ_year,
+ *                fouling_kpw_per_year, outage_duration_hours,
+ *                sensor_fault_duration_hours, sensor_drift_c_per_hour,
+ *                pump_degraded_flow_factor
+ *   [safe_mode]  enabled (0|1), margin_c, min_plausible_c,
+ *                max_plausible_c, max_rate_c_per_s, flow_tolerance,
+ *                hold_steps, watchdog_enabled (0|1), throttle_factor,
+ *                recovery_margin_c, release_step
  */
 
 #ifndef H2P_CORE_CONFIG_IO_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/watchdog.h"
 #include "util/error.h"
 #include "util/units.h"
 
@@ -38,6 +39,9 @@ RunResult
 H2PSystem::run(const workload::UtilizationTrace &trace,
                sched::Policy policy) const
 {
+    if (config_.faults.enabled() || config_.safe_mode.enabled)
+        return runResilient(trace, policy);
+
     size_t servers = dc_->numServers();
     expect(trace.numServers() >= servers, "trace covers ",
            trace.numServers(), " servers; datacenter has ", servers);
@@ -54,6 +58,7 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
     double teg_j = 0.0, cpu_j = 0.0, plant_j = 0.0, pump_j = 0.0;
     double t_in_sum = 0.0;
     size_t safe_steps = 0;
+    std::vector<size_t> circ_safe_steps(dc_->numCirculations(), 0);
 
     for (size_t step = 0; step < trace.numSteps(); ++step) {
         std::vector<double> utils = trace.step(step);
@@ -71,8 +76,11 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
         t_in_mean /= static_cast<double>(decision.settings.size());
 
         double max_die = 0.0;
-        for (const auto &c : state.circulations)
-            max_die = std::max(max_die, c.max_die_c);
+        for (size_t c = 0; c < state.circulations.size(); ++c) {
+            max_die = std::max(max_die, state.circulations[c].max_die_c);
+            if (state.circulations[c].all_safe)
+                ++circ_safe_steps[c];
+        }
 
         double util_mean = 0.0, util_max = 0.0;
         for (double u : utils) {
@@ -114,6 +122,183 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
                       static_cast<double>(trace.numSteps());
     s.avg_t_in_c =
         t_in_sum / static_cast<double>(trace.numSteps());
+    s.circulation_safe_fraction.reserve(circ_safe_steps.size());
+    for (size_t c : circ_safe_steps)
+        s.circulation_safe_fraction.push_back(
+            static_cast<double>(c) /
+            static_cast<double>(trace.numSteps()));
+    return result;
+}
+
+RunResult
+H2PSystem::runResilient(const workload::UtilizationTrace &trace,
+                        sched::Policy policy) const
+{
+    size_t servers = dc_->numServers();
+    expect(trace.numServers() >= servers, "trace covers ",
+           trace.numServers(), " servers; datacenter has ", servers);
+    expect(trace.numSteps() >= 1, "trace is empty");
+
+    const size_t num_circ = dc_->numCirculations();
+    const double dt = trace.dt();
+    const sched::SafeModeParams &sm = config_.safe_mode;
+
+    sched::Scheduler scheduler(*dc_, *optimizer_, policy);
+    fault::FaultInjector injector(
+        config_.faults, *dc_,
+        static_cast<double>(trace.numSteps()) * dt);
+    sched::SafetyMonitor monitor(num_circ, sm);
+
+    const bool use_watchdog = sm.enabled && sm.watchdog_enabled;
+    fault::WatchdogParams wd;
+    wd.trip_c = config_.datacenter.server.thermal.max_operating_c;
+    wd.throttle_factor = sm.throttle_factor;
+    wd.recovery_margin_c = sm.recovery_margin_c;
+    wd.release_step = sm.release_step;
+    fault::ThermalTripWatchdog watchdog(servers, wd);
+
+    RunResult result;
+    result.summary.policy = policy;
+    result.recorder = std::make_shared<sim::Recorder>(dt);
+    sim::Recorder &rec = *result.recorder;
+
+    double n = static_cast<double>(servers);
+    double teg_j = 0.0, cpu_j = 0.0, plant_j = 0.0, pump_j = 0.0;
+    double teg_lost_j = 0.0;
+    double t_in_sum = 0.0;
+    size_t safe_steps = 0;
+    size_t safe_mode_steps = 0;
+    size_t max_faulted = 0;
+    std::vector<size_t> circ_safe_steps(num_circ, 0);
+
+    // The controller acts on the previous interval's measurements;
+    // the first interval has none, so every loop starts Normal.
+    std::vector<sched::SensorReading> die_read(num_circ);
+    std::vector<sched::SensorReading> flow_read(num_circ);
+    std::vector<double> commanded_flow(num_circ, 0.0);
+    bool have_readings = false;
+
+    std::vector<double> die_temps(servers, 0.0);
+    std::vector<sched::SafeModeAction> actions(
+        num_circ, sched::SafeModeAction::Normal);
+
+    for (size_t step = 0; step < trace.numSteps(); ++step) {
+        injector.advanceTo(static_cast<double>(step) * dt);
+
+        std::vector<double> utils = trace.step(step);
+        utils.resize(servers);
+        if (use_watchdog)
+            utils = watchdog.shape(utils, dt);
+
+        if (sm.enabled && have_readings) {
+            for (size_t c = 0; c < num_circ; ++c)
+                actions[c] = monitor.assess(c, die_read[c], flow_read[c],
+                                            commanded_flow[c], dt);
+        }
+
+        sched::ScheduleDecision decision =
+            scheduler.decide(utils, actions, sm.margin_c);
+        cluster::DatacenterState state = dc_->evaluate(
+            decision.utils, decision.settings, injector.health());
+
+        // Feed the true die temperatures to the watchdog (the CPU's
+        // own on-die sensor) and the possibly-corrupted loop readings
+        // to the safety monitor for the next interval.
+        size_t server_idx = 0;
+        for (size_t c = 0; c < state.circulations.size(); ++c) {
+            const cluster::CirculationState &cs = state.circulations[c];
+            for (const cluster::ServerState &sv : cs.servers)
+                die_temps[server_idx++] = sv.die_temp_c;
+            die_read[c] = injector.readDie(c, cs.max_die_c);
+            flow_read[c] = injector.readFlow(c, cs.delivered_flow_lph);
+            commanded_flow[c] = decision.settings[c].flow_lph;
+        }
+        H2P_ASSERT(server_idx == servers, "server states incomplete");
+        have_readings = true;
+        if (use_watchdog)
+            watchdog.observe(die_temps);
+
+        double teg_per = state.teg_power_w / n;
+        double cpu_per = state.cpu_power_w / n;
+        double t_in_mean = 0.0;
+        for (const auto &s : decision.settings)
+            t_in_mean += s.t_in_c;
+        t_in_mean /= static_cast<double>(decision.settings.size());
+
+        double max_die = 0.0;
+        for (size_t c = 0; c < state.circulations.size(); ++c) {
+            max_die = std::max(max_die, state.circulations[c].max_die_c);
+            if (state.circulations[c].all_safe)
+                ++circ_safe_steps[c];
+        }
+
+        double util_mean = 0.0, util_max = 0.0;
+        for (double u : utils) {
+            util_mean += u;
+            util_max = std::max(util_max, u);
+        }
+        util_mean /= n;
+
+        size_t degraded_circs = 0;
+        for (sched::SafeModeAction a : actions)
+            if (a != sched::SafeModeAction::Normal)
+                ++degraded_circs;
+        safe_mode_steps += degraded_circs;
+
+        rec.record("teg_w_per_server", teg_per);
+        rec.record("cpu_w_per_server", cpu_per);
+        rec.record("pre", cpu_per > 0.0 ? teg_per / cpu_per : 0.0);
+        rec.record("t_in_mean_c", t_in_mean);
+        rec.record("plant_w", state.plant_power_w);
+        rec.record("pump_w", state.pump_power_w);
+        rec.record("max_die_c", max_die);
+        rec.record("util_mean", util_mean);
+        rec.record("util_max", util_max);
+        rec.record("faulted_servers",
+                   static_cast<double>(state.faulted_servers));
+        rec.record("teg_w_lost_per_server", state.teg_power_lost_w / n);
+        rec.record("safe_mode_circulations",
+                   static_cast<double>(degraded_circs));
+        rec.record("throttled_servers",
+                   static_cast<double>(
+                       use_watchdog ? watchdog.numThrottled() : 0));
+
+        teg_j += state.teg_power_w * dt;
+        cpu_j += state.cpu_power_w * dt;
+        plant_j += state.plant_power_w * dt;
+        pump_j += state.pump_power_w * dt;
+        teg_lost_j += state.teg_power_lost_w * dt;
+        t_in_sum += t_in_mean;
+        if (state.all_safe)
+            ++safe_steps;
+        max_faulted = std::max(max_faulted, state.faulted_servers);
+    }
+
+    RunSummary &s = result.summary;
+    const auto &teg_series = rec.series("teg_w_per_server");
+    s.avg_teg_w = teg_series.mean();
+    s.peak_teg_w = teg_series.max();
+    s.avg_cpu_w = rec.series("cpu_w_per_server").mean();
+    s.teg_energy_kwh = units::joulesToKwh(teg_j);
+    s.cpu_energy_kwh = units::joulesToKwh(cpu_j);
+    s.plant_energy_kwh = units::joulesToKwh(plant_j);
+    s.pump_energy_kwh = units::joulesToKwh(pump_j);
+    s.pre = cpu_j > 0.0 ? teg_j / cpu_j : 0.0;
+    s.safe_fraction = static_cast<double>(safe_steps) /
+                      static_cast<double>(trace.numSteps());
+    s.avg_t_in_c = t_in_sum / static_cast<double>(trace.numSteps());
+    s.fault_events = injector.struckCount();
+    s.throttle_events = use_watchdog ? watchdog.tripEvents() : 0;
+    s.throttled_work_server_hours =
+        use_watchdog ? watchdog.deferredWorkSeconds() / 3600.0 : 0.0;
+    s.teg_energy_lost_kwh = units::joulesToKwh(teg_lost_j);
+    s.safe_mode_steps = safe_mode_steps;
+    s.max_faulted_servers = max_faulted;
+    s.circulation_safe_fraction.reserve(num_circ);
+    for (size_t c : circ_safe_steps)
+        s.circulation_safe_fraction.push_back(
+            static_cast<double>(c) /
+            static_cast<double>(trace.numSteps()));
     return result;
 }
 

@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "cluster/datacenter.h"
+#include "fault/fault_injector.h"
 #include "sched/cooling_optimizer.h"
 #include "sched/lookup_space.h"
+#include "sched/safe_mode.h"
 #include "sched/scheduler.h"
 #include "sim/recorder.h"
 #include "workload/trace.h"
@@ -32,6 +34,10 @@ struct H2PConfig
     cluster::DatacenterParams datacenter;
     sched::LookupSpaceParams lookup;
     sched::OptimizerParams optimizer;
+    /** Fault scenario; default (no rates, no script) injects nothing. */
+    fault::FaultScenarioParams faults;
+    /** Degraded-mode control; disabled by default. */
+    sched::SafeModeParams safe_mode;
 };
 
 /** Summary of one trace-driven run. */
@@ -59,6 +65,23 @@ struct RunSummary
     double safe_fraction = 0.0;
     /** Mean chosen inlet temperature across circulations/steps, C. */
     double avg_t_in_c = 0.0;
+
+    // Resilience accounting; all zero (and the vector sized but
+    // trivially 1.0 or equal to safe_fraction) on fault-free runs.
+    /** Fault events whose onset passed during the run. */
+    size_t fault_events = 0;
+    /** Thermal-trip watchdog trips (untripped -> tripped). */
+    size_t throttle_events = 0;
+    /** Work deferred by watchdog throttling, server-hours. */
+    double throttled_work_server_hours = 0.0;
+    /** Harvest energy lost to TEG faults, kWh. */
+    double teg_energy_lost_kwh = 0.0;
+    /** Circulation-intervals spent in a non-Normal safe-mode action. */
+    size_t safe_mode_steps = 0;
+    /** Peak simultaneous hardware-faulted servers. */
+    size_t max_faulted_servers = 0;
+    /** Per-circulation fraction of intervals with every die safe. */
+    std::vector<double> circulation_safe_fraction;
 };
 
 /** Full result: summary plus per-step recorded channels. */
@@ -70,6 +93,9 @@ struct RunResult
      *   "teg_w_per_server", "cpu_w_per_server", "pre",
      *   "t_in_mean_c", "plant_w", "pump_w", "max_die_c",
      *   "util_mean", "util_max".
+     * Runs with faults or safe mode enabled additionally record
+     *   "faulted_servers", "teg_w_lost_per_server",
+     *   "safe_mode_circulations", "throttled_servers".
      */
     std::shared_ptr<sim::Recorder> recorder;
 };
@@ -89,6 +115,13 @@ class H2PSystem
      * The trace must cover at least the datacenter's server count;
      * extra servers are ignored (the paper slices 1,000 out of the
      * Google trace the same way).
+     *
+     * When the configuration enables a fault scenario or safe-mode
+     * control the run goes through the resilient loop: hardware health
+     * from the FaultInjector, sensor readings corrupted on their way
+     * to the SafetyMonitor, and (if enabled) the thermal-trip watchdog
+     * shaping utilizations. With neither enabled the original
+     * fault-free loop runs unchanged.
      */
     RunResult run(const workload::UtilizationTrace &trace,
                   sched::Policy policy) const;
@@ -108,6 +141,9 @@ class H2PSystem
     const H2PConfig &config() const { return config_; }
 
   private:
+    RunResult runResilient(const workload::UtilizationTrace &trace,
+                           sched::Policy policy) const;
+
     H2PConfig config_;
     std::unique_ptr<cluster::Datacenter> dc_;
     std::unique_ptr<sched::LookupSpace> space_;

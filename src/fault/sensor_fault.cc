@@ -1,0 +1,51 @@
+#include "fault/sensor_fault.h"
+
+namespace h2p {
+namespace fault {
+
+void
+SensorChannel::setFault(const SensorFaultWindow &window)
+{
+    fault_ = window;
+    resetLatch();
+}
+
+void
+SensorChannel::resetLatch()
+{
+    has_latch_ = false;
+    latched_ = 0.0;
+}
+
+sched::SensorReading
+SensorChannel::read(double true_value, double time_s)
+{
+    sched::SensorReading r;
+    if (!fault_.activeAt(time_s)) {
+        r.value = true_value;
+        return r;
+    }
+    switch (fault_.kind) {
+      case SensorFaultKind::None:
+        r.value = true_value;
+        break;
+      case SensorFaultKind::Stuck:
+        if (!has_latch_) {
+            latched_ = true_value;
+            has_latch_ = true;
+        }
+        r.value = latched_;
+        break;
+      case SensorFaultKind::Drift:
+        r.value = true_value + fault_.drift_per_hour *
+                                   ((time_s - fault_.start_s) / 3600.0);
+        break;
+      case SensorFaultKind::Dropout:
+        r.valid = false;
+        break;
+    }
+    return r;
+}
+
+} // namespace fault
+} // namespace h2p

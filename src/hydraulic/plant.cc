@@ -47,5 +47,41 @@ FacilityPlant::power(double heat_w, double tcs_supply_c,
     return p;
 }
 
+PlantPower
+FacilityPlant::power(double heat_w, double tcs_supply_c,
+                     double tcs_flow_lph, const PlantHealth &health) const
+{
+    if (health.clean())
+        return power(heat_w, tcs_supply_c, tcs_flow_lph);
+    expect(heat_w >= 0.0, "heat load must be non-negative");
+    expect(tcs_flow_lph > 0.0, "TCS flow must be positive");
+
+    PlantPower p;
+    if (health.chiller_out && health.tower_out)
+        return p; // Dark plant: nothing runs, nothing is rejected.
+    if (health.chiller_out) {
+        // Free cooling only; achievableSupply() already floored the
+        // setpoint at what the tower can deliver.
+        p.tower_w = tower_.fanPower(heat_w);
+        return p;
+    }
+    // Tower out: the chiller alone lifts every watt at 1/COP.
+    p.chiller_on = true;
+    p.chiller_w = chiller_.electricPower(heat_w);
+    return p;
+}
+
+double
+FacilityPlant::achievableSupply(double requested_c,
+                                const PlantHealth &health) const
+{
+    if (health.chiller_out && health.tower_out)
+        return std::max(requested_c,
+                        freeCoolingLimit() + kDarkPlantPenaltyC);
+    if (health.chiller_out)
+        return std::max(requested_c, freeCoolingLimit());
+    return requested_c;
+}
+
 } // namespace hydraulic
 } // namespace h2p

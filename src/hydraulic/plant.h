@@ -46,6 +46,17 @@ struct PlantPower
     double total() const { return chiller_w + tower_w; }
 };
 
+/** Availability of the plant's major components (fault model). */
+struct PlantHealth
+{
+    /** Chiller tripped/out of service. */
+    bool chiller_out = false;
+    /** Cooling tower out of service (fans/fill/basin). */
+    bool tower_out = false;
+
+    bool clean() const { return !chiller_out && !tower_out; }
+};
+
 /**
  * The facility water system serving one or more circulations.
  */
@@ -67,8 +78,33 @@ class FacilityPlant
     PlantPower power(double heat_w, double tcs_supply_c,
                      double tcs_flow_lph) const;
 
+    /**
+     * Same evaluation under component outages. With the chiller out,
+     * only free cooling remains (the supply floors at
+     * freeCoolingLimit(); pair with achievableSupply()). With the
+     * tower out, every watt is rejected through the chiller at 1/COP.
+     * With both out the plant is dark and rejects nothing.
+     */
+    PlantPower power(double heat_w, double tcs_supply_c,
+                     double tcs_flow_lph,
+                     const PlantHealth &health) const;
+
+    /**
+     * The supply temperature the degraded plant can actually deliver
+     * for a requested setpoint: the request itself when healthy (or
+     * only the tower is out), floored at freeCoolingLimit() with the
+     * chiller out, and floored at freeCoolingLimit() plus a dead-plant
+     * penalty when nothing runs (residual thermosiphon/bypass
+     * rejection only).
+     */
+    double achievableSupply(double requested_c,
+                            const PlantHealth &health) const;
+
     /** Lowest TCS supply the tower alone can sustain, C. */
     double freeCoolingLimit() const;
+
+    /** Supply-temperature penalty over free cooling when dark, C. */
+    static constexpr double kDarkPlantPenaltyC = 12.0;
 
     const PlantParams &params() const { return params_; }
 

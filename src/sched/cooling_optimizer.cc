@@ -39,8 +39,16 @@ CoolingOptimizer::candidateSet(double plan_util) const
 OptimizerResult
 CoolingOptimizer::choose(double plan_util) const
 {
+    return choose(plan_util, params_.t_safe_c);
+}
+
+OptimizerResult
+CoolingOptimizer::choose(double plan_util, double t_safe_c) const
+{
     expect(plan_util >= 0.0 && plan_util <= 1.0,
            "planning utilization must be in [0, 1]");
+    expect(t_safe_c > params_.cold_source_c,
+           "T_safe must exceed the cold-source temperature");
 
     OptimizerResult best;
     bool found = false;
@@ -57,7 +65,11 @@ CoolingOptimizer::choose(double plan_util) const
     };
 
     // Step 2+3: maximize TEG power on the A = U ∩ X intersection.
-    std::vector<LookupPoint> in_band = candidateSet(plan_util);
+    std::vector<LookupPoint> in_band;
+    for (const LookupPoint &p : space_.slice(plan_util)) {
+        if (std::abs(p.t_cpu_c - t_safe_c) <= params_.band_c)
+            in_band.push_back(p);
+    }
     best.candidates = in_band.size();
     for (const LookupPoint &p : in_band)
         consider(p);
@@ -70,7 +82,7 @@ CoolingOptimizer::choose(double plan_util) const
     // then the warmest inlet wins — or when the grid skips the band.
     best.fallback = true;
     for (const LookupPoint &p : space_.slice(plan_util)) {
-        if (p.t_cpu_c <= params_.t_safe_c + params_.band_c)
+        if (p.t_cpu_c <= t_safe_c + params_.band_c)
             consider(p);
     }
     if (found)
@@ -78,6 +90,14 @@ CoolingOptimizer::choose(double plan_util) const
 
     // Fallback 2: nothing is safe (extreme load); apply maximum
     // cooling: coldest inlet at the highest flow.
+    return coldestFallback(plan_util);
+}
+
+OptimizerResult
+CoolingOptimizer::coldestFallback(double plan_util) const
+{
+    expect(plan_util >= 0.0 && plan_util <= 1.0,
+           "planning utilization must be in [0, 1]");
     LookupPoint coldest;
     bool have = false;
     for (const LookupPoint &p : space_.slice(plan_util)) {
@@ -87,6 +107,8 @@ CoolingOptimizer::choose(double plan_util) const
         }
     }
     H2P_ASSERT(have, "look-up space produced an empty slice");
+    OptimizerResult best;
+    best.fallback = true;
     best.setting.t_in_c = coldest.t_in_c;
     best.setting.flow_lph = coldest.flow_lph;
     best.teg_power_w = tegPowerAt(coldest);

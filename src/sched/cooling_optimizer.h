@@ -81,6 +81,24 @@ class CoolingOptimizer
     OptimizerResult choose(double plan_util) const;
 
     /**
+     * Same, planning against an overridden safe temperature instead
+     * of params().t_safe_c. Degraded-mode control widens its margin
+     * by planning at T_safe - margin (sched/safe_mode.h).
+     */
+    OptimizerResult choose(double plan_util, double t_safe_c) const;
+
+    /**
+     * The maximum-cooling fallback: of the slice at @p plan_util, the
+     * candidate with the lowest predicted CPU temperature — which on
+     * the monotone lookup grid is the coldest inlet (tin_min) at the
+     * highest flow (flow_max). This is the setting Fallback 2 of
+     * choose() applies when nothing is safe, and the setting
+     * degraded-mode control applies when it stops trusting its
+     * sensors. The result always has fallback == true.
+     */
+    OptimizerResult coldestFallback(double plan_util) const;
+
+    /**
      * The candidate set A for @p plan_util (exposed for the Fig. 13
      * bench): look-up points within the T_safe band.
      */

@@ -27,6 +27,19 @@ Scheduler::Scheduler(const cluster::Datacenter &dc,
 ScheduleDecision
 Scheduler::decide(const std::vector<double> &utils) const
 {
+    return decide(utils, {}, 0.0);
+}
+
+ScheduleDecision
+Scheduler::decide(const std::vector<double> &utils,
+                  const std::vector<SafeModeAction> &actions,
+                  double margin_c) const
+{
+    expect(actions.empty() || actions.size() == dc_.numCirculations(),
+           "expected ", dc_.numCirculations(), " actions, got ",
+           actions.size());
+    expect(margin_c >= 0.0, "margin must be non-negative");
+
     ScheduleDecision decision;
     decision.utils = utils;
     decision.settings.reserve(dc_.numCirculations());
@@ -48,7 +61,21 @@ Scheduler::decide(const std::vector<double> &utils) const
             plan_util = maxUtil(group);
         }
 
-        OptimizerResult res = optimizer_.choose(plan_util);
+        SafeModeAction action =
+            actions.empty() ? SafeModeAction::Normal : actions[i];
+        OptimizerResult res;
+        switch (action) {
+          case SafeModeAction::Normal:
+            res = optimizer_.choose(plan_util);
+            break;
+          case SafeModeAction::WidenMargin:
+            res = optimizer_.choose(
+                plan_util, optimizer_.params().t_safe_c - margin_c);
+            break;
+          case SafeModeAction::ColdFallback:
+            res = optimizer_.coldestFallback(plan_util);
+            break;
+        }
         decision.settings.push_back(res.setting);
         decision.details.push_back(res);
         offset += group.size();

@@ -13,6 +13,7 @@
 
 #include "cluster/datacenter.h"
 #include "sched/cooling_optimizer.h"
+#include "sched/safe_mode.h"
 
 namespace h2p {
 namespace sched {
@@ -56,6 +57,17 @@ class Scheduler
 
     /** Decide the settings for one interval of utilizations. */
     ScheduleDecision decide(const std::vector<double> &utils) const;
+
+    /**
+     * Decide under degraded-mode control: @p actions (one per
+     * circulation, from a SafetyMonitor) overrides the optimization
+     * per loop — WidenMargin plans at T_safe - margin_c, ColdFallback
+     * abandons harvesting for the coldest/highest-flow setting. An
+     * all-Normal vector reproduces decide(utils) exactly.
+     */
+    ScheduleDecision decide(const std::vector<double> &utils,
+                            const std::vector<SafeModeAction> &actions,
+                            double margin_c) const;
 
     Policy policy() const { return policy_; }
 

@@ -17,32 +17,35 @@ CpuThermalModel::CpuThermalModel(const CpuThermalParams &params)
 }
 
 double
-CpuThermalModel::plateResistance(double flow_lph) const
+CpuThermalModel::plateResistance(double flow_lph,
+                                 double fouling_kpw) const
 {
-    return plate_.resistance(flow_lph);
+    expect(fouling_kpw >= 0.0, "fouling resistance must be non-negative");
+    return plate_.resistance(flow_lph) + fouling_kpw;
 }
 
 double
-CpuThermalModel::coolantSlope(double flow_lph) const
+CpuThermalModel::coolantSlope(double flow_lph, double fouling_kpw) const
 {
-    return 1.0 + params_.gamma_slope * plateResistance(flow_lph);
+    return 1.0 +
+           params_.gamma_slope * plateResistance(flow_lph, fouling_kpw);
 }
 
 double
 CpuThermalModel::dieTemperature(double p_dyn_w, double flow_lph,
-                                double t_in_c) const
+                                double t_in_c, double fouling_kpw) const
 {
     expect(p_dyn_w >= 0.0, "dynamic power must be non-negative");
-    double k = coolantSlope(flow_lph);
-    double r = plateResistance(flow_lph);
+    double k = coolantSlope(flow_lph, fouling_kpw);
+    double r = plateResistance(flow_lph, fouling_kpw);
     return k * t_in_c + p_dyn_w * r;
 }
 
 double
 CpuThermalModel::heatToCoolant(double p_dyn_w, double flow_lph,
-                               double t_in_c) const
+                               double t_in_c, double fouling_kpw) const
 {
-    double t_die = dieTemperature(p_dyn_w, flow_lph, t_in_c);
+    double t_die = dieTemperature(p_dyn_w, flow_lph, t_in_c, fouling_kpw);
     double leak =
         std::max(0.0, params_.leak_gamma * (t_die - params_.leak_ref_c));
     return p_dyn_w + leak + params_.parasitic_w;
@@ -50,17 +53,19 @@ CpuThermalModel::heatToCoolant(double p_dyn_w, double flow_lph,
 
 double
 CpuThermalModel::outletDelta(double p_dyn_w, double flow_lph,
-                             double t_in_c) const
+                             double t_in_c, double fouling_kpw) const
 {
     double cap_rate = units::streamCapacitanceRate(flow_lph);
-    return heatToCoolant(p_dyn_w, flow_lph, t_in_c) / cap_rate;
+    return heatToCoolant(p_dyn_w, flow_lph, t_in_c, fouling_kpw) /
+           cap_rate;
 }
 
 double
 CpuThermalModel::outletTemperature(double p_dyn_w, double flow_lph,
-                                   double t_in_c) const
+                                   double t_in_c,
+                                   double fouling_kpw) const
 {
-    return t_in_c + outletDelta(p_dyn_w, flow_lph, t_in_c);
+    return t_in_c + outletDelta(p_dyn_w, flow_lph, t_in_c, fouling_kpw);
 }
 
 bool

@@ -65,33 +65,38 @@ class CpuThermalModel
      * @param p_dyn_w Dynamic CPU power at the operating point, W.
      * @param flow_lph Coolant flow rate, L/H.
      * @param t_in_c Inlet coolant temperature, C.
+     * @param fouling_kpw Extra die-to-coolant thermal resistance from
+     *        scale/corrosion deposits on the cold plate, K/W (fault
+     *        model; 0 = pristine plate).
      */
     double dieTemperature(double p_dyn_w, double flow_lph,
-                          double t_in_c) const;
+                          double t_in_c, double fouling_kpw = 0.0) const;
 
     /**
      * Total heat deposited into the coolant stream, W: dynamic power
      * plus bounded leakage plus parasitic pickup.
      */
-    double heatToCoolant(double p_dyn_w, double flow_lph,
-                         double t_in_c) const;
+    double heatToCoolant(double p_dyn_w, double flow_lph, double t_in_c,
+                         double fouling_kpw = 0.0) const;
 
     /**
      * Coolant temperature rise across the server, C (Fig. 9):
      * dT_out-in = heatToCoolant / (mdot * c).
      */
-    double outletDelta(double p_dyn_w, double flow_lph,
-                       double t_in_c) const;
+    double outletDelta(double p_dyn_w, double flow_lph, double t_in_c,
+                       double fouling_kpw = 0.0) const;
 
     /** Outlet coolant temperature, C (paper Eq. 8). */
     double outletTemperature(double p_dyn_w, double flow_lph,
-                             double t_in_c) const;
+                             double t_in_c,
+                             double fouling_kpw = 0.0) const;
 
     /** Slope k(f) of T_CPU vs coolant temperature (Fig. 11). */
-    double coolantSlope(double flow_lph) const;
+    double coolantSlope(double flow_lph, double fouling_kpw = 0.0) const;
 
     /** Die-to-coolant thermal resistance at @p flow_lph, K/W. */
-    double plateResistance(double flow_lph) const;
+    double plateResistance(double flow_lph,
+                           double fouling_kpw = 0.0) const;
 
     /** True when the die stays at or below the vendor maximum. */
     bool isSafe(double p_dyn_w, double flow_lph, double t_in_c) const;

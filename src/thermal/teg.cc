@@ -119,5 +119,20 @@ TegModule::powerFromTemps(double t_warm_out, double t_cold,
     return maxPower(dt, flow_lph);
 }
 
+double
+TegModule::powerFromTemps(double t_warm_out, double t_cold,
+                          double flow_lph, size_t active_devices) const
+{
+    expect(active_devices <= count_, "module has ", count_,
+           " devices; ", active_devices, " cannot be active");
+    if (active_devices == 0)
+        return 0.0;
+    // Matched-load module power is linear in the series count (Eq. 7),
+    // so a shortened string produces the active/total fraction.
+    return powerFromTemps(t_warm_out, t_cold, flow_lph) *
+           (static_cast<double>(active_devices) /
+            static_cast<double>(count_));
+}
+
 } // namespace thermal
 } // namespace h2p

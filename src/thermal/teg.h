@@ -154,6 +154,17 @@ class TegModule
                           double flow_lph) const;
 
     /**
+     * Same, for a degraded module with only @p active_devices of the
+     * series string still contributing (fault model). A short-circuited
+     * device drops out of the string electrically but leaves the rest
+     * generating (the Fig. 8 scaling is linear in n); an open-circuited
+     * device breaks the whole string, i.e. active_devices = 0 and the
+     * module output is zero.
+     */
+    double powerFromTemps(double t_warm_out, double t_cold,
+                          double flow_lph, size_t active_devices) const;
+
+    /**
      * Fraction of the coolant dT that appears across the junctions at
      * @p flow_lph, normalized to 1 at the reference flow.
      */

@@ -11,6 +11,7 @@
 
 #include "core/h2p_system.h"
 #include "core/transient_circulation.h"
+#include "fault/fault_injector.h"
 #include "sched/cooling_optimizer.h"
 #include "thermal/rc_network.h"
 #include "util/error.h"
@@ -151,6 +152,101 @@ TEST(RcEdgeTest, SetEdgeResistanceChangesSteadyState)
     EXPECT_NEAR(net.temperature(n), 40.0, 0.05);
     EXPECT_THROW(net.setEdgeResistance(99, 1.0), Error);
     EXPECT_THROW(net.setEdgeResistance(edge, 0.0), Error);
+}
+
+// ------------------------------------------------- fault-timeline seeds
+
+namespace {
+
+fault::FaultScenarioParams
+sampledScenario(uint64_t seed)
+{
+    fault::FaultScenarioParams p;
+    p.seed = seed;
+    p.pump_degrade_per_circ_year = 20.0;
+    p.teg_open_per_server_year = 2.0;
+    p.chiller_outages_per_year = 30.0;
+    p.die_sensor_faults_per_circ_year = 15.0;
+    return p;
+}
+
+} // namespace
+
+TEST(FaultDeterminismTest, SameSeedGivesIdenticalTimeline)
+{
+    cluster::DatacenterParams dp;
+    dp.num_servers = 40;
+    dp.servers_per_circulation = 20;
+    cluster::Datacenter dc(dp);
+
+    double horizon = fault::FaultInjector::kSecondsPerYear / 4.0;
+    fault::FaultInjector a(sampledScenario(9), dc, horizon);
+    fault::FaultInjector b(sampledScenario(9), dc, horizon);
+
+    ASSERT_GT(a.events().size(), 0u);
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (size_t i = 0; i < a.events().size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.events()[i].time_s, b.events()[i].time_s);
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_EQ(a.events()[i].circulation, b.events()[i].circulation);
+        EXPECT_EQ(a.events()[i].server, b.events()[i].server);
+        EXPECT_DOUBLE_EQ(a.events()[i].magnitude,
+                         b.events()[i].magnitude);
+        EXPECT_DOUBLE_EQ(a.events()[i].duration_s,
+                         b.events()[i].duration_s);
+    }
+}
+
+TEST(FaultDeterminismTest, DifferentSeedsGiveDifferentTimelines)
+{
+    cluster::DatacenterParams dp;
+    dp.num_servers = 40;
+    dp.servers_per_circulation = 20;
+    cluster::Datacenter dc(dp);
+
+    double horizon = fault::FaultInjector::kSecondsPerYear / 4.0;
+    fault::FaultInjector a(sampledScenario(9), dc, horizon);
+    fault::FaultInjector b(sampledScenario(10), dc, horizon);
+
+    bool differs = a.events().size() != b.events().size();
+    for (size_t i = 0; !differs && i < a.events().size(); ++i)
+        differs = a.events()[i].time_s != b.events()[i].time_s;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultDeterminismTest, RepeatedResilientRunsAreBitIdentical)
+{
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = 40;
+    cfg.datacenter.servers_per_circulation = 20;
+    cfg.faults.seed = 31;
+    cfg.faults.pump_degrade_per_circ_year = 3000.0;
+    cfg.faults.die_sensor_faults_per_circ_year = 3000.0;
+    cfg.safe_mode.enabled = true;
+    core::H2PSystem sys(cfg);
+
+    workload::TraceGenerator gen(12);
+    auto trace = gen.generate(
+        workload::TraceGenParams::forProfile(
+            workload::TraceProfile::Drastic),
+        40, 4.0 * 3600.0);
+
+    auto a = sys.run(trace, sched::Policy::TegLoadBalance).summary;
+    auto b = sys.run(trace, sched::Policy::TegLoadBalance).summary;
+    EXPECT_GT(a.fault_events, 0u);
+    EXPECT_EQ(a.fault_events, b.fault_events);
+    EXPECT_EQ(a.safe_mode_steps, b.safe_mode_steps);
+    EXPECT_EQ(a.throttle_events, b.throttle_events);
+    EXPECT_DOUBLE_EQ(a.avg_teg_w, b.avg_teg_w);
+    EXPECT_DOUBLE_EQ(a.teg_energy_lost_kwh, b.teg_energy_lost_kwh);
+    EXPECT_DOUBLE_EQ(a.safe_fraction, b.safe_fraction);
+
+    // A different fault seed must change the outcome.
+    core::H2PConfig other = cfg;
+    other.faults.seed = 32;
+    core::H2PSystem sys2(other);
+    auto c = sys2.run(trace, sched::Policy::TegLoadBalance).summary;
+    EXPECT_NE(a.fault_events, c.fault_events);
 }
 
 } // namespace

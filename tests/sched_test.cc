@@ -206,6 +206,42 @@ TEST_F(OptFixture, RejectsOutOfRangePlanUtil)
     EXPECT_THROW(opt.choose(1.1), Error);
 }
 
+TEST_F(OptFixture, TsafeOverrideMatchesDefaultAtDefault)
+{
+    for (double u : {0.1, 0.5, 0.9}) {
+        OptimizerResult a = opt.choose(u);
+        OptimizerResult b = opt.choose(u, opt.params().t_safe_c);
+        EXPECT_DOUBLE_EQ(a.setting.t_in_c, b.setting.t_in_c) << u;
+        EXPECT_DOUBLE_EQ(a.setting.flow_lph, b.setting.flow_lph) << u;
+        EXPECT_DOUBLE_EQ(a.teg_power_w, b.teg_power_w) << u;
+        EXPECT_EQ(a.candidates, b.candidates) << u;
+    }
+}
+
+TEST_F(OptFixture, WidenedMarginPlansColder)
+{
+    // Planning against a lowered T_safe (degraded-mode WidenMargin)
+    // must not pick a hotter die than the normal plan.
+    OptimizerResult normal = opt.choose(0.5);
+    OptimizerResult widened =
+        opt.choose(0.5, opt.params().t_safe_c - 5.0);
+    EXPECT_LE(widened.t_cpu_c, normal.t_cpu_c + 1e-9);
+    EXPECT_LE(widened.teg_power_w, normal.teg_power_w + 1e-9);
+}
+
+TEST_F(OptFixture, ColdestFallbackIsColdestInletHighestFlow)
+{
+    OptimizerResult r = opt.coldestFallback(0.7);
+    EXPECT_TRUE(r.fallback);
+    // The documented corner of the grid: coldest inlet, maximum flow.
+    const auto &lp = space.params();
+    EXPECT_DOUBLE_EQ(r.setting.t_in_c, lp.tin_min_c);
+    EXPECT_DOUBLE_EQ(r.setting.flow_lph, lp.flow_max_lph);
+    // Nothing in the slice runs a colder die.
+    for (const auto &p : space.slice(0.7))
+        EXPECT_GE(p.t_cpu_c, r.t_cpu_c - 1e-9);
+}
+
 // -------------------------------------------------------------- balancer
 
 TEST(BalancerTest, PerfectBalancePreservesWork)
@@ -316,6 +352,51 @@ TEST_F(SchedFixture, PolicyNames)
 {
     EXPECT_EQ(toString(Policy::TegOriginal), "TEG_Original");
     EXPECT_EQ(toString(Policy::TegLoadBalance), "TEG_LoadBalance");
+}
+
+TEST_F(SchedFixture, AllNormalActionsReproduceTheDefaultDecision)
+{
+    Scheduler s(*dc, *opt, Policy::TegLoadBalance);
+    std::vector<double> utils{0.1, 0.9, 0.2, 0.4, 0.6, 0.6, 0.6, 0.6};
+    auto plain = s.decide(utils);
+    auto guarded = s.decide(
+        utils, std::vector<SafeModeAction>(2, SafeModeAction::Normal),
+        3.0);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_DOUBLE_EQ(plain.settings[i].t_in_c,
+                         guarded.settings[i].t_in_c);
+        EXPECT_DOUBLE_EQ(plain.settings[i].flow_lph,
+                         guarded.settings[i].flow_lph);
+    }
+}
+
+TEST_F(SchedFixture, ColdFallbackOverridesOnlyItsCirculation)
+{
+    Scheduler s(*dc, *opt, Policy::TegOriginal);
+    std::vector<double> utils(8, 0.5);
+    auto plain = s.decide(utils);
+    std::vector<SafeModeAction> actions{SafeModeAction::ColdFallback,
+                                        SafeModeAction::Normal};
+    auto d = s.decide(utils, actions, 3.0);
+    EXPECT_DOUBLE_EQ(d.settings[0].t_in_c, space->params().tin_min_c);
+    EXPECT_DOUBLE_EQ(d.settings[0].flow_lph,
+                     space->params().flow_max_lph);
+    EXPECT_TRUE(d.details[0].fallback);
+    EXPECT_DOUBLE_EQ(d.settings[1].t_in_c, plain.settings[1].t_in_c);
+    EXPECT_DOUBLE_EQ(d.settings[1].flow_lph,
+                     plain.settings[1].flow_lph);
+}
+
+TEST_F(SchedFixture, WidenMarginPlansNoHotter)
+{
+    Scheduler s(*dc, *opt, Policy::TegOriginal);
+    std::vector<double> utils(8, 0.5);
+    auto plain = s.decide(utils);
+    std::vector<SafeModeAction> actions(2, SafeModeAction::WidenMargin);
+    auto d = s.decide(utils, actions, 5.0);
+    for (size_t i = 0; i < 2; ++i)
+        EXPECT_LE(d.details[i].t_cpu_c,
+                  plain.details[i].t_cpu_c + 1e-9);
 }
 
 // ---------------------------------------------------- circulation design
