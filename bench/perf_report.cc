@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Hot-path performance report. Times the simulation's three hot paths
+ * — look-up space construction, per-circulation cooling decisions and
+ * whole-datacenter step evaluation (64/256/1024 servers, serial and
+ * threaded) — against a bench-local emulation of the pre-optimization
+ * code path (materialized slices, per-step allocation, no decision
+ * cache, no thread pool), and writes the measurements to
+ * bench_results/BENCH_hotpath.json so future changes have a perf
+ * trajectory to compare against.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/datacenter.h"
+#include "cluster/server.h"
+#include "sched/cooling_optimizer.h"
+#include "sched/lookup_space.h"
+#include "sched/scheduler.h"
+#include "thermal/teg.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workload/trace_gen.h"
+
+namespace {
+
+using namespace h2p;
+using Clock = std::chrono::steady_clock;
+
+/** Keeps the optimizer from dead-code-eliminating a measured loop. */
+volatile double g_sink = 0.0;
+
+/**
+ * Nanoseconds per call of @p fn, measured by growing the batch size
+ * until a batch runs for at least @p min_s seconds.
+ */
+template <typename Fn>
+double
+nsPerOp(Fn &&fn, double min_s = 0.2)
+{
+    fn(); // warm caches before timing
+    size_t iters = 1;
+    for (;;) {
+        auto t0 = Clock::now();
+        for (size_t i = 0; i < iters; ++i)
+            fn();
+        double s = std::chrono::duration<double>(Clock::now() - t0)
+                       .count();
+        if (s >= min_s)
+            return s * 1e9 / static_cast<double>(iters);
+        // Aim straight for the target batch instead of doubling.
+        double scale = s > 0.0 ? (min_s * 1.25) / s : 64.0;
+        iters = std::max(iters + 1,
+                         static_cast<size_t>(
+                             static_cast<double>(iters) * scale));
+    }
+}
+
+/**
+ * The pre-optimization cooling decision: materialize the whole
+ * (flow x T_in) slice at the planning utilization, copy the band into
+ * a second vector, then scan — exactly the allocation pattern the
+ * visitor-based CoolingOptimizer::choose replaced.
+ */
+sched::OptimizerResult
+sliceChoose(const sched::LookupSpace &space,
+            const thermal::TegModule &teg,
+            const sched::OptimizerParams &p, double plan_util)
+{
+    sched::OptimizerResult best;
+    bool found = false;
+    auto consider = [&](const sched::LookupPoint &pt) {
+        double power = teg.powerFromTemps(pt.t_out_c, p.cold_source_c,
+                                          pt.flow_lph);
+        if (!found || power > best.teg_power_w) {
+            found = true;
+            best.setting.t_in_c = pt.t_in_c;
+            best.setting.flow_lph = pt.flow_lph;
+            best.teg_power_w = power;
+            best.t_cpu_c = pt.t_cpu_c;
+        }
+    };
+
+    std::vector<sched::LookupPoint> slice = space.slice(plan_util);
+    std::vector<sched::LookupPoint> in_band;
+    for (const sched::LookupPoint &pt : slice)
+        if (std::abs(pt.t_cpu_c - p.t_safe_c) <= p.band_c)
+            in_band.push_back(pt);
+    best.candidates = in_band.size();
+    for (const sched::LookupPoint &pt : in_band)
+        consider(pt);
+    if (!found) {
+        best.fallback = true;
+        for (const sched::LookupPoint &pt : slice)
+            if (pt.t_cpu_c <= p.t_safe_c + p.band_c)
+                consider(pt);
+    }
+    if (!found) {
+        // Coldest fallback: lowest predicted CPU temperature.
+        double coldest = 1e300;
+        for (const sched::LookupPoint &pt : slice) {
+            if (pt.t_cpu_c < coldest) {
+                coldest = pt.t_cpu_c;
+                best.setting.t_in_c = pt.t_in_c;
+                best.setting.flow_lph = pt.flow_lph;
+                best.teg_power_w = teg.powerFromTemps(
+                    pt.t_out_c, p.cold_source_c, pt.flow_lph);
+                best.t_cpu_c = pt.t_cpu_c;
+            }
+        }
+    }
+    return best;
+}
+
+/**
+ * The pre-optimization step: per-circulation utilization copies, a
+ * slice-materializing decision per loop, and a freshly allocated
+ * DatacenterState per call.
+ */
+double
+baselineStep(const cluster::Datacenter &dc,
+             const sched::LookupSpace &space,
+             const thermal::TegModule &teg,
+             const sched::OptimizerParams &p,
+             const std::vector<double> &utils)
+{
+    std::vector<double> balanced = utils;
+    std::vector<cluster::CoolingSetting> settings;
+    settings.reserve(dc.numCirculations());
+    size_t offset = 0;
+    for (size_t c = 0; c < dc.numCirculations(); ++c) {
+        size_t n = dc.circulationSize(c);
+        std::vector<double> group(utils.begin() + offset,
+                                  utils.begin() + offset + n);
+        double mean = std::accumulate(group.begin(), group.end(), 0.0) /
+                      static_cast<double>(n);
+        std::fill(balanced.begin() + offset,
+                  balanced.begin() + offset + n, mean);
+        settings.push_back(sliceChoose(space, teg, p, mean).setting);
+        offset += n;
+    }
+    cluster::DatacenterState state = dc.evaluate(balanced, settings);
+    return state.teg_power_w;
+}
+
+struct StepRow
+{
+    size_t servers = 0;
+    size_t threads = 1;
+    double baseline_ns = 0.0;
+    double fast_ns = 0.0;
+};
+
+std::string
+jsonNum(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(6) << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace h2p;
+
+    const size_t hw = std::thread::hardware_concurrency();
+    std::cout << "Hot-path perf report (host hardware threads: " << hw
+              << ")\n\n";
+
+    cluster::Server server;
+    thermal::TegModule teg(server.params().tegs_per_server,
+                           server.params().teg);
+
+    // ------------------------------------------------- lookup build
+    double lookup_ns = nsPerOp(
+        [&] {
+            sched::LookupSpace s(server);
+            g_sink = g_sink + s.cpuTemp(0.5, 50.0, 40.0);
+        },
+        0.3);
+    std::cout << "lookup build: " << strings::fixed(lookup_ns / 1e6, 3)
+              << " ms per build\n";
+
+    // ------------------------------------------ optimizer decisions
+    sched::LookupSpace space(server);
+    sched::OptimizerParams op; // defaults; cache off
+    sched::CoolingOptimizer visitor(space, teg, op);
+    sched::OptimizerParams cp = op;
+    cp.cache_util_quantum = 1e-3;
+    sched::CoolingOptimizer cached(space, teg, cp);
+
+    // A realistic planning-utilization stream, so the cache sees the
+    // duty cycle a trace produces rather than a uniform sweep.
+    workload::TraceGenerator gen(7);
+    auto opt_trace = gen.generate(
+        workload::TraceGenParams::forProfile(
+            workload::TraceProfile::Drastic),
+        64, 12.0 * 3600.0);
+    std::vector<double> util_stream;
+    for (size_t s = 0; s < opt_trace.numSteps(); ++s)
+        for (double u : opt_trace.step(s))
+            util_stream.push_back(u);
+
+    size_t cursor = 0;
+    auto next_util = [&]() {
+        double u = util_stream[cursor];
+        cursor = (cursor + 1) % util_stream.size();
+        return u;
+    };
+
+    double slice_ns =
+        nsPerOp([&] { g_sink = g_sink + sliceChoose(space, teg, op,
+                                                    next_util())
+                                            .teg_power_w; });
+    double visitor_ns = nsPerOp(
+        [&] { g_sink = g_sink + visitor.choose(next_util()).teg_power_w; });
+    double cached_ns = nsPerOp(
+        [&] { g_sink = g_sink + cached.choose(next_util()).teg_power_w; });
+
+    TablePrinter opt_table("Cooling decision (one circulation)");
+    opt_table.setHeader({"path", "ns/decision", "Mdecisions/s",
+                         "speedup"});
+    auto opt_row = [&](const std::string &name, double ns) {
+        opt_table.addRow(name,
+                         {ns, 1e3 / ns, slice_ns / ns}, 2);
+    };
+    opt_row("slice baseline", slice_ns);
+    opt_row("visitor", visitor_ns);
+    opt_row("visitor+cache", cached_ns);
+    opt_table.print(std::cout);
+    std::cout << "cache: " << cached.cacheSize() << " entries, "
+              << cached.cacheHits() << " hits\n\n";
+
+    // ------------------------------------------------ step evaluation
+    const std::vector<size_t> sizes{64, 256, 1024};
+    std::vector<size_t> thread_counts{1};
+    if (hw > 1)
+        thread_counts.push_back(std::min<size_t>(hw, 8));
+    else
+        thread_counts.push_back(8); // measured anyway; see JSON note
+
+    std::vector<StepRow> rows;
+    TablePrinter step_table("Step evaluation (decide + evaluate)");
+    step_table.setHeader({"servers", "threads", "baseline us",
+                          "fast us", "speedup"});
+
+    for (size_t servers : sizes) {
+        cluster::DatacenterParams dp;
+        dp.num_servers = servers;
+        cluster::Datacenter dc(dp);
+        sched::CoolingOptimizer step_cached(space, teg, cp);
+        sched::Scheduler sched(dc, step_cached,
+                               sched::Policy::TegLoadBalance);
+
+        auto trace = gen.generate(
+            workload::TraceGenParams::forProfile(
+                workload::TraceProfile::Drastic),
+            servers, 6.0 * 3600.0);
+        std::vector<std::vector<double>> steps;
+        for (size_t s = 0; s < trace.numSteps(); ++s)
+            steps.push_back(trace.step(s));
+
+        size_t at = 0;
+        auto next_step = [&]() -> const std::vector<double> & {
+            const auto &u = steps[at];
+            at = (at + 1) % steps.size();
+            return u;
+        };
+
+        double baseline_ns = nsPerOp([&] {
+            g_sink = g_sink +
+                     baselineStep(dc, space, teg, op, next_step());
+        });
+
+        sched::ScheduleDecision decision;
+        cluster::DatacenterState state;
+        auto fast_step = [&] {
+            sched.decideInto(next_step(), {}, 0.0, decision);
+            dc.evaluateInto(decision.utils, decision.settings, nullptr,
+                            state);
+            g_sink = g_sink + state.teg_power_w;
+        };
+
+        for (size_t threads : thread_counts) {
+            util::ThreadPool pool(threads);
+            dc.setThreadPool(threads > 1 ? &pool : nullptr);
+            double fast_ns = nsPerOp(fast_step);
+            dc.setThreadPool(nullptr);
+
+            StepRow row;
+            row.servers = servers;
+            row.threads = threads;
+            row.baseline_ns = baseline_ns;
+            row.fast_ns = fast_ns;
+            rows.push_back(row);
+            step_table.addRow(
+                strings::fixed(static_cast<double>(servers), 0),
+                {static_cast<double>(threads), baseline_ns / 1e3,
+                 fast_ns / 1e3, baseline_ns / fast_ns},
+                2);
+        }
+    }
+    step_table.print(std::cout);
+
+    // -------------------------------------------------- JSON report
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"hotpath\",\n"
+         << "  \"host_hardware_threads\": " << hw << ",\n"
+         << "  \"note\": \"baseline emulates the pre-optimization "
+            "path: materialized slices, per-step allocation, no "
+            "decision cache, no thread pool. Threaded rows only show "
+            "a speedup when the host has that many cores.\",\n"
+         << "  \"lookup_build_ns\": " << jsonNum(lookup_ns) << ",\n"
+         << "  \"optimizer_decision\": {\n"
+         << "    \"slice_baseline_ns\": " << jsonNum(slice_ns) << ",\n"
+         << "    \"visitor_ns\": " << jsonNum(visitor_ns) << ",\n"
+         << "    \"visitor_cached_ns\": " << jsonNum(cached_ns) << ",\n"
+         << "    \"speedup_visitor\": "
+         << jsonNum(slice_ns / visitor_ns) << ",\n"
+         << "    \"speedup_cached\": " << jsonNum(slice_ns / cached_ns)
+         << "\n  },\n"
+         << "  \"step_eval\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const StepRow &r = rows[i];
+        json << "    {\"servers\": " << r.servers
+             << ", \"threads\": " << r.threads
+             << ", \"baseline_ns\": " << jsonNum(r.baseline_ns)
+             << ", \"fast_ns\": " << jsonNum(r.fast_ns)
+             << ", \"speedup\": " << jsonNum(r.baseline_ns / r.fast_ns)
+             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+
+    std::string path = bench::resultsDir() + "/BENCH_hotpath.json";
+    std::ofstream out(path);
+    out << json.str();
+    out.close();
+    std::cout << "\n[json] " << path << "\n";
+    return 0;
+}

@@ -18,33 +18,9 @@ CirculationState
 Circulation::evaluate(const std::vector<double> &utils,
                       const CoolingSetting &setting, double t_cold_c) const
 {
-    expect(utils.size() == count_, "expected ", count_,
-           " utilizations, got ", utils.size());
-    expect(setting.flow_lph > 0.0, "flow must be positive");
-
     CirculationState state;
-    state.setting = setting;
-    state.delivered_flow_lph = setting.flow_lph;
-    state.servers.reserve(count_);
-
-    double sum_return = 0.0;
-    for (double u : utils) {
-        ServerState s = server_.evaluate(u, setting.flow_lph,
-                                         setting.t_in_c, t_cold_c);
-        state.cpu_power_w += s.cpu_power_w;
-        state.teg_power_w += s.teg_power_w;
-        state.heat_w += s.heat_w;
-        state.max_die_c = std::max(state.max_die_c, s.die_temp_c);
-        state.all_safe = state.all_safe && s.safe;
-        sum_return += s.outlet_c;
-        state.servers.push_back(std::move(s));
-    }
-    state.return_c = sum_return / static_cast<double>(count_);
-    // The centralized pump's head scales with the per-branch flow
-    // (branches are parallel), so model it as one pump-equivalent per
-    // branch: total power = count * affinity-law power at branch flow.
-    state.pump_power_w =
-        pump_.power(setting.flow_lph) * static_cast<double>(count_);
+    evaluateInto(utils.data(), utils.size(), setting, t_cold_c, nullptr,
+                 state);
     return state;
 }
 
@@ -53,52 +29,99 @@ Circulation::evaluate(const std::vector<double> &utils,
                       const CoolingSetting &setting, double t_cold_c,
                       const CirculationHealth &health) const
 {
-    if (health.clean())
-        return evaluate(utils, setting, t_cold_c);
-    expect(utils.size() == count_, "expected ", count_,
-           " utilizations, got ", utils.size());
+    CirculationState state;
+    evaluateInto(utils.data(), utils.size(), setting, t_cold_c, &health,
+                 state);
+    return state;
+}
+
+void
+Circulation::evaluateInto(const double *utils, size_t n,
+                          const CoolingSetting &setting, double t_cold_c,
+                          const CirculationHealth *health,
+                          CirculationState &out) const
+{
+    expect(n == count_, "expected ", count_, " utilizations, got ", n);
     expect(setting.flow_lph > 0.0, "flow must be positive");
-    expect(health.pump_flow_factor >= 0.0 &&
-               health.pump_flow_factor <= 1.0,
+
+    const bool clean = health == nullptr || health->clean();
+
+    // Reset the aggregate, reusing the servers storage.
+    out.setting = setting;
+    out.servers.resize(count_);
+    out.cpu_power_w = 0.0;
+    out.teg_power_w = 0.0;
+    out.heat_w = 0.0;
+    out.return_c = 0.0;
+    out.pump_power_w = 0.0;
+    out.max_die_c = 0.0;
+    out.faulted_servers = 0;
+    out.teg_power_lost_w = 0.0;
+    out.all_safe = true;
+
+    if (clean) {
+        out.delivered_flow_lph = setting.flow_lph;
+
+        double sum_return = 0.0;
+        for (size_t i = 0; i < count_; ++i) {
+            ServerState &s = out.servers[i];
+            s = server_.evaluate(utils[i], setting.flow_lph,
+                                 setting.t_in_c, t_cold_c);
+            out.cpu_power_w += s.cpu_power_w;
+            out.teg_power_w += s.teg_power_w;
+            out.heat_w += s.heat_w;
+            out.max_die_c = std::max(out.max_die_c, s.die_temp_c);
+            out.all_safe = out.all_safe && s.safe;
+            sum_return += s.outlet_c;
+        }
+        out.return_c = sum_return / static_cast<double>(count_);
+        // The centralized pump's head scales with the per-branch flow
+        // (branches are parallel), so model it as one pump-equivalent
+        // per branch: total power = count * affinity-law power at
+        // branch flow.
+        out.pump_power_w =
+            pump_.power(setting.flow_lph) * static_cast<double>(count_);
+        return;
+    }
+
+    expect(health->pump_flow_factor >= 0.0 &&
+               health->pump_flow_factor <= 1.0,
            "pump flow factor must be in [0, 1]");
-    expect(health.servers.empty() || health.servers.size() == count_,
+    expect(health->servers.empty() || health->servers.size() == count_,
            "expected ", count_, " server healths, got ",
-           health.servers.size());
+           health->servers.size());
 
     // The pump delivers only a fraction of the command; the thermal
     // model sees at least the stagnant trickle so it stays finite.
-    double hydraulic_flow = setting.flow_lph * health.pump_flow_factor;
+    double hydraulic_flow = setting.flow_lph * health->pump_flow_factor;
     double thermal_flow = std::max(hydraulic_flow, kStagnantFlowLph);
 
-    CirculationState state;
-    state.setting = setting;
-    state.delivered_flow_lph = hydraulic_flow;
-    state.servers.reserve(count_);
+    out.delivered_flow_lph = hydraulic_flow;
 
     static const ServerHealth healthy_server;
     double sum_return = 0.0;
     for (size_t i = 0; i < count_; ++i) {
-        const ServerHealth &sh =
-            health.servers.empty() ? healthy_server : health.servers[i];
-        ServerState s = server_.evaluate(utils[i], thermal_flow,
-                                         setting.t_in_c, t_cold_c, sh);
-        state.cpu_power_w += s.cpu_power_w;
-        state.teg_power_w += s.teg_power_w;
-        state.teg_power_lost_w += s.teg_power_lost_w;
-        state.heat_w += s.heat_w;
-        state.max_die_c = std::max(state.max_die_c, s.die_temp_c);
-        state.all_safe = state.all_safe && s.safe;
-        if (s.faulted || health.pump_flow_factor < 1.0)
-            ++state.faulted_servers;
+        const ServerHealth &sh = health->servers.empty()
+                                     ? healthy_server
+                                     : health->servers[i];
+        ServerState &s = out.servers[i];
+        s = server_.evaluate(utils[i], thermal_flow, setting.t_in_c,
+                             t_cold_c, sh);
+        out.cpu_power_w += s.cpu_power_w;
+        out.teg_power_w += s.teg_power_w;
+        out.teg_power_lost_w += s.teg_power_lost_w;
+        out.heat_w += s.heat_w;
+        out.max_die_c = std::max(out.max_die_c, s.die_temp_c);
+        out.all_safe = out.all_safe && s.safe;
+        if (s.faulted || health->pump_flow_factor < 1.0)
+            ++out.faulted_servers;
         sum_return += s.outlet_c;
-        state.servers.push_back(std::move(s));
     }
-    state.return_c = sum_return / static_cast<double>(count_);
+    out.return_c = sum_return / static_cast<double>(count_);
     // The degraded pump still runs its electronics but moves only the
     // delivered flow (a dead pump idles).
-    state.pump_power_w =
+    out.pump_power_w =
         pump_.power(hydraulic_flow) * static_cast<double>(count_);
-    return state;
 }
 
 } // namespace cluster

@@ -125,6 +125,19 @@ class Circulation
                               double t_cold_c,
                               const CirculationHealth &health) const;
 
+    /**
+     * Allocation-free evaluation into caller-owned storage: @p out
+     * (including its servers vector) is reused across calls, so a
+     * steady-state simulation loop allocates nothing per step. Results
+     * are identical to the evaluate() overloads. @p health may be
+     * null (or clean) for the healthy evaluation; @p utils points at
+     * size() utilizations.
+     */
+    void evaluateInto(const double *utils, size_t n,
+                      const CoolingSetting &setting, double t_cold_c,
+                      const CirculationHealth *health,
+                      CirculationState &out) const;
+
     /** Residual natural-circulation flow of a dead pump, L/H. */
     static constexpr double kStagnantFlowLph = 2.0;
 

@@ -30,6 +30,11 @@ Datacenter::Datacenter(const DatacenterParams &params)
         offset += n;
         remaining -= n;
     }
+
+    // Only the last circulation can be smaller; build its model once.
+    size_t tail = circulation_sizes_.back();
+    if (tail != circulation_.size())
+        tail_circulation_.emplace(tail, params.server, params.pump);
 }
 
 size_t
@@ -58,43 +63,8 @@ DatacenterState
 Datacenter::evaluate(const std::vector<double> &utils,
                      const std::vector<CoolingSetting> &settings) const
 {
-    expect(settings.size() == circulation_sizes_.size(), "expected ",
-           circulation_sizes_.size(), " cooling settings, got ",
-           settings.size());
-
     DatacenterState state;
-    state.circulations.reserve(circulation_sizes_.size());
-
-    double total_flow_lph = 0.0;
-    double min_supply_c = 1e9;
-    for (size_t i = 0; i < circulation_sizes_.size(); ++i) {
-        // Last circulation can be smaller; build a matching model.
-        const size_t n = circulation_sizes_[i];
-        CirculationState cs;
-        if (n == circulation_.size()) {
-            cs = circulation_.evaluate(circulationUtils(utils, i),
-                                       settings[i],
-                                       params_.cold_source_c);
-        } else {
-            Circulation partial(n, params_.server, params_.pump);
-            cs = partial.evaluate(circulationUtils(utils, i),
-                                  settings[i], params_.cold_source_c);
-        }
-        state.cpu_power_w += cs.cpu_power_w;
-        state.teg_power_w += cs.teg_power_w;
-        state.heat_w += cs.heat_w;
-        state.pump_power_w += cs.pump_power_w;
-        state.all_safe = state.all_safe && cs.all_safe;
-        total_flow_lph +=
-            settings[i].flow_lph * static_cast<double>(n);
-        min_supply_c = std::min(min_supply_c, settings[i].t_in_c);
-        state.circulations.push_back(std::move(cs));
-    }
-
-    // The plant must honour the coldest requested supply temperature.
-    hydraulic::PlantPower pp =
-        plant_.power(state.heat_w, min_supply_c, total_flow_lph);
-    state.plant_power_w = pp.total();
+    evaluateInto(utils, settings, nullptr, state);
     return state;
 }
 
@@ -103,65 +73,108 @@ Datacenter::evaluate(const std::vector<double> &utils,
                      const std::vector<CoolingSetting> &settings,
                      const DatacenterHealth &health) const
 {
-    if (health.clean())
-        return evaluate(utils, settings);
-    expect(settings.size() == circulation_sizes_.size(), "expected ",
-           circulation_sizes_.size(), " cooling settings, got ",
-           settings.size());
-    expect(health.circulations.empty() ||
-               health.circulations.size() == circulation_sizes_.size(),
-           "expected ", circulation_sizes_.size(),
-           " circulation healths, got ", health.circulations.size());
-
     DatacenterState state;
-    state.circulations.reserve(circulation_sizes_.size());
+    evaluateInto(utils, settings, &health, state);
+    return state;
+}
 
-    static const CirculationHealth healthy_circulation;
-    double total_flow_lph = 0.0;
-    double min_supply_c = 1e9;
-    for (size_t i = 0; i < circulation_sizes_.size(); ++i) {
-        const size_t n = circulation_sizes_[i];
-        const CirculationHealth &ch = health.circulations.empty()
-                                          ? healthy_circulation
-                                          : health.circulations[i];
-        // A plant outage warms the supply every loop actually gets.
-        CoolingSetting setting = settings[i];
-        double achievable =
-            plant_.achievableSupply(setting.t_in_c, health.plant);
-        state.plant_degraded |= achievable != setting.t_in_c;
-        setting.t_in_c = achievable;
+void
+Datacenter::evaluateInto(const std::vector<double> &utils,
+                         const std::vector<CoolingSetting> &settings,
+                         const DatacenterHealth *health,
+                         DatacenterState &out) const
+{
+    const size_t num_circ = circulation_sizes_.size();
+    expect(utils.size() == params_.num_servers, "expected ",
+           params_.num_servers, " utilizations, got ", utils.size());
+    expect(settings.size() == num_circ, "expected ", num_circ,
+           " cooling settings, got ", settings.size());
 
-        CirculationState cs;
-        if (n == circulation_.size()) {
-            cs = circulation_.evaluate(circulationUtils(utils, i),
-                                       setting, params_.cold_source_c,
-                                       ch);
-        } else {
-            Circulation partial(n, params_.server, params_.pump);
-            cs = partial.evaluate(circulationUtils(utils, i), setting,
-                                  params_.cold_source_c, ch);
-        }
-        state.cpu_power_w += cs.cpu_power_w;
-        state.teg_power_w += cs.teg_power_w;
-        state.teg_power_lost_w += cs.teg_power_lost_w;
-        state.heat_w += cs.heat_w;
-        state.pump_power_w += cs.pump_power_w;
-        state.faulted_servers += cs.faulted_servers;
-        state.all_safe = state.all_safe && cs.all_safe;
-        total_flow_lph +=
-            cs.delivered_flow_lph * static_cast<double>(n);
-        min_supply_c = std::min(min_supply_c, setting.t_in_c);
-        state.circulations.push_back(std::move(cs));
+    const bool clean = health == nullptr || health->clean();
+    if (!clean) {
+        expect(health->circulations.empty() ||
+                   health->circulations.size() == num_circ,
+               "expected ", num_circ, " circulation healths, got ",
+               health->circulations.size());
     }
 
-    // Keep the plant model fed with a positive flow even when every
-    // pump in the building is dead.
-    total_flow_lph =
-        std::max(total_flow_lph, Circulation::kStagnantFlowLph);
-    hydraulic::PlantPower pp = plant_.power(
-        state.heat_w, min_supply_c, total_flow_lph, health.plant);
-    state.plant_power_w = pp.total();
-    return state;
+    out.circulations.resize(num_circ);
+
+    static const CirculationHealth healthy_circulation;
+
+    // Evaluate one circulation into its own slot; safe to run for
+    // distinct i from distinct threads.
+    auto eval_one = [&](size_t i) {
+        const size_t n = circulation_sizes_[i];
+        const double *u = utils.data() + circulation_offsets_[i];
+        const Circulation &model =
+            n == circulation_.size() ? circulation_ : *tail_circulation_;
+        if (clean) {
+            model.evaluateInto(u, n, settings[i], params_.cold_source_c,
+                               nullptr, out.circulations[i]);
+            return;
+        }
+        const CirculationHealth &ch =
+            health->circulations.empty() ? healthy_circulation
+                                         : health->circulations[i];
+        // A plant outage warms the supply every loop actually gets.
+        CoolingSetting setting = settings[i];
+        setting.t_in_c =
+            plant_.achievableSupply(setting.t_in_c, health->plant);
+        model.evaluateInto(u, n, setting, params_.cold_source_c, &ch,
+                           out.circulations[i]);
+    };
+
+    if (pool_ != nullptr && pool_->workers() > 1 && num_circ > 1)
+        pool_->parallelFor(num_circ, eval_one);
+    else
+        for (size_t i = 0; i < num_circ; ++i)
+            eval_one(i);
+
+    // Ordered reduction: accumulate in circulation order so the totals
+    // do not depend on the worker count.
+    out.cpu_power_w = 0.0;
+    out.teg_power_w = 0.0;
+    out.heat_w = 0.0;
+    out.pump_power_w = 0.0;
+    out.plant_power_w = 0.0;
+    out.faulted_servers = 0;
+    out.teg_power_lost_w = 0.0;
+    out.plant_degraded = false;
+    out.all_safe = true;
+
+    double total_flow_lph = 0.0;
+    double min_supply_c = 1e9;
+    for (size_t i = 0; i < num_circ; ++i) {
+        const CirculationState &cs = out.circulations[i];
+        const double n = static_cast<double>(circulation_sizes_[i]);
+        out.cpu_power_w += cs.cpu_power_w;
+        out.teg_power_w += cs.teg_power_w;
+        out.teg_power_lost_w += cs.teg_power_lost_w;
+        out.heat_w += cs.heat_w;
+        out.pump_power_w += cs.pump_power_w;
+        out.faulted_servers += cs.faulted_servers;
+        out.all_safe = out.all_safe && cs.all_safe;
+        out.plant_degraded |= cs.setting.t_in_c != settings[i].t_in_c;
+        total_flow_lph += cs.delivered_flow_lph * n;
+        min_supply_c = std::min(min_supply_c, cs.setting.t_in_c);
+    }
+
+    // The plant must honour the coldest requested supply temperature.
+    if (clean) {
+        hydraulic::PlantPower pp =
+            plant_.power(out.heat_w, min_supply_c, total_flow_lph);
+        out.plant_power_w = pp.total();
+    } else {
+        // Keep the plant model fed with a positive flow even when
+        // every pump in the building is dead.
+        total_flow_lph =
+            std::max(total_flow_lph, Circulation::kStagnantFlowLph);
+        hydraulic::PlantPower pp =
+            plant_.power(out.heat_w, min_supply_c, total_flow_lph,
+                         health->plant);
+        out.plant_power_w = pp.total();
+    }
 }
 
 } // namespace cluster

@@ -13,10 +13,12 @@
 #define H2P_CLUSTER_DATACENTER_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "cluster/circulation.h"
 #include "hydraulic/plant.h"
+#include "util/thread_pool.h"
 
 namespace h2p {
 namespace cluster {
@@ -131,6 +133,33 @@ class Datacenter
                              const std::vector<CoolingSetting> &settings,
                              const DatacenterHealth &health) const;
 
+    /**
+     * Allocation-free evaluation into caller-owned storage: @p out
+     * (its circulations vector and each circulation's servers) is
+     * reused across calls. Identical results to the evaluate()
+     * overloads; @p health may be null for a healthy cluster.
+     *
+     * When a thread pool is attached (setThreadPool) and has more
+     * than one worker, circulations are evaluated in parallel with
+     * static partitioning; every per-circulation result lands in its
+     * own slot and the cross-circulation reduction runs serially in
+     * circulation order afterwards, so the totals are bit-identical
+     * to the serial path no matter the worker count.
+     */
+    void evaluateInto(const std::vector<double> &utils,
+                      const std::vector<CoolingSetting> &settings,
+                      const DatacenterHealth *health,
+                      DatacenterState &out) const;
+
+    /**
+     * Attach a thread pool (not owned; may be null to go serial).
+     * The pool must outlive the datacenter or be detached first.
+     */
+    void setThreadPool(util::ThreadPool *pool) { pool_ = pool; }
+
+    /** The attached thread pool, if any. */
+    util::ThreadPool *threadPool() const { return pool_; }
+
     /** Slice the utilizations belonging to circulation @p i. */
     std::vector<double> circulationUtils(
         const std::vector<double> &utils, size_t i) const;
@@ -143,7 +172,11 @@ class Datacenter
     std::vector<size_t> circulation_sizes_;
     std::vector<size_t> circulation_offsets_;
     Circulation circulation_;      // model for full-size circulations
+    // Model for the last circulation when it is smaller (built once
+    // here rather than on every evaluate call).
+    std::optional<Circulation> tail_circulation_;
     hydraulic::FacilityPlant plant_;
+    util::ThreadPool *pool_ = nullptr;
 };
 
 } // namespace cluster

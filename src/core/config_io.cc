@@ -142,6 +142,13 @@ configFromIni(const sim::Config &ini)
         "safe_mode", "recovery_margin_c", sm.recovery_margin_c);
     sm.release_step =
         ini.getDouble("safe_mode", "release_step", sm.release_step);
+
+    auto &perf = cfg.perf;
+    perf.threads = static_cast<size_t>(ini.getLong(
+        "perf", "threads", static_cast<long>(perf.threads)));
+    perf.optimizer_cache_quantum =
+        ini.getDouble("perf", "optimizer_cache_quantum",
+                      perf.optimizer_cache_quantum);
     return cfg;
 }
 

@@ -29,6 +29,9 @@
  *                max_plausible_c, max_rate_c_per_s, flow_tolerance,
  *                hold_steps, watchdog_enabled (0|1), throttle_factor,
  *                recovery_margin_c, release_step
+ *   [perf]       threads (1 = serial, 0 = all hardware threads),
+ *                optimizer_cache_quantum (0 disables the decision
+ *                cache)
  */
 
 #ifndef H2P_CORE_CONFIG_IO_H_

@@ -19,19 +19,42 @@ H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
         config.datacenter.server.tegs_per_server,
         config.datacenter.server.teg);
 
-    // The optimizer's cold source must match the datacenter's.
+    // The optimizer's cold source must match the datacenter's; the
+    // decision cache is a [perf] knob.
     sched::OptimizerParams opt = config.optimizer;
     opt.cold_source_c = config.datacenter.cold_source_c;
+    opt.cache_util_quantum = config.perf.optimizer_cache_quantum;
     optimizer_ = std::make_unique<sched::CoolingOptimizer>(*space_, *teg_,
                                                            opt);
+
+    sched_original_ = std::make_unique<sched::Scheduler>(
+        *dc_, *optimizer_, sched::Policy::TegOriginal);
+    sched_balance_ = std::make_unique<sched::Scheduler>(
+        *dc_, *optimizer_, sched::Policy::TegLoadBalance);
+
+    // threads == 1 keeps the plain serial path (no pool at all);
+    // anything else fans circulation evaluation out bit-identically.
+    size_t threads = config.perf.threads != 0
+                         ? config.perf.threads
+                         : std::thread::hardware_concurrency();
+    if (threads > 1) {
+        pool_ = std::make_unique<util::ThreadPool>(threads);
+        dc_->setThreadPool(pool_.get());
+    }
+}
+
+const sched::Scheduler &
+H2PSystem::scheduler(sched::Policy policy) const
+{
+    return policy == sched::Policy::TegLoadBalance ? *sched_balance_
+                                                   : *sched_original_;
 }
 
 cluster::DatacenterState
 H2PSystem::evaluateStep(const std::vector<double> &utils,
                         sched::Policy policy) const
 {
-    sched::Scheduler scheduler(*dc_, *optimizer_, policy);
-    sched::ScheduleDecision decision = scheduler.decide(utils);
+    sched::ScheduleDecision decision = scheduler(policy).decide(utils);
     return dc_->evaluate(decision.utils, decision.settings);
 }
 
@@ -47,12 +70,23 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
            trace.numServers(), " servers; datacenter has ", servers);
     expect(trace.numSteps() >= 1, "trace is empty");
 
-    sched::Scheduler scheduler(*dc_, *optimizer_, policy);
+    const sched::Scheduler &sched = scheduler(policy);
 
     RunResult result;
     result.summary.policy = policy;
     result.recorder = std::make_shared<sim::Recorder>(trace.dt());
     sim::Recorder &rec = *result.recorder;
+
+    // Resolve every channel once; the loop records through handles.
+    sim::Recorder::Channel ch_teg = rec.channel("teg_w_per_server");
+    sim::Recorder::Channel ch_cpu = rec.channel("cpu_w_per_server");
+    sim::Recorder::Channel ch_pre = rec.channel("pre");
+    sim::Recorder::Channel ch_tin = rec.channel("t_in_mean_c");
+    sim::Recorder::Channel ch_plant = rec.channel("plant_w");
+    sim::Recorder::Channel ch_pump = rec.channel("pump_w");
+    sim::Recorder::Channel ch_die = rec.channel("max_die_c");
+    sim::Recorder::Channel ch_umean = rec.channel("util_mean");
+    sim::Recorder::Channel ch_umax = rec.channel("util_max");
 
     double n = static_cast<double>(servers);
     double teg_j = 0.0, cpu_j = 0.0, plant_j = 0.0, pump_j = 0.0;
@@ -60,13 +94,18 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
     size_t safe_steps = 0;
     std::vector<size_t> circ_safe_steps(dc_->numCirculations(), 0);
 
+    // Per-step scratch, allocated once and reused.
+    std::vector<double> utils;
+    sched::ScheduleDecision decision;
+    cluster::DatacenterState state;
+
     for (size_t step = 0; step < trace.numSteps(); ++step) {
-        std::vector<double> utils = trace.step(step);
+        trace.stepInto(step, utils);
         utils.resize(servers);
 
-        sched::ScheduleDecision decision = scheduler.decide(utils);
-        cluster::DatacenterState state =
-            dc_->evaluate(decision.utils, decision.settings);
+        sched.decideInto(utils, {}, 0.0, decision);
+        dc_->evaluateInto(decision.utils, decision.settings, nullptr,
+                          state);
 
         double teg_per = state.teg_power_w / n;
         double cpu_per = state.cpu_power_w / n;
@@ -89,15 +128,15 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
         }
         util_mean /= n;
 
-        rec.record("teg_w_per_server", teg_per);
-        rec.record("cpu_w_per_server", cpu_per);
-        rec.record("pre", cpu_per > 0.0 ? teg_per / cpu_per : 0.0);
-        rec.record("t_in_mean_c", t_in_mean);
-        rec.record("plant_w", state.plant_power_w);
-        rec.record("pump_w", state.pump_power_w);
-        rec.record("max_die_c", max_die);
-        rec.record("util_mean", util_mean);
-        rec.record("util_max", util_max);
+        rec.record(ch_teg, teg_per);
+        rec.record(ch_cpu, cpu_per);
+        rec.record(ch_pre, cpu_per > 0.0 ? teg_per / cpu_per : 0.0);
+        rec.record(ch_tin, t_in_mean);
+        rec.record(ch_plant, state.plant_power_w);
+        rec.record(ch_pump, state.pump_power_w);
+        rec.record(ch_die, max_die);
+        rec.record(ch_umean, util_mean);
+        rec.record(ch_umax, util_max);
 
         teg_j += state.teg_power_w * trace.dt();
         cpu_j += state.cpu_power_w * trace.dt();
@@ -143,7 +182,7 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
     const double dt = trace.dt();
     const sched::SafeModeParams &sm = config_.safe_mode;
 
-    sched::Scheduler scheduler(*dc_, *optimizer_, policy);
+    const sched::Scheduler &sched = scheduler(policy);
     fault::FaultInjector injector(
         config_.faults, *dc_,
         static_cast<double>(trace.numSteps()) * dt);
@@ -161,6 +200,23 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
     result.summary.policy = policy;
     result.recorder = std::make_shared<sim::Recorder>(dt);
     sim::Recorder &rec = *result.recorder;
+
+    sim::Recorder::Channel ch_teg = rec.channel("teg_w_per_server");
+    sim::Recorder::Channel ch_cpu = rec.channel("cpu_w_per_server");
+    sim::Recorder::Channel ch_pre = rec.channel("pre");
+    sim::Recorder::Channel ch_tin = rec.channel("t_in_mean_c");
+    sim::Recorder::Channel ch_plant = rec.channel("plant_w");
+    sim::Recorder::Channel ch_pump = rec.channel("pump_w");
+    sim::Recorder::Channel ch_die = rec.channel("max_die_c");
+    sim::Recorder::Channel ch_umean = rec.channel("util_mean");
+    sim::Recorder::Channel ch_umax = rec.channel("util_max");
+    sim::Recorder::Channel ch_faulted = rec.channel("faulted_servers");
+    sim::Recorder::Channel ch_lost =
+        rec.channel("teg_w_lost_per_server");
+    sim::Recorder::Channel ch_safe_mode =
+        rec.channel("safe_mode_circulations");
+    sim::Recorder::Channel ch_throttled =
+        rec.channel("throttled_servers");
 
     double n = static_cast<double>(servers);
     double teg_j = 0.0, cpu_j = 0.0, plant_j = 0.0, pump_j = 0.0;
@@ -182,13 +238,18 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
     std::vector<sched::SafeModeAction> actions(
         num_circ, sched::SafeModeAction::Normal);
 
+    // Per-step scratch, allocated once and reused.
+    std::vector<double> utils;
+    sched::ScheduleDecision decision;
+    cluster::DatacenterState state;
+
     for (size_t step = 0; step < trace.numSteps(); ++step) {
         injector.advanceTo(static_cast<double>(step) * dt);
 
-        std::vector<double> utils = trace.step(step);
+        trace.stepInto(step, utils);
         utils.resize(servers);
         if (use_watchdog)
-            utils = watchdog.shape(utils, dt);
+            watchdog.shapeInPlace(utils, dt);
 
         if (sm.enabled && have_readings) {
             for (size_t c = 0; c < num_circ; ++c)
@@ -196,10 +257,9 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
                                             commanded_flow[c], dt);
         }
 
-        sched::ScheduleDecision decision =
-            scheduler.decide(utils, actions, sm.margin_c);
-        cluster::DatacenterState state = dc_->evaluate(
-            decision.utils, decision.settings, injector.health());
+        sched.decideInto(utils, actions, sm.margin_c, decision);
+        dc_->evaluateInto(decision.utils, decision.settings,
+                          &injector.health(), state);
 
         // Feed the true die temperatures to the watchdog (the CPU's
         // own on-die sensor) and the possibly-corrupted loop readings
@@ -245,21 +305,20 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
                 ++degraded_circs;
         safe_mode_steps += degraded_circs;
 
-        rec.record("teg_w_per_server", teg_per);
-        rec.record("cpu_w_per_server", cpu_per);
-        rec.record("pre", cpu_per > 0.0 ? teg_per / cpu_per : 0.0);
-        rec.record("t_in_mean_c", t_in_mean);
-        rec.record("plant_w", state.plant_power_w);
-        rec.record("pump_w", state.pump_power_w);
-        rec.record("max_die_c", max_die);
-        rec.record("util_mean", util_mean);
-        rec.record("util_max", util_max);
-        rec.record("faulted_servers",
+        rec.record(ch_teg, teg_per);
+        rec.record(ch_cpu, cpu_per);
+        rec.record(ch_pre, cpu_per > 0.0 ? teg_per / cpu_per : 0.0);
+        rec.record(ch_tin, t_in_mean);
+        rec.record(ch_plant, state.plant_power_w);
+        rec.record(ch_pump, state.pump_power_w);
+        rec.record(ch_die, max_die);
+        rec.record(ch_umean, util_mean);
+        rec.record(ch_umax, util_max);
+        rec.record(ch_faulted,
                    static_cast<double>(state.faulted_servers));
-        rec.record("teg_w_lost_per_server", state.teg_power_lost_w / n);
-        rec.record("safe_mode_circulations",
-                   static_cast<double>(degraded_circs));
-        rec.record("throttled_servers",
+        rec.record(ch_lost, state.teg_power_lost_w / n);
+        rec.record(ch_safe_mode, static_cast<double>(degraded_circs));
+        rec.record(ch_throttled,
                    static_cast<double>(
                        use_watchdog ? watchdog.numThrottled() : 0));
 

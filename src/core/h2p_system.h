@@ -23,10 +23,32 @@
 #include "sched/safe_mode.h"
 #include "sched/scheduler.h"
 #include "sim/recorder.h"
+#include "util/thread_pool.h"
 #include "workload/trace.h"
 
 namespace h2p {
 namespace core {
+
+/**
+ * Hot-path performance knobs ([perf] in INI configs). None of them
+ * changes which servers/settings are simulated; threads is exactly
+ * result-neutral (parallel evaluation is bit-identical to serial),
+ * while the optimizer cache quantizes planning utilizations by a
+ * quantum far below the control band.
+ */
+struct PerfParams
+{
+    /**
+     * Worker threads for circulation evaluation: 1 = serial (the
+     * default), 0 = one per hardware thread, n = exactly n.
+     */
+    size_t threads = 1;
+    /**
+     * Planning-utilization quantum of the cooling-optimizer decision
+     * cache (OptimizerParams::cache_util_quantum); 0 disables it.
+     */
+    double optimizer_cache_quantum = 1e-3;
+};
 
 /** Full system configuration. */
 struct H2PConfig
@@ -38,6 +60,8 @@ struct H2PConfig
     fault::FaultScenarioParams faults;
     /** Degraded-mode control; disabled by default. */
     sched::SafeModeParams safe_mode;
+    /** Hot-path performance knobs. */
+    PerfParams perf;
 };
 
 /** Summary of one trace-driven run. */
@@ -140,6 +164,9 @@ class H2PSystem
     }
     const H2PConfig &config() const { return config_; }
 
+    /** The per-policy scheduler built once at construction. */
+    const sched::Scheduler &scheduler(sched::Policy policy) const;
+
   private:
     RunResult runResilient(const workload::UtilizationTrace &trace,
                            sched::Policy policy) const;
@@ -149,6 +176,10 @@ class H2PSystem
     std::unique_ptr<sched::LookupSpace> space_;
     std::unique_ptr<thermal::TegModule> teg_;
     std::unique_ptr<sched::CoolingOptimizer> optimizer_;
+    // One scheduler per policy, hoisted out of the per-step loop.
+    std::unique_ptr<sched::Scheduler> sched_original_;
+    std::unique_ptr<sched::Scheduler> sched_balance_;
+    std::unique_ptr<util::ThreadPool> pool_;
 };
 
 } // namespace core

@@ -30,18 +30,28 @@ ThermalTripWatchdog::shape(const std::vector<double> &requested,
            " utilizations, got ", requested.size());
     expect(dt_s > 0.0, "interval must be positive");
 
-    std::vector<double> applied(requested.size());
-    for (size_t i = 0; i < requested.size(); ++i) {
+    std::vector<double> applied = requested;
+    shapeInPlace(applied, dt_s);
+    return applied;
+}
+
+void
+ThermalTripWatchdog::shapeInPlace(std::vector<double> &utils, double dt_s)
+{
+    expect(utils.size() == cap_.size(), "expected ", cap_.size(),
+           " utilizations, got ", utils.size());
+    expect(dt_s > 0.0, "interval must be positive");
+
+    for (size_t i = 0; i < utils.size(); ++i) {
         // The queue keeps everything: the server can only absorb up
         // to 100 % (and up to its cap), the rest stays deferred.
-        double want = requested[i] + backlog_[i];
+        double want = utils[i] + backlog_[i];
         double got = std::min(want, std::min(1.0, cap_[i]));
         double deferred = want - got;
         deferred_s_ += deferred * dt_s;
         backlog_[i] = deferred;
-        applied[i] = got;
+        utils[i] = got;
     }
-    return applied;
 }
 
 void

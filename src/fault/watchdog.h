@@ -62,6 +62,12 @@ class ThermalTripWatchdog
     std::vector<double> shape(const std::vector<double> &requested,
                               double dt_s);
 
+    /**
+     * In-place twin of shape(): rewrites @p utils with the applied
+     * utilizations, allocating nothing.
+     */
+    void shapeInPlace(std::vector<double> &utils, double dt_s);
+
     /** Update the caps from the interval's true die temperatures. */
     void observe(const std::vector<double> &die_temps_c);
 

@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/error.h"
 
 namespace h2p {
 namespace sched {
+
+namespace {
+
+// Bound on memoized decisions: 2048 utilization buckets per distinct
+// T_safe would need several overrides to reach this; past it the cache
+// is simply dropped and rebuilt.
+constexpr size_t kMaxCacheEntries = 1 << 16;
+
+uint64_t
+doubleBits(double x)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(x));
+    std::memcpy(&bits, &x, sizeof(bits));
+    return bits;
+}
+
+} // namespace
 
 CoolingOptimizer::CoolingOptimizer(const LookupSpace &space,
                                    const thermal::TegModule &teg,
@@ -16,6 +35,8 @@ CoolingOptimizer::CoolingOptimizer(const LookupSpace &space,
     expect(params.band_c >= 0.0, "band width must be non-negative");
     expect(params.t_safe_c > params.cold_source_c,
            "T_safe must exceed the cold-source temperature");
+    expect(params.cache_util_quantum >= 0.0,
+           "cache quantum must be non-negative");
 }
 
 double
@@ -29,10 +50,10 @@ std::vector<LookupPoint>
 CoolingOptimizer::candidateSet(double plan_util) const
 {
     std::vector<LookupPoint> in_band;
-    for (const LookupPoint &p : space_.slice(plan_util)) {
+    space_.forEachInSlice(plan_util, [&](const LookupPoint &p) {
         if (std::abs(p.t_cpu_c - params_.t_safe_c) <= params_.band_c)
             in_band.push_back(p);
-    }
+    });
     return in_band;
 }
 
@@ -50,6 +71,30 @@ CoolingOptimizer::choose(double plan_util, double t_safe_c) const
     expect(t_safe_c > params_.cold_source_c,
            "T_safe must exceed the cold-source temperature");
 
+    const double q = params_.cache_util_quantum;
+    if (q <= 0.0)
+        return search(plan_util, t_safe_c);
+
+    const int64_t bucket =
+        static_cast<int64_t>(std::llround(plan_util / q));
+    CacheKey key{bucket, doubleBits(t_safe_c)};
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cache_hits_;
+        return it->second;
+    }
+    if (cache_.size() >= kMaxCacheEntries)
+        cache_.clear();
+    double quantized =
+        std::clamp(static_cast<double>(bucket) * q, 0.0, 1.0);
+    OptimizerResult res = search(quantized, t_safe_c);
+    cache_.emplace(key, res);
+    return res;
+}
+
+OptimizerResult
+CoolingOptimizer::search(double plan_util, double t_safe_c) const
+{
     OptimizerResult best;
     bool found = false;
 
@@ -64,15 +109,16 @@ CoolingOptimizer::choose(double plan_util, double t_safe_c) const
         }
     };
 
-    // Step 2+3: maximize TEG power on the A = U ∩ X intersection.
-    std::vector<LookupPoint> in_band;
-    for (const LookupPoint &p : space_.slice(plan_util)) {
-        if (std::abs(p.t_cpu_c - t_safe_c) <= params_.band_c)
-            in_band.push_back(p);
-    }
-    best.candidates = in_band.size();
-    for (const LookupPoint &p : in_band)
-        consider(p);
+    // Step 2+3: maximize TEG power on the A = U ∩ X intersection,
+    // streaming over the slice instead of materializing it.
+    size_t in_band = 0;
+    space_.forEachInSlice(plan_util, [&](const LookupPoint &p) {
+        if (std::abs(p.t_cpu_c - t_safe_c) <= params_.band_c) {
+            ++in_band;
+            consider(p);
+        }
+    });
+    best.candidates = in_band;
     if (found)
         return best;
 
@@ -81,10 +127,10 @@ CoolingOptimizer::choose(double plan_util, double t_safe_c) const
     // when even the warmest setting leaves the CPU cold (low load) —
     // then the warmest inlet wins — or when the grid skips the band.
     best.fallback = true;
-    for (const LookupPoint &p : space_.slice(plan_util)) {
+    space_.forEachInSlice(plan_util, [&](const LookupPoint &p) {
         if (p.t_cpu_c <= t_safe_c + params_.band_c)
             consider(p);
-    }
+    });
     if (found)
         return best;
 
@@ -100,12 +146,12 @@ CoolingOptimizer::coldestFallback(double plan_util) const
            "planning utilization must be in [0, 1]");
     LookupPoint coldest;
     bool have = false;
-    for (const LookupPoint &p : space_.slice(plan_util)) {
+    space_.forEachInSlice(plan_util, [&](const LookupPoint &p) {
         if (!have || p.t_cpu_c < coldest.t_cpu_c) {
             coldest = p;
             have = true;
         }
-    }
+    });
     H2P_ASSERT(have, "look-up space produced an empty slice");
     OptimizerResult best;
     best.fallback = true;

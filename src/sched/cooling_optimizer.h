@@ -16,11 +16,23 @@
  * setting to land exactly at T_safe), the optimizer falls back to the
  * safe candidate with the highest TEG power, and finally to the
  * coldest setting available.
+ *
+ * The search itself streams over the look-up grid through
+ * LookupSpace::forEachInSlice — no candidate vector is materialized —
+ * and an optional decision cache short-circuits the scheduler's
+ * repeated calls: planning utilizations are quantized to
+ * cache_util_quantum and the chosen setting per (quantized util,
+ * T_safe) pair is memoized. The cache is an approximation knob, not
+ * pure memoization — with it enabled the optimizer plans at the
+ * quantized utilization — so it defaults off and the system enables
+ * it through [perf] optimizer_cache_quantum.
  */
 
 #ifndef H2P_SCHED_COOLING_OPTIMIZER_H_
 #define H2P_SCHED_COOLING_OPTIMIZER_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/circulation.h"
@@ -43,6 +55,15 @@ struct OptimizerParams
     double band_c = 1.0;
     /** Natural-water cold-loop temperature for the TEGs, C. */
     double cold_source_c = 20.0;
+    /**
+     * Planning-utilization quantum of the decision cache; 0 disables
+     * caching (every choose() searches the grid at the exact
+     * utilization). With a quantum q, choose() plans at the nearest
+     * multiple of q and memoizes the decision per (quantized util,
+     * T_safe). 1e-3 shifts the planned die temperature by well under
+     * the acceptance band and makes repeated scheduler calls O(1).
+     */
+    double cache_util_quantum = 0.0;
 };
 
 /** The chosen setting plus diagnostic detail. */
@@ -61,6 +82,10 @@ struct OptimizerResult
 
 /**
  * Grid-search cooling controller over a LookupSpace.
+ *
+ * Not thread-safe when the decision cache is enabled: choose() then
+ * mutates the cache. The simulator calls it from the (serial)
+ * scheduler only; parallelism lives below, in Datacenter::evaluate.
  */
 class CoolingOptimizer
 {
@@ -104,14 +129,53 @@ class CoolingOptimizer
      */
     std::vector<LookupPoint> candidateSet(double plan_util) const;
 
+    /** Decisions served from the cache so far. */
+    size_t cacheHits() const { return cache_hits_; }
+
+    /** Entries currently memoized. */
+    size_t cacheSize() const { return cache_.size(); }
+
+    /** Drop every memoized decision (the next calls search again). */
+    void clearCache() const { cache_.clear(); }
+
     const OptimizerParams &params() const { return params_; }
 
   private:
+    /** Cache key: quantized-utilization bucket x exact T_safe bits. */
+    struct CacheKey
+    {
+        int64_t util_bucket;
+        uint64_t t_safe_bits;
+        bool operator==(const CacheKey &o) const
+        {
+            return util_bucket == o.util_bucket &&
+                   t_safe_bits == o.t_safe_bits;
+        }
+    };
+    struct CacheKeyHash
+    {
+        size_t operator()(const CacheKey &k) const
+        {
+            uint64_t h = static_cast<uint64_t>(k.util_bucket) *
+                         0x9e3779b97f4a7c15ull;
+            h ^= k.t_safe_bits + 0x9e3779b97f4a7c15ull + (h << 6) +
+                 (h >> 2);
+            return static_cast<size_t>(h);
+        }
+    };
+
+    /** The uncached three-tier grid search. */
+    OptimizerResult search(double plan_util, double t_safe_c) const;
+
     double tegPowerAt(const LookupPoint &p) const;
 
     const LookupSpace &space_;
     const thermal::TegModule &teg_;
     OptimizerParams params_;
+
+    mutable std::unordered_map<CacheKey, OptimizerResult, CacheKeyHash>
+        cache_;
+    mutable size_t cache_hits_ = 0;
 };
 
 } // namespace sched

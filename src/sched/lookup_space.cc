@@ -64,20 +64,9 @@ std::vector<LookupPoint>
 LookupSpace::slice(double util) const
 {
     std::vector<LookupPoint> points;
-    const GridAxis &af = t_cpu_->yAxis();
-    const GridAxis &at = t_cpu_->zAxis();
-    points.reserve(af.count() * at.count());
-    for (size_t j = 0; j < af.count(); ++j) {
-        for (size_t k = 0; k < at.count(); ++k) {
-            LookupPoint p;
-            p.util = util;
-            p.flow_lph = af.coord(j);
-            p.t_in_c = at.coord(k);
-            p.t_cpu_c = cpuTemp(util, p.flow_lph, p.t_in_c);
-            p.t_out_c = outletTemp(util, p.flow_lph, p.t_in_c);
-            points.push_back(p);
-        }
-    }
+    points.reserve(t_cpu_->yAxis().count() * t_cpu_->zAxis().count());
+    forEachInSlice(util,
+                   [&](const LookupPoint &p) { points.push_back(p); });
     return points;
 }
 

@@ -79,6 +79,31 @@ class LookupSpace
      */
     std::vector<LookupPoint> slice(double util) const;
 
+    /**
+     * Visit every grid point of the slice u = @p util in the fixed
+     * (flow-major, then inlet temperature) order without materializing
+     * a vector — the allocation-free twin of slice(). @p fn receives
+     * each LookupPoint by const reference; the reference is only valid
+     * during the call.
+     */
+    template <typename Fn>
+    void forEachInSlice(double util, Fn &&fn) const
+    {
+        const GridAxis &af = t_cpu_->yAxis();
+        const GridAxis &at = t_cpu_->zAxis();
+        LookupPoint p;
+        p.util = util;
+        for (size_t j = 0; j < af.count(); ++j) {
+            p.flow_lph = af.coord(j);
+            for (size_t k = 0; k < at.count(); ++k) {
+                p.t_in_c = at.coord(k);
+                p.t_cpu_c = (*t_cpu_)(util, p.flow_lph, p.t_in_c);
+                p.t_out_c = (*t_out_)(util, p.flow_lph, p.t_in_c);
+                fn(static_cast<const LookupPoint &>(p));
+            }
+        }
+    }
+
     /** Total number of grid points. */
     size_t numPoints() const;
 

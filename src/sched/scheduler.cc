@@ -1,5 +1,8 @@
 #include "sched/scheduler.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "sched/load_balancer.h"
 #include "util/error.h"
 
@@ -35,30 +38,46 @@ Scheduler::decide(const std::vector<double> &utils,
                   const std::vector<SafeModeAction> &actions,
                   double margin_c) const
 {
+    ScheduleDecision decision;
+    decideInto(utils, actions, margin_c, decision);
+    return decision;
+}
+
+void
+Scheduler::decideInto(const std::vector<double> &utils,
+                      const std::vector<SafeModeAction> &actions,
+                      double margin_c, ScheduleDecision &out) const
+{
+    expect(utils.size() == dc_.numServers(), "expected ",
+           dc_.numServers(), " utilizations, got ", utils.size());
     expect(actions.empty() || actions.size() == dc_.numCirculations(),
            "expected ", dc_.numCirculations(), " actions, got ",
            actions.size());
     expect(margin_c >= 0.0, "margin must be non-negative");
 
-    ScheduleDecision decision;
-    decision.utils = utils;
-    decision.settings.reserve(dc_.numCirculations());
-    decision.details.reserve(dc_.numCirculations());
+    out.utils = utils;
+    out.settings.clear();
+    out.details.clear();
+    out.settings.reserve(dc_.numCirculations());
+    out.details.reserve(dc_.numCirculations());
 
     size_t offset = 0;
     for (size_t i = 0; i < dc_.numCirculations(); ++i) {
-        std::vector<double> group = dc_.circulationUtils(utils, i);
+        const size_t n = dc_.circulationSize(i);
+        const double *group = utils.data() + offset;
 
         double plan_util;
         if (policy_ == Policy::TegLoadBalance) {
             // Balancing happens within a circulation: jobs migrate
             // between its servers, flattening the thermal demand.
-            std::vector<double> balanced = balancePerfect(group);
-            plan_util = meanUtil(group);
-            for (size_t j = 0; j < balanced.size(); ++j)
-                decision.utils[offset + j] = balanced[j];
+            double mean =
+                std::accumulate(group, group + n, 0.0) /
+                static_cast<double>(n);
+            plan_util = mean;
+            for (size_t j = 0; j < n; ++j)
+                out.utils[offset + j] = mean;
         } else {
-            plan_util = maxUtil(group);
+            plan_util = *std::max_element(group, group + n);
         }
 
         SafeModeAction action =
@@ -76,11 +95,10 @@ Scheduler::decide(const std::vector<double> &utils,
             res = optimizer_.coldestFallback(plan_util);
             break;
         }
-        decision.settings.push_back(res.setting);
-        decision.details.push_back(res);
-        offset += group.size();
+        out.settings.push_back(res.setting);
+        out.details.push_back(res);
+        offset += n;
     }
-    return decision;
 }
 
 } // namespace sched

@@ -69,6 +69,17 @@ class Scheduler
                             const std::vector<SafeModeAction> &actions,
                             double margin_c) const;
 
+    /**
+     * Allocation-free decision into caller-owned storage: @p out (its
+     * utils/settings/details vectors) is reused across calls, and the
+     * per-circulation planning statistics are computed in place over
+     * the utilization slices instead of copying them out. Identical
+     * results to the decide() overloads.
+     */
+    void decideInto(const std::vector<double> &utils,
+                    const std::vector<SafeModeAction> &actions,
+                    double margin_c, ScheduleDecision &out) const;
+
     Policy policy() const { return policy_; }
 
   private:

@@ -11,36 +11,52 @@ Recorder::Recorder(double dt_s) : dt_(dt_s)
     expect(dt_s > 0.0, "recorder period must be positive");
 }
 
+Recorder::Channel
+Recorder::channel(const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+        it = index_.emplace(name, storage_.size()).first;
+        storage_.emplace_back(dt_);
+    }
+    return Channel(it->second);
+}
+
+void
+Recorder::record(Channel ch, double value)
+{
+    expect(ch.index_ < storage_.size(),
+           "recording through an unresolved channel handle");
+    storage_[ch.index_].append(value);
+}
+
 void
 Recorder::record(const std::string &name, double value)
 {
-    auto it = series_.find(name);
-    if (it == series_.end())
-        it = series_.emplace(name, TimeSeries(dt_)).first;
-    it->second.append(value);
+    record(channel(name), value);
 }
 
 bool
 Recorder::has(const std::string &name) const
 {
-    return series_.count(name) > 0;
+    return index_.count(name) > 0;
 }
 
 const TimeSeries &
 Recorder::series(const std::string &name) const
 {
-    auto it = series_.find(name);
-    expect(it != series_.end(), "no recorded channel named `", name,
+    auto it = index_.find(name);
+    expect(it != index_.end(), "no recorded channel named `", name,
            "'");
-    return it->second;
+    return storage_[it->second];
 }
 
 std::vector<std::string>
 Recorder::channels() const
 {
     std::vector<std::string> names;
-    names.reserve(series_.size());
-    for (const auto &[name, ts] : series_)
+    names.reserve(index_.size());
+    for (const auto &[name, idx] : index_)
         names.push_back(name);
     return names;
 }
@@ -48,22 +64,22 @@ Recorder::channels() const
 void
 Recorder::saveCsv(const std::string &path) const
 {
-    expect(!series_.empty(), "cannot export an empty recorder");
-    size_t len = series_.begin()->second.size();
-    for (const auto &[name, ts] : series_) {
-        expect(ts.size() == len, "channel `", name,
+    expect(!index_.empty(), "cannot export an empty recorder");
+    size_t len = storage_[index_.begin()->second].size();
+    for (const auto &[name, idx] : index_) {
+        expect(storage_[idx].size() == len, "channel `", name,
                "' length differs; cannot export");
     }
     std::vector<std::string> header{"time_s"};
-    for (const auto &[name, ts] : series_)
+    for (const auto &[name, idx] : index_)
         header.push_back(name);
     CsvTable table(std::move(header));
     for (size_t i = 0; i < len; ++i) {
         std::vector<double> row;
-        row.reserve(series_.size() + 1);
+        row.reserve(index_.size() + 1);
         row.push_back(dt_ * static_cast<double>(i));
-        for (const auto &[name, ts] : series_)
-            row.push_back(ts.at(i));
+        for (const auto &[name, idx] : index_)
+            row.push_back(storage_[idx].at(i));
         table.addRow(std::move(row));
     }
     table.save(path);

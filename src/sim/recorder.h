@@ -5,11 +5,16 @@
  * Every experiment run records its metrics (per-step TEG power, CPU
  * power, chiller power, chosen inlet temperature, ...) through a
  * Recorder, which benches then print or export to CSV.
+ *
+ * Hot loops resolve a channel name once into a Channel handle and
+ * record through it — an O(1) vector index instead of a string-keyed
+ * map lookup per sample.
  */
 
 #ifndef H2P_SIM_RECORDER_H_
 #define H2P_SIM_RECORDER_H_
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -25,8 +30,37 @@ namespace sim {
 class Recorder
 {
   public:
+    /**
+     * A resolved channel: records without hashing the name. Valid for
+     * the lifetime of the Recorder that issued it; a default-made
+     * handle is invalid until assigned from channel().
+     */
+    class Channel
+    {
+      public:
+        Channel() = default;
+
+        /** True once resolved by Recorder::channel(). */
+        bool valid() const { return index_ != kInvalid; }
+
+      private:
+        friend class Recorder;
+        static constexpr size_t kInvalid = static_cast<size_t>(-1);
+        explicit Channel(size_t index) : index_(index) {}
+        size_t index_ = kInvalid;
+    };
+
     /** @param dt_s Common sample period, seconds. */
     explicit Recorder(double dt_s);
+
+    /**
+     * Resolve (creating on first use) channel @p name to a handle for
+     * O(1) recording in hot loops.
+     */
+    Channel channel(const std::string &name);
+
+    /** Record one sample through a resolved handle. */
+    void record(Channel ch, double value);
 
     /** Record one sample of channel @p name (created on first use). */
     void record(const std::string &name, double value);
@@ -52,7 +86,11 @@ class Recorder
 
   private:
     double dt_;
-    std::map<std::string, TimeSeries> series_;
+    // Series storage indexed by handle; index_ maps names to slots
+    // (and, being an ordered map, provides the sorted iteration the
+    // CSV export and channels() promise).
+    std::vector<TimeSeries> storage_;
+    std::map<std::string, size_t> index_;
 };
 
 } // namespace sim

@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace util {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    workers_ = workers;
+    errors_.resize(workers_);
+    threads_.reserve(workers_ - 1);
+    // Worker t serves chunk t + 1; the calling thread serves chunk 0.
+    for (size_t t = 1; t < workers_; ++t)
+        threads_.emplace_back([this, t] { workerLoop(t); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::chunkRange(size_t n, size_t parts, size_t part,
+                       size_t &begin, size_t &end)
+{
+    H2P_ASSERT(parts >= 1 && part < parts, "bad chunk request");
+    begin = n / parts * part + std::min(part, n % parts);
+    end = begin + n / parts + (part < n % parts ? 1 : 0);
+}
+
+void
+ThreadPool::runChunk(size_t part)
+{
+    size_t begin, end;
+    chunkRange(job_n_, workers_, part, begin, end);
+    try {
+        for (size_t i = begin; i < end; ++i)
+            (*job_fn_)(i);
+    } catch (...) {
+        errors_[part] = std::current_exception();
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t worker_index)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [this, seen] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+        }
+        runChunk(worker_index);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --pending_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_ == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_fn_ = &fn;
+        job_n_ = n;
+        pending_ = workers_ - 1;
+        std::fill(errors_.begin(), errors_.end(), nullptr);
+        ++generation_;
+    }
+    start_cv_.notify_all();
+
+    runChunk(0);
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return pending_ == 0; });
+        job_fn_ = nullptr;
+    }
+    for (std::exception_ptr &e : errors_) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace util
+} // namespace h2p

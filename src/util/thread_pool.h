@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A small deterministic thread pool for the simulation hot path.
+ *
+ * The pool exists for one job shape: fan a fixed index range out
+ * across a fixed set of workers. Partitioning is static (worker w owns
+ * one contiguous chunk whose bounds depend only on n and the worker
+ * count), so which thread evaluates which index never depends on
+ * timing. Callers write results into
+ * per-index slots and reduce serially in index order afterwards, which
+ * makes parallel evaluation bit-identical to the serial loop; the pool
+ * itself never reorders or combines anything.
+ */
+
+#ifndef H2P_UTIL_THREAD_POOL_H_
+#define H2P_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace h2p {
+namespace util {
+
+/**
+ * Fixed-size pool of long-lived workers executing static-partitioned
+ * index ranges. Construction spawns the workers once; parallelFor
+ * blocks the calling thread (which itself works on the first chunk)
+ * until every index is done.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Total worker count including the calling thread;
+     *        0 means one worker per hardware thread. A pool of one
+     *        worker spawns no threads and runs everything inline.
+     */
+    explicit ThreadPool(size_t workers = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total worker count including the calling thread. */
+    size_t workers() const { return workers_; }
+
+    /**
+     * Invoke @p fn(i) for every i in [0, n), statically partitioned
+     * across the workers. Blocks until all indices are done. If any
+     * invocation throws, the exception from the lowest-numbered chunk
+     * is rethrown here (others are discarded); the pool stays usable.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * The static partition: chunk @p part of @p parts over [0, n).
+     * Chunks are contiguous, cover [0, n) exactly, and differ in size
+     * by at most one; trailing chunks may be empty when n < parts.
+     */
+    static void chunkRange(size_t n, size_t parts, size_t part,
+                           size_t &begin, size_t &end);
+
+  private:
+    void workerLoop(size_t worker_index);
+    void runChunk(size_t part);
+
+    size_t workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    bool shutdown_ = false;
+    uint64_t generation_ = 0;
+
+    // Current job (valid while pending_ > 0).
+    const std::function<void(size_t)> *job_fn_ = nullptr;
+    size_t job_n_ = 0;
+    size_t pending_ = 0;
+    std::vector<std::exception_ptr> errors_;
+};
+
+} // namespace util
+} // namespace h2p
+
+#endif // H2P_UTIL_THREAD_POOL_H_

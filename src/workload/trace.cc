@@ -42,6 +42,13 @@ UtilizationTrace::step(size_t s) const
     return data_[s];
 }
 
+void
+UtilizationTrace::stepInto(size_t s, std::vector<double> &out) const
+{
+    expect(s < data_.size(), "trace step ", s, " out of range");
+    out.assign(data_[s].begin(), data_[s].end());
+}
+
 double
 UtilizationTrace::meanAt(size_t s) const
 {

@@ -58,6 +58,13 @@ class UtilizationTrace
     /** All server utilizations at one step. */
     const std::vector<double> &step(size_t s) const;
 
+    /**
+     * Copy one step's utilizations into @p out (resized to
+     * numServers()), reusing its capacity — the allocation-free way
+     * for a simulation loop to read consecutive steps.
+     */
+    void stepInto(size_t s, std::vector<double> &out) const;
+
     /** Cluster-mean utilization at step @p s. */
     double meanAt(size_t s) const;
 
