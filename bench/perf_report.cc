@@ -26,6 +26,8 @@
 #include "bench/bench_common.h"
 #include "cluster/datacenter.h"
 #include "cluster/server.h"
+#include "core/h2p_system.h"
+#include "fault/fault_injector.h"
 #include "sched/cooling_optimizer.h"
 #include "sched/lookup_space.h"
 #include "sched/scheduler.h"
@@ -318,6 +320,71 @@ main()
     }
     step_table.print(std::cout);
 
+    // ----------------------------------------------- observability
+    // The [obs] contract: disabled is one null check per step, and
+    // even enabled the spans/counters/histograms must stay in the
+    // noise of the step itself. Time identical full-system runs both
+    // ways (no export paths, so this is pure in-loop cost).
+    core::H2PConfig oc;
+    oc.datacenter.num_servers = 256;
+    auto obs_trace = gen.generate(
+        workload::TraceGenParams::forProfile(
+            workload::TraceProfile::Drastic),
+        256, 6.0 * 3600.0);
+    const double obs_steps =
+        static_cast<double>(obs_trace.numSteps());
+
+    auto obs_run_ns = [&](bool enabled) {
+        core::H2PConfig c = oc;
+        c.obs.enabled = enabled;
+        core::H2PSystem system(c);
+        return nsPerOp(
+            [&] {
+                g_sink =
+                    g_sink +
+                    system.run(obs_trace,
+                               sched::Policy::TegLoadBalance)
+                        .summary.pre;
+            },
+            0.3);
+    };
+    double obs_off_ns = obs_run_ns(false);
+    double obs_on_ns = obs_run_ns(true);
+    double obs_overhead_pct =
+        (obs_on_ns - obs_off_ns) / obs_off_ns * 100.0;
+
+    TablePrinter obs_table(
+        "Observability overhead (256 servers, 72-step run)");
+    obs_table.setHeader({"obs", "us/step", "overhead %"});
+    obs_table.addRow("disabled",
+                     {obs_off_ns / obs_steps / 1e3, 0.0}, 2);
+    obs_table.addRow("enabled",
+                     {obs_on_ns / obs_steps / 1e3, obs_overhead_pct},
+                     2);
+    obs_table.print(std::cout);
+
+    // A telemetry sample for the CI artifact: a short resilient run
+    // with a scripted pump failure, exported as JSONL.
+    core::H2PConfig tc;
+    tc.datacenter.num_servers = 64;
+    tc.safe_mode.enabled = true;
+    fault::FaultEvent pump;
+    pump.time_s = 2.0 * 3600.0;
+    pump.kind = fault::FaultKind::PumpFailed;
+    pump.circulation = 1;
+    pump.duration_s = 2.0 * 3600.0;
+    tc.faults.scripted.push_back(pump);
+    tc.obs.enabled = true;
+    tc.obs.jsonl_path =
+        bench::resultsDir() + "/BENCH_obs_telemetry.jsonl";
+    core::H2PSystem telem(tc);
+    auto telem_trace = gen.generate(
+        workload::TraceGenParams::forProfile(
+            workload::TraceProfile::Drastic),
+        64, 6.0 * 3600.0);
+    telem.run(telem_trace, sched::Policy::TegLoadBalance);
+    std::cout << "[jsonl] " << tc.obs.jsonl_path << "\n\n";
+
     // -------------------------------------------------- JSON report
     std::ostringstream json;
     json << "{\n"
@@ -346,7 +413,16 @@ main()
              << ", \"speedup\": " << jsonNum(r.baseline_ns / r.fast_ns)
              << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    json << "  ]\n}\n";
+    json << "  ],\n"
+         << "  \"obs_overhead\": {\n"
+         << "    \"servers\": 256,\n"
+         << "    \"steps_per_run\": " << obs_trace.numSteps() << ",\n"
+         << "    \"disabled_ns_per_step\": "
+         << jsonNum(obs_off_ns / obs_steps) << ",\n"
+         << "    \"enabled_ns_per_step\": "
+         << jsonNum(obs_on_ns / obs_steps) << ",\n"
+         << "    \"overhead_pct\": " << jsonNum(obs_overhead_pct)
+         << "\n  }\n}\n";
 
     std::string path = bench::resultsDir() + "/BENCH_hotpath.json";
     std::ofstream out(path);

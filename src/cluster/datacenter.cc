@@ -37,6 +37,19 @@ Datacenter::Datacenter(const DatacenterParams &params)
         tail_circulation_.emplace(tail, params.server, params.pump);
 }
 
+void
+Datacenter::setObservability(obs::Observability *obs)
+{
+    obs_ = obs;
+    if (obs_ != nullptr) {
+        span_evaluate_ = obs_->spans().id("dc.evaluate");
+        span_circulation_ = obs_->spans().id("dc.circulation");
+    } else {
+        span_evaluate_ = obs::SpanRegistry::SpanId{};
+        span_circulation_ = obs::SpanRegistry::SpanId{};
+    }
+}
+
 size_t
 Datacenter::circulationSize(size_t i) const
 {
@@ -90,6 +103,10 @@ Datacenter::evaluateInto(const std::vector<double> &utils,
     expect(settings.size() == num_circ, "expected ", num_circ,
            " cooling settings, got ", settings.size());
 
+    obs::SpanRegistry *spans =
+        obs_ != nullptr ? &obs_->spans() : nullptr;
+    obs::TraceSpan eval_span(spans, span_evaluate_);
+
     const bool clean = health == nullptr || health->clean();
     if (!clean) {
         expect(health->circulations.empty() ||
@@ -105,6 +122,7 @@ Datacenter::evaluateInto(const std::vector<double> &utils,
     // Evaluate one circulation into its own slot; safe to run for
     // distinct i from distinct threads.
     auto eval_one = [&](size_t i) {
+        obs::TraceSpan circ_span(spans, span_circulation_);
         const size_t n = circulation_sizes_[i];
         const double *u = utils.data() + circulation_offsets_[i];
         const Circulation &model =

@@ -18,6 +18,7 @@
 
 #include "cluster/circulation.h"
 #include "hydraulic/plant.h"
+#include "obs/observability.h"
 #include "util/thread_pool.h"
 
 namespace h2p {
@@ -160,6 +161,15 @@ class Datacenter
     /** The attached thread pool, if any. */
     util::ThreadPool *threadPool() const { return pool_; }
 
+    /**
+     * Attach an observability sink (not owned; may be null, the
+     * default, for zero-cost evaluation). When attached,
+     * evaluateInto() times itself and each per-circulation evaluation
+     * as the "dc.evaluate" / "dc.circulation" spans. Observation
+     * never changes the computed state.
+     */
+    void setObservability(obs::Observability *obs);
+
     /** Slice the utilizations belonging to circulation @p i. */
     std::vector<double> circulationUtils(
         const std::vector<double> &utils, size_t i) const;
@@ -177,6 +187,10 @@ class Datacenter
     std::optional<Circulation> tail_circulation_;
     hydraulic::FacilityPlant plant_;
     util::ThreadPool *pool_ = nullptr;
+    obs::Observability *obs_ = nullptr;
+    // Span ids resolved once at attach time, not per evaluation.
+    obs::SpanRegistry::SpanId span_evaluate_;
+    obs::SpanRegistry::SpanId span_circulation_;
 };
 
 } // namespace cluster

@@ -1,14 +1,83 @@
 #include "core/config_io.h"
 
+#include <map>
+#include <set>
+
 #include "util/error.h"
+#include "util/logging.h"
 
 namespace h2p {
 namespace core {
+
+namespace {
+
+/**
+ * Warn about sections/keys no binder reads. A typo like
+ * `[perf] thread = 8` used to be silently ignored — the run proceeded
+ * serially and the user had no idea; a warning names the offender.
+ * This stays a warning (not an error) so configs remain forward- and
+ * backward-compatible across library versions.
+ */
+void
+warnUnknownKeys(const sim::Config &ini)
+{
+    static const std::map<std::string, std::set<std::string>> known = {
+        {"datacenter",
+         {"num_servers", "servers_per_circulation", "cold_source_c"}},
+        {"server", {"tegs_per_server"}},
+        {"teg",
+         {"voc_slope", "voc_offset", "resistance_ohm",
+          "thermal_resistance_kpw"}},
+        {"thermal",
+         {"gamma_slope", "leak_gamma", "parasitic_w",
+          "max_operating_c"}},
+        {"optimizer", {"t_safe_c", "band_c"}},
+        {"lookup",
+         {"flow_min_lph", "flow_max_lph", "flow_points", "tin_min_c",
+          "tin_max_c", "tin_points", "util_points"}},
+        {"plant",
+         {"wet_bulb_c", "cop", "tower_approach_c", "cdu_approach_c"}},
+        {"trace", {"profile", "seed", "servers"}},
+        {"fault",
+         {"seed", "pump_degrade_per_circ_year",
+          "pump_fail_per_circ_year", "teg_open_per_server_year",
+          "teg_short_per_server_year", "chiller_outages_per_year",
+          "tower_outages_per_year", "die_sensor_faults_per_circ_year",
+          "flow_sensor_faults_per_circ_year", "fouling_kpw_per_year",
+          "outage_duration_hours", "sensor_fault_duration_hours",
+          "sensor_drift_c_per_hour", "pump_degraded_flow_factor"}},
+        {"safe_mode",
+         {"enabled", "margin_c", "min_plausible_c", "max_plausible_c",
+          "max_rate_c_per_s", "flow_tolerance", "hold_steps",
+          "watchdog_enabled", "throttle_factor", "recovery_margin_c",
+          "release_step"}},
+        {"perf", {"threads", "optimizer_cache_quantum"}},
+        {"obs",
+         {"enabled", "jsonl_path", "csv_path", "print_summary",
+          "max_events"}},
+    };
+
+    for (const std::string &s : ini.sections()) {
+        auto it = known.find(s);
+        if (it == known.end()) {
+            warn("config: unknown section [", s, "] is ignored");
+            continue;
+        }
+        for (const std::string &k : ini.keys(s)) {
+            if (it->second.count(k) == 0)
+                warn("config: unknown key [", s, "] ", k,
+                     " is ignored (typo?)");
+        }
+    }
+}
+
+} // namespace
 
 H2PConfig
 configFromIni(const sim::Config &ini)
 {
     H2PConfig cfg;
+    warnUnknownKeys(ini);
 
     auto &dc = cfg.datacenter;
     dc.num_servers = static_cast<size_t>(ini.getLong(
@@ -120,8 +189,7 @@ configFromIni(const sim::Config &ini)
                       faults.pump_degraded_flow_factor);
 
     auto &sm = cfg.safe_mode;
-    sm.enabled =
-        ini.getLong("safe_mode", "enabled", sm.enabled ? 1 : 0) != 0;
+    sm.enabled = ini.getBool("safe_mode", "enabled", sm.enabled);
     sm.margin_c = ini.getDouble("safe_mode", "margin_c", sm.margin_c);
     sm.min_plausible_c = ini.getDouble("safe_mode", "min_plausible_c",
                                        sm.min_plausible_c);
@@ -133,9 +201,8 @@ configFromIni(const sim::Config &ini)
                                       sm.flow_tolerance);
     sm.hold_steps = static_cast<size_t>(ini.getLong(
         "safe_mode", "hold_steps", static_cast<long>(sm.hold_steps)));
-    sm.watchdog_enabled =
-        ini.getLong("safe_mode", "watchdog_enabled",
-                    sm.watchdog_enabled ? 1 : 0) != 0;
+    sm.watchdog_enabled = ini.getBool("safe_mode", "watchdog_enabled",
+                                      sm.watchdog_enabled);
     sm.throttle_factor = ini.getDouble("safe_mode", "throttle_factor",
                                        sm.throttle_factor);
     sm.recovery_margin_c = ini.getDouble(
@@ -149,6 +216,15 @@ configFromIni(const sim::Config &ini)
     perf.optimizer_cache_quantum =
         ini.getDouble("perf", "optimizer_cache_quantum",
                       perf.optimizer_cache_quantum);
+
+    auto &obs = cfg.obs;
+    obs.enabled = ini.getBool("obs", "enabled", obs.enabled);
+    obs.jsonl_path = ini.getString("obs", "jsonl_path", obs.jsonl_path);
+    obs.csv_path = ini.getString("obs", "csv_path", obs.csv_path);
+    obs.print_summary =
+        ini.getBool("obs", "print_summary", obs.print_summary);
+    obs.max_events = static_cast<size_t>(ini.getLong(
+        "obs", "max_events", static_cast<long>(obs.max_events)));
     return cfg;
 }
 

@@ -32,6 +32,11 @@
  *   [perf]       threads (1 = serial, 0 = all hardware threads),
  *                optimizer_cache_quantum (0 disables the decision
  *                cache)
+ *   [obs]        enabled (0|1), jsonl_path, csv_path,
+ *                print_summary (0|1), max_events
+ *
+ * Unknown sections or keys produce a warning through the global
+ * logger (they used to be silently ignored, hiding typos).
  */
 
 #ifndef H2P_CORE_CONFIG_IO_H_

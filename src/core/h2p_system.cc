@@ -1,6 +1,10 @@
 #include "core/h2p_system.h"
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "fault/watchdog.h"
 #include "util/error.h"
@@ -8,6 +12,77 @@
 
 namespace h2p {
 namespace core {
+
+namespace {
+
+void
+checkFinite(double v, const char *field)
+{
+    expect(std::isfinite(v), "run summary field `", field,
+           "' is not finite (", v,
+           "); the model diverged or a parameter is out of range");
+}
+
+/**
+ * Every number the summary reports must be finite: a NaN or inf here
+ * means some model input (e.g. an absurd parasitic power) drove the
+ * simulation out of its domain, and silently returning it poisons
+ * every downstream table. Fail the run loudly instead.
+ */
+void
+validateSummary(const RunSummary &s)
+{
+    checkFinite(s.avg_teg_w, "avg_teg_w");
+    checkFinite(s.peak_teg_w, "peak_teg_w");
+    checkFinite(s.avg_cpu_w, "avg_cpu_w");
+    checkFinite(s.pre, "pre");
+    checkFinite(s.teg_energy_kwh, "teg_energy_kwh");
+    checkFinite(s.cpu_energy_kwh, "cpu_energy_kwh");
+    checkFinite(s.plant_energy_kwh, "plant_energy_kwh");
+    checkFinite(s.pump_energy_kwh, "pump_energy_kwh");
+    checkFinite(s.safe_fraction, "safe_fraction");
+    checkFinite(s.avg_t_in_c, "avg_t_in_c");
+    checkFinite(s.throttled_work_server_hours,
+                "throttled_work_server_hours");
+    checkFinite(s.teg_energy_lost_kwh, "teg_energy_lost_kwh");
+    for (double f : s.circulation_safe_fraction)
+        checkFinite(f, "circulation_safe_fraction");
+}
+
+const char *
+safeModeActionName(sched::SafeModeAction a)
+{
+    switch (a) {
+    case sched::SafeModeAction::Normal:
+        return "normal";
+    case sched::SafeModeAction::WidenMargin:
+        return "widen_margin";
+    case sched::SafeModeAction::ColdFallback:
+        return "cold_fallback";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+/**
+ * Everything one run loop needs to feed the observability sink:
+ * span ids and metric handles resolved once up front, plus baselines
+ * of the cumulative counters (optimizer cache, pool stats) so each
+ * run reports its own delta.
+ */
+struct H2PSystem::ObsRun
+{
+    obs::Observability *obs = nullptr;
+    obs::SpanRegistry::SpanId span_step;
+    obs::SpanRegistry::SpanId span_decide;
+    obs::Counter steps;
+    obs::HistogramMetric max_die_hist;
+    obs::HistogramMetric teg_hist;
+    size_t cache_hits0 = 0;
+    size_t cache_misses0 = 0;
+    util::ThreadPool::PoolStats pool0;
+};
 
 H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
 {
@@ -41,6 +116,91 @@ H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
         pool_ = std::make_unique<util::ThreadPool>(threads);
         dc_->setThreadPool(pool_.get());
     }
+
+    if (config.obs.enabled) {
+        obs_ = std::make_unique<obs::Observability>(config.obs);
+        dc_->setObservability(obs_.get());
+        if (pool_)
+            pool_->enableStats(true);
+    }
+}
+
+H2PSystem::ObsRun
+H2PSystem::beginObsRun(sched::Policy policy, double dt,
+                       size_t num_steps) const
+{
+    ObsRun r;
+    r.obs = obs_.get();
+    if (r.obs == nullptr)
+        return r;
+
+    obs::SpanRegistry &spans = obs_->spans();
+    r.span_step = spans.id("step");
+    r.span_decide = spans.id("sched.decide");
+
+    obs::MetricsRegistry &m = obs_->metrics();
+    r.steps = m.counter("run.steps");
+    r.max_die_hist = m.histogram("step.max_die_c", 20.0, 100.0, 40);
+    r.teg_hist = m.histogram("step.teg_w_per_server", 0.0, 10.0, 40);
+
+    r.cache_hits0 = optimizer_->cacheHits();
+    r.cache_misses0 = optimizer_->cacheMisses();
+    if (pool_)
+        r.pool0 = pool_->stats();
+
+    obs::Event e;
+    e.kind = "run";
+    e.subject = "system";
+    e.detail = "run_start policy=" + sched::toString(policy);
+    e.fields = {{"num_steps", static_cast<double>(num_steps)},
+                {"dt_s", dt}};
+    obs_->events().append(std::move(e));
+    return r;
+}
+
+void
+H2PSystem::finishObsRun(const ObsRun &orun, const sim::Recorder &rec,
+                        const RunSummary &summary) const
+{
+    if (orun.obs == nullptr)
+        return;
+
+    obs::MetricsRegistry &m = obs_->metrics();
+    m.counter("optimizer.cache_hits")
+        .add(optimizer_->cacheHits() - orun.cache_hits0);
+    m.counter("optimizer.cache_misses")
+        .add(optimizer_->cacheMisses() - orun.cache_misses0);
+    if (pool_) {
+        util::ThreadPool::PoolStats ps = pool_->stats();
+        m.counter("pool.jobs").add(ps.jobs - orun.pool0.jobs);
+        m.counter("pool.wall_ns").add(ps.wall_ns - orun.pool0.wall_ns);
+        m.counter("pool.busy_ns").add(ps.busy_ns - orun.pool0.busy_ns);
+    }
+    m.gauge("run.pre").set(summary.pre);
+    m.gauge("run.avg_teg_w").set(summary.avg_teg_w);
+    m.gauge("run.avg_cpu_w").set(summary.avg_cpu_w);
+    m.gauge("run.safe_fraction").set(summary.safe_fraction);
+    m.gauge("run.plant_energy_kwh").set(summary.plant_energy_kwh);
+
+    const obs::ObsParams &p = obs_->params();
+    if (!p.jsonl_path.empty()) {
+        std::ofstream os(p.jsonl_path);
+        expect(os.good(), "cannot open obs jsonl output `",
+               p.jsonl_path, "'");
+        os << "{\"type\":\"run\",\"policy\":\""
+           << obs::jsonEscape(sched::toString(summary.policy))
+           << "\",\"dt_s\":" << rec.dt() << "}\n";
+        rec.writeJsonl(os);
+        obs_->writeJsonl(os);
+    }
+    if (!p.csv_path.empty()) {
+        std::ofstream os(p.csv_path);
+        expect(os.good(), "cannot open obs csv output `", p.csv_path,
+               "'");
+        obs_->writeMetricsCsv(os);
+    }
+    if (p.print_summary)
+        obs_->writeSummary(std::cout);
 }
 
 const sched::Scheduler &
@@ -87,6 +247,13 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
     sim::Recorder::Channel ch_die = rec.channel("max_die_c");
     sim::Recorder::Channel ch_umean = rec.channel("util_mean");
     sim::Recorder::Channel ch_umax = rec.channel("util_max");
+    // Every channel this run records is now resolved; anything else
+    // would produce ragged export columns.
+    rec.freeze();
+
+    ObsRun orun = beginObsRun(policy, trace.dt(), trace.numSteps());
+    obs::SpanRegistry *spans =
+        orun.obs != nullptr ? &orun.obs->spans() : nullptr;
 
     double n = static_cast<double>(servers);
     double teg_j = 0.0, cpu_j = 0.0, plant_j = 0.0, pump_j = 0.0;
@@ -100,10 +267,14 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
     cluster::DatacenterState state;
 
     for (size_t step = 0; step < trace.numSteps(); ++step) {
+        obs::TraceSpan step_span(spans, orun.span_step);
         trace.stepInto(step, utils);
         utils.resize(servers);
 
-        sched.decideInto(utils, {}, 0.0, decision);
+        {
+            obs::TraceSpan decide_span(spans, orun.span_decide);
+            sched.decideInto(utils, {}, 0.0, decision);
+        }
         dc_->evaluateInto(decision.utils, decision.settings, nullptr,
                           state);
 
@@ -145,6 +316,12 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
         t_in_sum += t_in_mean;
         if (state.all_safe)
             ++safe_steps;
+
+        if (orun.obs != nullptr) {
+            orun.steps.add();
+            orun.max_die_hist.observe(max_die);
+            orun.teg_hist.observe(teg_per);
+        }
     }
 
     RunSummary &s = result.summary;
@@ -166,6 +343,8 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
         s.circulation_safe_fraction.push_back(
             static_cast<double>(c) /
             static_cast<double>(trace.numSteps()));
+    validateSummary(s);
+    finishObsRun(orun, rec, s);
     return result;
 }
 
@@ -217,6 +396,13 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
         rec.channel("safe_mode_circulations");
     sim::Recorder::Channel ch_throttled =
         rec.channel("throttled_servers");
+    rec.freeze();
+
+    ObsRun orun = beginObsRun(policy, dt, trace.numSteps());
+    obs::SpanRegistry *spans =
+        orun.obs != nullptr ? &orun.obs->spans() : nullptr;
+    size_t seen_faults = 0;
+    size_t seen_trips = 0;
 
     double n = static_cast<double>(servers);
     double teg_j = 0.0, cpu_j = 0.0, plant_j = 0.0, pump_j = 0.0;
@@ -244,7 +430,31 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
     cluster::DatacenterState state;
 
     for (size_t step = 0; step < trace.numSteps(); ++step) {
-        injector.advanceTo(static_cast<double>(step) * dt);
+        obs::TraceSpan step_span(spans, orun.span_step);
+        const double now_s = static_cast<double>(step) * dt;
+        injector.advanceTo(now_s);
+
+        // Every fault whose onset just passed becomes a structured
+        // event; the injector's timeline is sorted by onset, so the
+        // newly struck ones are exactly the next struckCount() delta.
+        if (orun.obs != nullptr) {
+            for (; seen_faults < injector.struckCount();
+                 ++seen_faults) {
+                const fault::FaultEvent &fe =
+                    injector.events()[seen_faults];
+                obs::Event e;
+                e.time_s = fe.time_s;
+                e.step = static_cast<long>(step);
+                e.kind = "fault";
+                e.subject = "circ" + std::to_string(fe.circulation);
+                e.detail = fault::toString(fe.kind);
+                e.fields = {
+                    {"server", static_cast<double>(fe.server)},
+                    {"magnitude", fe.magnitude},
+                    {"duration_s", fe.duration_s}};
+                orun.obs->events().append(std::move(e));
+            }
+        }
 
         trace.stepInto(step, utils);
         utils.resize(servers);
@@ -252,12 +462,29 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
             watchdog.shapeInPlace(utils, dt);
 
         if (sm.enabled && have_readings) {
-            for (size_t c = 0; c < num_circ; ++c)
-                actions[c] = monitor.assess(c, die_read[c], flow_read[c],
-                                            commanded_flow[c], dt);
+            for (size_t c = 0; c < num_circ; ++c) {
+                sched::SafeModeAction next = monitor.assess(
+                    c, die_read[c], flow_read[c], commanded_flow[c],
+                    dt);
+                if (orun.obs != nullptr && next != actions[c]) {
+                    obs::Event e;
+                    e.time_s = now_s;
+                    e.step = static_cast<long>(step);
+                    e.kind = "safe_mode";
+                    e.subject = "circ" + std::to_string(c);
+                    e.detail =
+                        std::string(safeModeActionName(actions[c])) +
+                        " -> " + safeModeActionName(next);
+                    orun.obs->events().append(std::move(e));
+                }
+                actions[c] = next;
+            }
         }
 
-        sched.decideInto(utils, actions, sm.margin_c, decision);
+        {
+            obs::TraceSpan decide_span(spans, orun.span_decide);
+            sched.decideInto(utils, actions, sm.margin_c, decision);
+        }
         dc_->evaluateInto(decision.utils, decision.settings,
                           &injector.health(), state);
 
@@ -331,6 +558,31 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
         if (state.all_safe)
             ++safe_steps;
         max_faulted = std::max(max_faulted, state.faulted_servers);
+
+        if (orun.obs != nullptr) {
+            orun.steps.add();
+            orun.max_die_hist.observe(max_die);
+            orun.teg_hist.observe(teg_per);
+            if (use_watchdog) {
+                size_t trips = watchdog.tripEvents();
+                if (trips > seen_trips) {
+                    obs::Event e;
+                    e.time_s = now_s;
+                    e.step = static_cast<long>(step);
+                    e.kind = "watchdog";
+                    e.subject = "cluster";
+                    e.detail = "thermal trip";
+                    e.fields = {
+                        {"new_trips", static_cast<double>(
+                                          trips - seen_trips)},
+                        {"throttled_servers",
+                         static_cast<double>(
+                             watchdog.numThrottled())}};
+                    orun.obs->events().append(std::move(e));
+                    seen_trips = trips;
+                }
+            }
+        }
     }
 
     RunSummary &s = result.summary;
@@ -358,6 +610,8 @@ H2PSystem::runResilient(const workload::UtilizationTrace &trace,
         s.circulation_safe_fraction.push_back(
             static_cast<double>(c) /
             static_cast<double>(trace.numSteps()));
+    validateSummary(s);
+    finishObsRun(orun, rec, s);
     return result;
 }
 

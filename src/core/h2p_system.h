@@ -18,6 +18,7 @@
 
 #include "cluster/datacenter.h"
 #include "fault/fault_injector.h"
+#include "obs/observability.h"
 #include "sched/cooling_optimizer.h"
 #include "sched/lookup_space.h"
 #include "sched/safe_mode.h"
@@ -62,6 +63,12 @@ struct H2PConfig
     sched::SafeModeParams safe_mode;
     /** Hot-path performance knobs. */
     PerfParams perf;
+    /**
+     * Observability ([obs] in INI configs); disabled by default.
+     * Enabling it never changes simulation results — it only collects
+     * metrics, span timings and events, and exports them at run end.
+     */
+    obs::ObsParams obs;
 };
 
 /** Summary of one trace-driven run. */
@@ -164,12 +171,27 @@ class H2PSystem
     }
     const H2PConfig &config() const { return config_; }
 
+    /**
+     * The observability sink, or null when [obs] is disabled. State
+     * accumulates across run() calls on the same system (counters and
+     * spans are cumulative); exporters write at the end of each run.
+     */
+    obs::Observability *observability() const { return obs_.get(); }
+
     /** The per-policy scheduler built once at construction. */
     const sched::Scheduler &scheduler(sched::Policy policy) const;
 
   private:
     RunResult runResilient(const workload::UtilizationTrace &trace,
                            sched::Policy policy) const;
+
+    /** Per-run obs bookkeeping shared by both run loops. */
+    struct ObsRun;
+
+    ObsRun beginObsRun(sched::Policy policy, double dt,
+                       size_t num_steps) const;
+    void finishObsRun(const ObsRun &orun, const sim::Recorder &rec,
+                      const RunSummary &summary) const;
 
     H2PConfig config_;
     std::unique_ptr<cluster::Datacenter> dc_;
@@ -180,6 +202,7 @@ class H2PSystem
     std::unique_ptr<sched::Scheduler> sched_original_;
     std::unique_ptr<sched::Scheduler> sched_balance_;
     std::unique_ptr<util::ThreadPool> pool_;
+    std::unique_ptr<obs::Observability> obs_;
 };
 
 } // namespace core

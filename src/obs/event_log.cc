@@ -1,0 +1,55 @@
+#include "obs/event_log.h"
+
+#include "util/error.h"
+
+namespace h2p {
+namespace obs {
+
+EventLog::EventLog(size_t capacity) : capacity_(capacity)
+{
+    expect(capacity >= 1, "event log capacity must be >= 1, got ",
+           capacity);
+}
+
+void
+EventLog::append(Event e)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(e));
+}
+
+size_t
+EventLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+uint64_t
+EventLog::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::vector<Event>
+EventLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+EventLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    dropped_ = 0;
+}
+
+} // namespace obs
+} // namespace h2p

@@ -1,0 +1,140 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace obs {
+
+void
+HistogramMetric::observe(double x) const
+{
+    if (!slot_)
+        return;
+    std::lock_guard<std::mutex> lock(slot_->mutex);
+    slot_->histogram.add(x);
+    if (slot_->count == 0) {
+        slot_->min = x;
+        slot_->max = x;
+    } else {
+        slot_->min = std::min(slot_->min, x);
+        slot_->max = std::max(slot_->max, x);
+    }
+    ++slot_->count;
+    slot_->sum += x;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name)
+{
+    expect(!name.empty(), "metric names must be non-empty");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counter_index_.find(name);
+    if (it == counter_index_.end()) {
+        it = counter_index_.emplace(name, counter_slots_.size()).first;
+        counter_slots_.emplace_back(0);
+    }
+    return Counter(&counter_slots_[it->second]);
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name)
+{
+    expect(!name.empty(), "metric names must be non-empty");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauge_index_.find(name);
+    if (it == gauge_index_.end()) {
+        it = gauge_index_.emplace(name, gauge_slots_.size()).first;
+        gauge_slots_.emplace_back(0.0);
+    }
+    return Gauge(&gauge_slots_[it->second]);
+}
+
+HistogramMetric
+MetricsRegistry::histogram(const std::string &name, double lo, double hi,
+                           size_t bins)
+{
+    expect(!name.empty(), "metric names must be non-empty");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = hist_index_.find(name);
+    if (it == hist_index_.end()) {
+        it = hist_index_.emplace(name, hist_slots_.size()).first;
+        hist_slots_.emplace_back(lo, hi, bins);
+    } else {
+        const detail::HistogramSlot &slot = hist_slots_[it->second];
+        expect(slot.lo == lo && slot.hi == hi && slot.bins == bins,
+               "histogram `", name,
+               "' re-registered with different bounds");
+    }
+    return HistogramMetric(&hist_slots_[it->second]);
+}
+
+uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counter_index_.find(name);
+    expect(it != counter_index_.end(), "no counter named `", name, "'");
+    return counter_slots_[it->second].load(std::memory_order_relaxed);
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauge_index_.find(name);
+    expect(it != gauge_index_.end(), "no gauge named `", name, "'");
+    return gauge_slots_[it->second].load(std::memory_order_relaxed);
+}
+
+std::vector<MetricsRegistry::CounterValue>
+MetricsRegistry::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<CounterValue> out;
+    out.reserve(counter_index_.size());
+    for (const auto &[name, idx] : counter_index_)
+        out.push_back({name, counter_slots_[idx].load(
+                                 std::memory_order_relaxed)});
+    return out;
+}
+
+std::vector<MetricsRegistry::GaugeValue>
+MetricsRegistry::gauges() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<GaugeValue> out;
+    out.reserve(gauge_index_.size());
+    for (const auto &[name, idx] : gauge_index_)
+        out.push_back({name, gauge_slots_[idx].load(
+                                 std::memory_order_relaxed)});
+    return out;
+}
+
+std::vector<MetricsRegistry::HistogramValue>
+MetricsRegistry::histograms() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<HistogramValue> out;
+    out.reserve(hist_index_.size());
+    for (const auto &[name, idx] : hist_index_) {
+        // Deliberately cast away constness to take the slot's own
+        // mutex; the snapshot must not race a concurrent observe().
+        detail::HistogramSlot &slot =
+            const_cast<detail::HistogramSlot &>(hist_slots_[idx]);
+        std::lock_guard<std::mutex> slot_lock(slot.mutex);
+        HistogramValue v;
+        v.name = name;
+        v.count = slot.count;
+        v.sum = slot.sum;
+        v.min = slot.min;
+        v.max = slot.max;
+        v.histogram = slot.histogram;
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace h2p

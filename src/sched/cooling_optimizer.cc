@@ -39,6 +39,32 @@ CoolingOptimizer::CoolingOptimizer(const LookupSpace &space,
            "cache quantum must be non-negative");
 }
 
+void
+CoolingOptimizer::setTSafe(double t_safe_c)
+{
+    expect(t_safe_c > params_.cold_source_c,
+           "T_safe must exceed the cold-source temperature");
+    params_.t_safe_c = t_safe_c;
+    clearCache();
+}
+
+void
+CoolingOptimizer::setBand(double band_c)
+{
+    expect(band_c >= 0.0, "band width must be non-negative");
+    params_.band_c = band_c;
+    clearCache();
+}
+
+void
+CoolingOptimizer::setColdSource(double cold_source_c)
+{
+    expect(params_.t_safe_c > cold_source_c,
+           "T_safe must exceed the cold-source temperature");
+    params_.cold_source_c = cold_source_c;
+    clearCache();
+}
+
 double
 CoolingOptimizer::tegPowerAt(const LookupPoint &p) const
 {
@@ -83,6 +109,7 @@ CoolingOptimizer::choose(double plan_util, double t_safe_c) const
         ++cache_hits_;
         return it->second;
     }
+    ++cache_misses_;
     if (cache_.size() >= kMaxCacheEntries)
         cache_.clear();
     double quantized =

@@ -132,6 +132,9 @@ class CoolingOptimizer
     /** Decisions served from the cache so far. */
     size_t cacheHits() const { return cache_hits_; }
 
+    /** Decisions that had to run the full grid search (cache on). */
+    size_t cacheMisses() const { return cache_misses_; }
+
     /** Entries currently memoized. */
     size_t cacheSize() const { return cache_.size(); }
 
@@ -139,6 +142,21 @@ class CoolingOptimizer
     void clearCache() const { cache_.clear(); }
 
     const OptimizerParams &params() const { return params_; }
+
+    // Runtime re-tuning. band_c and cold_source_c are key-relevant
+    // state that is *not* part of the cache key (the key is only the
+    // quantized utilization and T_safe), so changing any of them
+    // through these setters drops every memoized decision; mutating
+    // them behind the optimizer's back would serve stale settings.
+
+    /** Change the safe operating temperature; clears the cache. */
+    void setTSafe(double t_safe_c);
+
+    /** Change the acceptance band half-width; clears the cache. */
+    void setBand(double band_c);
+
+    /** Change the cold-source temperature; clears the cache. */
+    void setColdSource(double cold_source_c);
 
   private:
     /** Cache key: quantized-utilization bucket x exact T_safe bits. */
@@ -176,6 +194,7 @@ class CoolingOptimizer
     mutable std::unordered_map<CacheKey, OptimizerResult, CacheKeyHash>
         cache_;
     mutable size_t cache_hits_ = 0;
+    mutable size_t cache_misses_ = 0;
 };
 
 } // namespace sched

@@ -1,5 +1,6 @@
 #include "sim/config.h"
 
+#include <cctype>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -39,6 +40,9 @@ Config::parse(std::istream &is)
         std::string key = strings::trim(t.substr(0, eq));
         std::string value = strings::trim(t.substr(eq + 1));
         expect(!key.empty(), "config line ", line_no, ": empty key");
+        expect(cfg.data_[section].count(key) == 0, "config line ",
+               line_no, ": duplicate key `", key, "' in [", section,
+               "]");
         cfg.data_[section][key] = value;
     }
     return cfg;
@@ -111,6 +115,28 @@ Config::getLong(const std::string &s, const std::string &k,
                 long fallback) const
 {
     return has(s, k) ? getLong(s, k) : fallback;
+}
+
+bool
+Config::getBool(const std::string &s, const std::string &k) const
+{
+    std::string v = getString(s, k);
+    for (char &c : v)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (v == "true" || v == "1" || v == "on" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "off" || v == "no")
+        return false;
+    fatal("config [", s, "] ", k, ": cannot parse `", getString(s, k),
+          "' as a boolean (use true/false, 1/0, on/off, yes/no)");
+}
+
+bool
+Config::getBool(const std::string &s, const std::string &k,
+                bool fallback) const
+{
+    return has(s, k) ? getBool(s, k) : fallback;
 }
 
 void

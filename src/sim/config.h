@@ -69,6 +69,16 @@ class Config
     long getLong(const std::string &s, const std::string &k,
                  long fallback) const;
 
+    /**
+     * Boolean value; accepts true/false, 1/0, on/off, yes/no
+     * (case-insensitive). Throws when absent or unparsable.
+     */
+    bool getBool(const std::string &s, const std::string &k) const;
+
+    /** Boolean with default when absent. */
+    bool getBool(const std::string &s, const std::string &k,
+                 bool fallback) const;
+
     /** Set (or overwrite) a value. */
     void set(const std::string &s, const std::string &k,
              const std::string &v);

@@ -1,5 +1,8 @@
 #include "sim/recorder.h"
 
+#include <limits>
+#include <ostream>
+
 #include "util/csv.h"
 #include "util/error.h"
 
@@ -16,10 +19,19 @@ Recorder::channel(const std::string &name)
 {
     auto it = index_.find(name);
     if (it == index_.end()) {
+        expect(!frozen_, "recorder channel set is frozen; cannot "
+                         "register new channel `",
+               name, "' after the run has started");
         it = index_.emplace(name, storage_.size()).first;
         storage_.emplace_back(dt_);
     }
     return Channel(it->second);
+}
+
+void
+Recorder::freeze()
+{
+    frozen_ = true;
 }
 
 void
@@ -83,6 +95,27 @@ Recorder::saveCsv(const std::string &path) const
         table.addRow(std::move(row));
     }
     table.save(path);
+}
+
+void
+Recorder::writeJsonl(std::ostream &os) const
+{
+    expect(!index_.empty(), "cannot export an empty recorder");
+    size_t len = storage_[index_.begin()->second].size();
+    for (const auto &[name, idx] : index_) {
+        expect(storage_[idx].size() == len, "channel `", name,
+               "' length differs; cannot export");
+    }
+    const auto precision = os.precision();
+    os.precision(std::numeric_limits<double>::max_digits10);
+    for (size_t i = 0; i < len; ++i) {
+        os << "{\"type\":\"step\",\"time_s\":"
+           << dt_ * static_cast<double>(i);
+        for (const auto &[name, idx] : index_)
+            os << ",\"" << name << "\":" << storage_[idx].at(i);
+        os << "}\n";
+    }
+    os.precision(precision);
 }
 
 } // namespace sim

@@ -15,6 +15,7 @@
 #define H2P_SIM_RECORDER_H_
 
 #include <cstddef>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -65,6 +66,18 @@ class Recorder
     /** Record one sample of channel @p name (created on first use). */
     void record(const std::string &name, double value);
 
+    /**
+     * Freeze the channel set. Late registration after stepping has
+     * begun silently produced ragged (short) columns in exports;
+     * freezing turns any further channel() call for an unknown name
+     * into a loud error instead. Run drivers freeze once their
+     * handles are resolved. Idempotent.
+     */
+    void freeze();
+
+    /** True once freeze() has been called. */
+    bool frozen() const { return frozen_; }
+
     /** True when channel @p name exists. */
     bool has(const std::string &name) const;
 
@@ -84,8 +97,16 @@ class Recorder
      */
     void saveCsv(const std::string &path) const;
 
+    /**
+     * Export all channels to @p os as JSON Lines: one
+     * `{"type":"step","time_s":...,"<channel>":...}` object per
+     * sample row. Channels must have equal lengths.
+     */
+    void writeJsonl(std::ostream &os) const;
+
   private:
     double dt_;
+    bool frozen_ = false;
     // Series storage indexed by handle; index_ maps names to slots
     // (and, being an ordered map, provides the sorted iteration the
     // CSV export and channels() promise).

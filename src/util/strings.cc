@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <sstream>
 
 #include "util/error.h"
@@ -54,6 +55,11 @@ toDouble(std::string_view text)
     double v = std::strtod(t.c_str(), &end);
     expect(end == t.c_str() + t.size(),
            "cannot parse `", t, "' as a floating-point number");
+    // strtod accepts "inf"/"nan" spellings and maps overflow like
+    // "1e400" to HUGE_VAL with the input fully consumed; none of
+    // those are usable simulation parameters.
+    expect(std::isfinite(v), "`", t,
+           "' is not a finite number (overflow, inf, or nan)");
     return v;
 }
 

@@ -1,11 +1,25 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/error.h"
 
 namespace h2p {
 namespace util {
+
+namespace {
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(size_t workers)
 {
@@ -47,12 +61,35 @@ ThreadPool::runChunk(size_t part)
 {
     size_t begin, end;
     chunkRange(job_n_, workers_, part, begin, end);
+    const bool timed = stats_enabled_.load(std::memory_order_relaxed);
+    const uint64_t t0 = timed ? nowNs() : 0;
     try {
         for (size_t i = begin; i < end; ++i)
             (*job_fn_)(i);
     } catch (...) {
         errors_[part] = std::current_exception();
     }
+    if (timed)
+        stat_busy_ns_.fetch_add(nowNs() - t0,
+                                std::memory_order_relaxed);
+}
+
+ThreadPool::PoolStats
+ThreadPool::stats() const
+{
+    PoolStats s;
+    s.jobs = stat_jobs_.load(std::memory_order_relaxed);
+    s.wall_ns = stat_wall_ns_.load(std::memory_order_relaxed);
+    s.busy_ns = stat_busy_ns_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+ThreadPool::resetStats()
+{
+    stat_jobs_.store(0, std::memory_order_relaxed);
+    stat_wall_ns_.store(0, std::memory_order_relaxed);
+    stat_busy_ns_.store(0, std::memory_order_relaxed);
 }
 
 void
@@ -83,9 +120,17 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
 {
     if (n == 0)
         return;
+    const bool timed = stats_enabled_.load(std::memory_order_relaxed);
+    const uint64_t t0 = timed ? nowNs() : 0;
     if (workers_ == 1) {
         for (size_t i = 0; i < n; ++i)
             fn(i);
+        if (timed) {
+            const uint64_t dt = nowNs() - t0;
+            stat_jobs_.fetch_add(1, std::memory_order_relaxed);
+            stat_wall_ns_.fetch_add(dt, std::memory_order_relaxed);
+            stat_busy_ns_.fetch_add(dt, std::memory_order_relaxed);
+        }
         return;
     }
 
@@ -105,6 +150,11 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         std::unique_lock<std::mutex> lock(mutex_);
         done_cv_.wait(lock, [this] { return pending_ == 0; });
         job_fn_ = nullptr;
+    }
+    if (timed) {
+        stat_jobs_.fetch_add(1, std::memory_order_relaxed);
+        stat_wall_ns_.fetch_add(nowNs() - t0,
+                                std::memory_order_relaxed);
     }
     for (std::exception_ptr &e : errors_) {
         if (e)

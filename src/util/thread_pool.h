@@ -15,8 +15,10 @@
 #ifndef H2P_UTIL_THREAD_POOL_H_
 #define H2P_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -66,6 +68,31 @@ class ThreadPool
     static void chunkRange(size_t n, size_t parts, size_t part,
                            size_t &begin, size_t &end);
 
+    /** Cumulative utilization counters; see stats(). */
+    struct PoolStats
+    {
+        /** parallelFor calls completed. */
+        uint64_t jobs = 0;
+        /** Wall time spent inside parallelFor, summed over calls. */
+        uint64_t wall_ns = 0;
+        /** Per-chunk compute time, summed over chunks and calls. */
+        uint64_t busy_ns = 0;
+    };
+
+    /**
+     * Turn utilization accounting on or off (off by default). When on,
+     * every parallelFor records its wall time and each chunk its busy
+     * time — two clock reads per chunk, nothing per index. The
+     * observability layer scrapes the totals at run end.
+     */
+    void enableStats(bool on) { stats_enabled_.store(on); }
+
+    /** Snapshot of the cumulative counters. */
+    PoolStats stats() const;
+
+    /** Zero the cumulative counters. */
+    void resetStats();
+
   private:
     void workerLoop(size_t worker_index);
     void runChunk(size_t part);
@@ -84,6 +111,11 @@ class ThreadPool
     size_t job_n_ = 0;
     size_t pending_ = 0;
     std::vector<std::exception_ptr> errors_;
+
+    std::atomic<bool> stats_enabled_{false};
+    std::atomic<uint64_t> stat_jobs_{0};
+    std::atomic<uint64_t> stat_wall_ns_{0};
+    std::atomic<uint64_t> stat_busy_ns_{0};
 };
 
 } // namespace util

@@ -12,6 +12,7 @@
 #include "sim/config.h"
 #include "util/args.h"
 #include "util/error.h"
+#include "util/logging.h"
 
 namespace h2p {
 namespace {
@@ -162,6 +163,76 @@ TEST(ConfigTest, LoadRejectsMissingFile)
     EXPECT_THROW(sim::Config::load("/nonexistent/h2p.ini"), Error);
 }
 
+TEST(ConfigTest, RejectsNonFiniteNumbers)
+{
+    // strtod happily consumes "1e400" (overflow -> inf), "inf" and
+    // "nan"; none of them is a usable simulation parameter, so the
+    // typed accessor must reject them with the section/key context.
+    std::stringstream ss(
+        "[s]\nover = 1e400\nneg = -1e400\ninfinity = inf\nnan = nan\n"
+        "ok = 1.5\n");
+    sim::Config cfg = sim::Config::parse(ss);
+    EXPECT_THROW(cfg.getDouble("s", "over"), Error);
+    EXPECT_THROW(cfg.getDouble("s", "neg"), Error);
+    EXPECT_THROW(cfg.getDouble("s", "infinity"), Error);
+    EXPECT_THROW(cfg.getDouble("s", "nan"), Error);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("s", "ok"), 1.5);
+    try {
+        cfg.getDouble("s", "over");
+        FAIL() << "expected an error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("[s] over"),
+                  std::string::npos);
+    }
+}
+
+TEST(ConfigTest, RejectsTrailingGarbageAndEmptyValues)
+{
+    // Pins the parse contract: partial parses never pass silently.
+    std::stringstream ss("[s]\ngarbage = 1.5x\nempty =\n");
+    sim::Config cfg = sim::Config::parse(ss);
+    EXPECT_THROW(cfg.getDouble("s", "garbage"), Error);
+    EXPECT_THROW(cfg.getDouble("s", "empty"), Error);
+    EXPECT_THROW(cfg.getLong("s", "garbage"), Error);
+}
+
+TEST(ConfigTest, RejectsDuplicateKeys)
+{
+    // A duplicated key silently overwrote its first value; the last
+    // writer won and the user never learned the file was ambiguous.
+    std::stringstream ss("[s]\nk = 1\nk = 2\n");
+    try {
+        sim::Config::parse(ss);
+        FAIL() << "expected an error";
+    } catch (const Error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("duplicate key"), std::string::npos);
+        EXPECT_NE(msg.find("line 3"), std::string::npos);
+    }
+    // The same key in different sections is fine.
+    std::stringstream ok("[a]\nk = 1\n[b]\nk = 2\n");
+    EXPECT_NO_THROW(sim::Config::parse(ok));
+}
+
+TEST(ConfigTest, ParsesBooleans)
+{
+    std::stringstream ss(
+        "[s]\na = true\nb = FALSE\nc = 1\nd = 0\ne = on\nf = Off\n"
+        "g = yes\nh = no\nbad = maybe\n");
+    sim::Config cfg = sim::Config::parse(ss);
+    EXPECT_TRUE(cfg.getBool("s", "a"));
+    EXPECT_FALSE(cfg.getBool("s", "b"));
+    EXPECT_TRUE(cfg.getBool("s", "c"));
+    EXPECT_FALSE(cfg.getBool("s", "d"));
+    EXPECT_TRUE(cfg.getBool("s", "e"));
+    EXPECT_FALSE(cfg.getBool("s", "f"));
+    EXPECT_TRUE(cfg.getBool("s", "g"));
+    EXPECT_FALSE(cfg.getBool("s", "h"));
+    EXPECT_THROW(cfg.getBool("s", "bad"), Error);
+    EXPECT_TRUE(cfg.getBool("s", "missing", true));
+    EXPECT_FALSE(cfg.getBool("s", "missing", false));
+}
+
 // -------------------------------------------------------------- bindings
 
 TEST(ConfigIoTest, EmptyIniYieldsDefaults)
@@ -209,6 +280,62 @@ TEST(ConfigIoTest, RejectsUnknownProfile)
     std::stringstream ss("[trace]\nprofile = bursty\n");
     sim::Config ini = sim::Config::parse(ss);
     EXPECT_THROW(core::traceRequestFromIni(ini), Error);
+}
+
+TEST(ConfigIoTest, WarnsOnUnknownKeysAndSections)
+{
+    // `[perf] thread = 8` (missing the s) used to be silently ignored
+    // and the run quietly stayed serial. It must warn, naming the key.
+    std::stringstream ss(
+        "[perf]\nthread = 8\n[typo_section]\nx = 1\n");
+    sim::Config ini = sim::Config::parse(ss);
+
+    std::ostringstream captured;
+    Logger::instance().setStream(captured);
+    core::configFromIni(ini);
+    Logger::instance().setStream(std::cerr);
+
+    std::string log = captured.str();
+    EXPECT_NE(log.find("unknown key [perf] thread"),
+              std::string::npos);
+    EXPECT_NE(log.find("unknown section [typo_section]"),
+              std::string::npos);
+}
+
+TEST(ConfigIoTest, CleanConfigDoesNotWarn)
+{
+    std::stringstream ss(
+        "[datacenter]\nnum_servers = 40\n[perf]\nthreads = 2\n");
+    sim::Config ini = sim::Config::parse(ss);
+    std::ostringstream captured;
+    Logger::instance().setStream(captured);
+    core::configFromIni(ini);
+    Logger::instance().setStream(std::cerr);
+    EXPECT_EQ(captured.str(), "");
+}
+
+TEST(ConfigIoTest, ObsSectionBinds)
+{
+    std::stringstream ss(
+        "[obs]\nenabled = true\njsonl_path = /tmp/t.jsonl\n"
+        "csv_path = /tmp/t.csv\nprint_summary = 1\n"
+        "max_events = 128\n");
+    sim::Config ini = sim::Config::parse(ss);
+    core::H2PConfig cfg = core::configFromIni(ini);
+    EXPECT_TRUE(cfg.obs.enabled);
+    EXPECT_EQ(cfg.obs.jsonl_path, "/tmp/t.jsonl");
+    EXPECT_EQ(cfg.obs.csv_path, "/tmp/t.csv");
+    EXPECT_TRUE(cfg.obs.print_summary);
+    EXPECT_EQ(cfg.obs.max_events, 128u);
+}
+
+TEST(ConfigIoTest, ObsDefaultsOff)
+{
+    std::stringstream ss("[datacenter]\nnum_servers = 40\n");
+    sim::Config ini = sim::Config::parse(ss);
+    core::H2PConfig cfg = core::configFromIni(ini);
+    EXPECT_FALSE(cfg.obs.enabled);
+    EXPECT_TRUE(cfg.obs.jsonl_path.empty());
 }
 
 TEST(ConfigIoTest, ConfiguredSystemRuns)

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "cluster/datacenter.h"
 #include "sched/circulation_design.h"
@@ -240,6 +241,111 @@ TEST_F(OptFixture, ColdestFallbackIsColdestInletHighestFlow)
     // Nothing in the slice runs a colder die.
     for (const auto &p : space.slice(0.7))
         EXPECT_GE(p.t_cpu_c, r.t_cpu_c - 1e-9);
+}
+
+// ------------------------------------------------------- decision cache
+
+struct CacheFixture : ::testing::Test
+{
+    CacheFixture() : server(), space(server), teg(12)
+    {
+        params.cache_util_quantum = 1e-3;
+        opt = std::make_unique<CoolingOptimizer>(space, teg, params);
+    }
+    cluster::Server server;
+    LookupSpace space;
+    thermal::TegModule teg;
+    OptimizerParams params;
+    std::unique_ptr<CoolingOptimizer> opt;
+};
+
+TEST_F(CacheFixture, HitsAndMissesAreCounted)
+{
+    EXPECT_EQ(opt->cacheHits(), 0u);
+    EXPECT_EQ(opt->cacheMisses(), 0u);
+    opt->choose(0.5);
+    EXPECT_EQ(opt->cacheMisses(), 1u);
+    opt->choose(0.5);
+    opt->choose(0.5);
+    EXPECT_EQ(opt->cacheHits(), 2u);
+    EXPECT_EQ(opt->cacheMisses(), 1u);
+    opt->choose(0.7);
+    EXPECT_EQ(opt->cacheMisses(), 2u);
+}
+
+TEST_F(CacheFixture, RetuningTsafeDropsMemoizedDecisions)
+{
+    // The memoized decision for (util, old T_safe) must not survive a
+    // re-tune: the default-T_safe choose() path would otherwise keep
+    // serving settings planned for the old temperature.
+    OptimizerResult before = opt->choose(0.5);
+    EXPECT_GT(opt->cacheSize(), 0u);
+
+    opt->setTSafe(params.t_safe_c - 5.0);
+    EXPECT_EQ(opt->cacheSize(), 0u);
+
+    OptimizerResult after = opt->choose(0.5);
+    // A 5 C colder target must actually change the decision ...
+    EXPECT_LT(after.t_cpu_c, before.t_cpu_c);
+    // ... and it must equal what a fresh optimizer at the new T_safe
+    // computes (i.e. no stale state of any kind).
+    OptimizerParams fresh_params = params;
+    fresh_params.t_safe_c = params.t_safe_c - 5.0;
+    CoolingOptimizer fresh(space, teg, fresh_params);
+    OptimizerResult expected = fresh.choose(0.5);
+    EXPECT_DOUBLE_EQ(after.setting.t_in_c, expected.setting.t_in_c);
+    EXPECT_DOUBLE_EQ(after.setting.flow_lph,
+                     expected.setting.flow_lph);
+    EXPECT_DOUBLE_EQ(after.teg_power_w, expected.teg_power_w);
+}
+
+TEST_F(CacheFixture, RetuningBandDropsMemoizedDecisions)
+{
+    // band_c is key-relevant state that is NOT in the cache key; a
+    // stale hit after widening would serve a decision filtered by the
+    // old, narrower acceptance band.
+    opt->choose(0.5);
+    EXPECT_GT(opt->cacheSize(), 0u);
+    opt->setBand(params.band_c * 3.0);
+    EXPECT_EQ(opt->cacheSize(), 0u);
+
+    OptimizerParams fresh_params = params;
+    fresh_params.band_c = params.band_c * 3.0;
+    CoolingOptimizer fresh(space, teg, fresh_params);
+    OptimizerResult after = opt->choose(0.5);
+    OptimizerResult expected = fresh.choose(0.5);
+    EXPECT_DOUBLE_EQ(after.setting.t_in_c, expected.setting.t_in_c);
+    EXPECT_EQ(after.candidates, expected.candidates);
+}
+
+TEST_F(CacheFixture, RetuningColdSourceDropsMemoizedDecisions)
+{
+    // cold_source_c shifts every candidate's predicted TEG power (it
+    // sets the TEG cold side), so a cached decision computed against
+    // the old temperature reports a wrong power.
+    OptimizerResult before = opt->choose(0.5);
+    EXPECT_GT(opt->cacheSize(), 0u);
+    opt->setColdSource(params.cold_source_c + 10.0);
+    EXPECT_EQ(opt->cacheSize(), 0u);
+
+    OptimizerResult after = opt->choose(0.5);
+    // A warmer cold source shrinks the harvested power.
+    EXPECT_LT(after.teg_power_w, before.teg_power_w);
+
+    OptimizerParams fresh_params = params;
+    fresh_params.cold_source_c = params.cold_source_c + 10.0;
+    CoolingOptimizer fresh(space, teg, fresh_params);
+    OptimizerResult expected = fresh.choose(0.5);
+    EXPECT_DOUBLE_EQ(after.teg_power_w, expected.teg_power_w);
+}
+
+TEST_F(CacheFixture, SettersValidate)
+{
+    EXPECT_THROW(opt->setTSafe(opt->params().cold_source_c - 1.0),
+                 Error);
+    EXPECT_THROW(opt->setBand(-1.0), Error);
+    EXPECT_THROW(opt->setColdSource(opt->params().t_safe_c + 1.0),
+                 Error);
 }
 
 // -------------------------------------------------------------- balancer
