@@ -10,6 +10,7 @@
 
 #include "bench/bench_common.h"
 #include "core/h2p_system.h"
+#include "sim/channels.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workload/trace_gen.h"
@@ -38,7 +39,7 @@ main()
         core::H2PSystem sys(cfg);
         auto r = sys.run(trace, sched::Policy::TegLoadBalance);
         double pump_per =
-            r.recorder->series("pump_w").mean() / 200.0;
+            r.recorder->series(sim::channels::kPumpW).mean() / 200.0;
         double net = r.summary.avg_teg_w - pump_per;
         table.addRow(strings::fixed(cap, 0),
                      {r.summary.avg_teg_w, pump_per, net}, 3);

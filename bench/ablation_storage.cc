@@ -10,6 +10,7 @@
 
 #include "bench/bench_common.h"
 #include "core/h2p_system.h"
+#include "sim/channels.h"
 #include "storage/hybrid_buffer.h"
 #include "storage/led.h"
 #include "util/strings.h"
@@ -29,7 +30,7 @@ main()
     auto trace =
         gen.generateProfile(workload::TraceProfile::Irregular, 200);
     auto r = sys.run(trace, sched::Policy::TegLoadBalance);
-    const auto &teg = r.recorder->series("teg_w_per_server");
+    const auto &teg = r.recorder->series(sim::channels::kTegWPerServer);
 
     // Size the lighting load at the mean harvest (Sec. VI-C2).
     double demand = teg.mean();

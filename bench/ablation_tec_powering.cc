@@ -12,6 +12,7 @@
 
 #include "bench/bench_common.h"
 #include "core/h2p_system.h"
+#include "sim/channels.h"
 #include "storage/hybrid_buffer.h"
 #include "thermal/tec.h"
 #include "util/strings.h"
@@ -32,7 +33,7 @@ main()
     auto trace =
         gen.generateProfile(workload::TraceProfile::Drastic, 200);
     auto r = sys.run(trace, sched::Policy::TegLoadBalance);
-    const auto &teg = r.recorder->series("teg_w_per_server");
+    const auto &teg = r.recorder->series(sim::channels::kTegWPerServer);
 
     thermal::Tec tec;
     TablePrinter table(

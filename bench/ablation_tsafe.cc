@@ -11,6 +11,7 @@
 
 #include "bench/bench_common.h"
 #include "core/h2p_system.h"
+#include "sim/channels.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workload/trace_gen.h"
@@ -39,7 +40,7 @@ main()
         cfg.optimizer.t_safe_c = t_safe;
         core::H2PSystem sys(cfg);
         auto r = sys.run(trace, sched::Policy::TegLoadBalance);
-        double worst = r.recorder->series("max_die_c").max();
+        double worst = r.recorder->series(sim::channels::kMaxDieC).max();
         double margin = 78.9 - worst;
         table.addRow(strings::fixed(t_safe, 0),
                      {r.summary.avg_teg_w, r.summary.avg_t_in_c, worst,

@@ -14,6 +14,7 @@
 
 #include "bench/bench_common.h"
 #include "core/h2p_system.h"
+#include "sim/channels.h"
 #include "stats/bootstrap.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -50,8 +51,8 @@ main()
         for (auto policy : {sched::Policy::TegOriginal,
                             sched::Policy::TegLoadBalance}) {
             auto r = sys.run(trace, policy);
-            const auto &teg = r.recorder->series("teg_w_per_server");
-            const auto &um = r.recorder->series("util_mean");
+            const auto &teg = r.recorder->series(sim::channels::kTegWPerServer);
+            const auto &um = r.recorder->series(sim::channels::kUtilMean);
             for (size_t s = 0; s < teg.size(); ++s) {
                 csv.addRow({double(ti), double(si), double(s),
                             teg.timeOf(s), teg.at(s), um.at(s)});

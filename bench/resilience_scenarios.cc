@@ -20,6 +20,7 @@
 
 #include "bench/bench_common.h"
 #include "core/h2p_system.h"
+#include "sim/channels.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "workload/trace_gen.h"
@@ -76,7 +77,7 @@ main()
         cfg.safe_mode.enabled = guarded;
         core::H2PSystem sys(cfg);
         auto r = sys.run(trace, sched::Policy::TegLoadBalance);
-        double worst = r.recorder->series("max_die_c").max();
+        double worst = r.recorder->series(sim::channels::kMaxDieC).max();
         const core::RunSummary &s = r.summary;
         const char *name = guarded ? "safe-mode" : "baseline";
         demo.addRow(name,

@@ -6,7 +6,9 @@
  * example runs the whole system the way an operator would deploy it:
  *
  *  - an EWMA + 2-sigma predictor plans each interval's cooling
- *    setting from the *past* only;
+ *    setting from the *past* only, installed as a custom controller
+ *    on a SimSession (the rest of the pipeline — evaluation,
+ *    recording, summary — is the stock engine);
  *  - when a load spike still pushes a loop past T_safe, the per-CPU
  *    TECs engage and pump the excess heat, drawing their power from
  *    the hybrid buffer the TEGs charge;
@@ -20,10 +22,9 @@
 
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
-#include "cluster/datacenter.h"
-#include "sched/cooling_optimizer.h"
-#include "sched/lookup_space.h"
+#include "core/h2p_system.h"
 #include "sched/predictor.h"
 #include "storage/hybrid_buffer.h"
 #include "storage/led.h"
@@ -49,15 +50,15 @@ main(int argc, char **argv)
         const size_t servers =
             static_cast<size_t>(args.getLong("servers"));
 
-        cluster::DatacenterParams dp;
-        dp.num_servers = servers;
-        dp.servers_per_circulation = 50;
-        cluster::Datacenter dc(dp);
-        cluster::Server server(dp.server);
-        sched::LookupSpace space(server);
-        thermal::TegModule teg(12);
-        sched::OptimizerParams op;
-        sched::CoolingOptimizer opt(space, teg, op);
+        core::H2PConfig cfg;
+        cfg.datacenter.num_servers = servers;
+        cfg.datacenter.servers_per_circulation = 50;
+        core::H2PSystem sys(cfg);
+        const cluster::Datacenter &dc = sys.datacenter();
+        const sched::CoolingOptimizer &opt = sys.optimizer();
+        const double t_safe_c = cfg.optimizer.t_safe_c;
+        cluster::Server server(cfg.datacenter.server);
+
         sched::EwmaPredictor predictor(servers);
         thermal::Tec tec;
         storage::HybridBuffer buffer;
@@ -68,42 +69,49 @@ main(int argc, char **argv)
         auto trace = gen.generateProfile(
             workload::TraceProfile::Drastic, servers);
 
-        double teg_sum = 0.0;
-        double worst_die = 0.0;
-        size_t tec_events = 0, miss_events = 0;
-        double tec_energy_wh = 0.0, led_served_wh = 0.0,
-               led_total_wh = 0.0, shortfall_wh = 0.0;
+        core::SimSession session =
+            sys.startSession(trace, sched::Policy::TegOriginal);
 
-        for (size_t step = 0; step < trace.numSteps(); ++step) {
-            std::vector<double> utils = trace.step(step);
-            utils.resize(servers);
-
-            // 1. Causal planning from the predictor state.
-            std::vector<cluster::CoolingSetting> settings;
+        // 1. Causal planning: the scheduling stage plans each loop's
+        // setting from the predictor's state, never from this
+        // interval's (still unseen) utilizations.
+        session.setController([&](size_t, const std::vector<double> &u,
+                                  sched::ScheduleDecision &decision) {
+            decision.utils = u;
+            decision.settings.clear();
+            decision.details.clear();
             size_t offset = 0;
             for (size_t c = 0; c < dc.numCirculations(); ++c) {
                 size_t n = dc.circulationSize(c);
                 double plan =
                     predictor.maxUpperBound(offset, offset + n);
-                settings.push_back(opt.choose(plan).setting);
+                decision.settings.push_back(opt.choose(plan).setting);
                 offset += n;
             }
+        });
 
+        double worst_die = 0.0;
+        size_t tec_events = 0, miss_events = 0;
+        double tec_energy_wh = 0.0, led_served_wh = 0.0,
+               led_total_wh = 0.0, shortfall_wh = 0.0;
+
+        while (!session.done()) {
             // 2. Reality arrives.
-            auto state = dc.evaluate(utils, settings);
+            session.step();
+            const cluster::DatacenterState &state =
+                session.lastState();
             double teg_per =
                 state.teg_power_w / static_cast<double>(servers);
-            teg_sum += teg_per;
 
             // 3. TEC protection for loops the prediction missed.
             double tec_draw_w = 0.0;
             for (size_t c = 0; c < state.circulations.size(); ++c) {
                 const auto &cs = state.circulations[c];
-                if (cs.max_die_c > op.t_safe_c + 1.0) {
+                if (cs.max_die_c > t_safe_c + 1.0) {
                     ++miss_events;
                     // Pump the hottest server back to T_safe.
                     double excess_w =
-                        (cs.max_die_c - op.t_safe_c) /
+                        (cs.max_die_c - t_safe_c) /
                         server.thermalModel().plateResistance(
                             cs.setting.flow_lph);
                     auto tec_op = tec.currentForHeat(
@@ -113,7 +121,7 @@ main(int argc, char **argv)
                     ++tec_events;
                     worst_die = std::max(
                         worst_die,
-                        op.t_safe_c + 1.0); // held by the TEC
+                        t_safe_c + 1.0); // held by the TEC
                 } else {
                     worst_die = std::max(worst_die, cs.max_die_c);
                 }
@@ -133,15 +141,15 @@ main(int argc, char **argv)
             tec_energy_wh +=
                 tec_draw_w / static_cast<double>(servers) * hours;
 
-            // 5. Learn.
-            predictor.observe(utils);
+            // 5. Learn from what actually ran.
+            predictor.observe(session.lastUtils());
         }
+        core::RunResult result = session.finish();
 
-        double steps = static_cast<double>(trace.numSteps());
         TablePrinter table("deployable H2P - one day of drastic load");
         table.setHeader({"quantity", "value"});
         table.addRow({"TEG harvest",
-                      strings::fixed(teg_sum / steps, 3) +
+                      strings::fixed(result.summary.avg_teg_w, 3) +
                           " W/server avg"});
         table.addRow(
             {"prediction misses (loop-intervals over T_safe+1)",

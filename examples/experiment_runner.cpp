@@ -4,12 +4,25 @@
  *
  * Describes a full H2P experiment as a small INI file (datacenter
  * layout, TEG/thermal calibration, optimizer setpoints, trace class)
- * and runs it under both schemes, printing the evaluation summary and
- * optionally exporting per-step channels. With no --config the
- * built-in defaults (the paper's configuration) run.
+ * and runs it, printing the evaluation summary and optionally
+ * exporting per-step channels. With no --config the built-in defaults
+ * (the paper's configuration) run.
  *
+ * Runs execute through the incremental session API, so a run can be
+ * checkpointed mid-trace and resumed later — bit-identically:
+ *
+ *   # run both schemes, export the balance run's channels
  *   ./examples/experiment_runner --config my_experiment.ini \
  *                                --out run.csv
+ *
+ *   # save a checkpoint after step 144, stop there
+ *   ./examples/experiment_runner --policy balance \
+ *       --checkpoint run.ckpt --checkpoint-at 144 \
+ *       --halt-at-checkpoint
+ *
+ *   # pick the run back up and finish it
+ *   ./examples/experiment_runner --policy balance \
+ *       --checkpoint run.ckpt --resume --jsonl rest.jsonl
  *
  * Example INI:
  *
@@ -23,8 +36,10 @@
  *   seed = 7
  */
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "core/config_io.h"
 #include "core/h2p_system.h"
@@ -32,6 +47,25 @@
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/table.h"
+
+namespace {
+
+std::vector<h2p::sched::Policy>
+parsePolicies(const std::string &name)
+{
+    using h2p::sched::Policy;
+    if (name == "both")
+        return {Policy::TegOriginal, Policy::TegLoadBalance};
+    if (name == "original")
+        return {Policy::TegOriginal};
+    if (name == "balance")
+        return {Policy::TegLoadBalance};
+    throw h2p::Error("--policy must be original, balance or both, "
+                     "not `" +
+                     name + "'");
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -43,6 +77,20 @@ main(int argc, char **argv)
                        "config (see file header).");
         args.addString("config", "", "path to the experiment INI");
         args.addString("out", "", "per-step CSV export path");
+        args.addString("jsonl", "", "per-step JSONL export path");
+        args.addString("policy", "both",
+                       "scheme: original, balance or both");
+        args.addString("checkpoint", "",
+                       "checkpoint file (written with "
+                       "--checkpoint-at, read with --resume)");
+        args.addLong("checkpoint-at", -1,
+                     "save a checkpoint once this many steps have "
+                     "been evaluated");
+        args.addFlag("halt-at-checkpoint",
+                     "stop right after saving the checkpoint");
+        args.addFlag("resume",
+                     "resume the run from --checkpoint instead of "
+                     "starting fresh");
         args.addFlag("quiet", "suppress the config echo");
         if (!args.parse(argc, argv))
             return 0;
@@ -55,6 +103,20 @@ main(int argc, char **argv)
         core::TraceRequest treq = core::traceRequestFromIni(ini);
         if (treq.servers == 0)
             treq.servers = cfg.datacenter.num_servers;
+
+        const std::string ckpt = args.getString("checkpoint");
+        const long ckpt_at = args.getLong("checkpoint-at");
+        const bool resume = args.getFlag("resume");
+        expect(ckpt_at < 0 || !ckpt.empty(),
+               "--checkpoint-at needs --checkpoint PATH");
+        expect(!resume || !ckpt.empty(),
+               "--resume needs --checkpoint PATH");
+
+        std::vector<sched::Policy> policies =
+            parsePolicies(args.getString("policy"));
+        expect((ckpt_at < 0 && !resume) || policies.size() == 1,
+               "checkpointing works on a single scheme; pick "
+               "--policy original or balance");
 
         if (!args.getFlag("quiet")) {
             std::cout << "experiment: " << cfg.datacenter.num_servers
@@ -72,23 +134,54 @@ main(int argc, char **argv)
         TablePrinter table("results");
         table.setHeader({"scheme", "TEG avg[W]", "TEG peak[W]",
                          "PRE[%]", "avg T_in[C]", "safe[%]"});
-        for (auto policy : {sched::Policy::TegOriginal,
-                            sched::Policy::TegLoadBalance}) {
-            auto r = sys.run(trace, policy);
-            table.addRow(toString(policy),
+        bool any_finished = false;
+        for (auto policy : policies) {
+            core::SimSession session =
+                resume ? sys.resumeSession(ckpt, trace)
+                       : sys.startSession(trace, policy);
+
+            if (!resume && ckpt_at >= 0) {
+                while (!session.done() &&
+                       session.cursor() < static_cast<size_t>(ckpt_at))
+                    session.step();
+                session.saveCheckpoint(ckpt);
+                if (!args.getFlag("quiet"))
+                    std::cout << "checkpoint (step "
+                              << session.cursor() << ") -> " << ckpt
+                              << "\n";
+                if (args.getFlag("halt-at-checkpoint"))
+                    continue;
+            }
+
+            session.runToCompletion();
+            auto r = session.finish();
+            any_finished = true;
+            table.addRow(toString(r.summary.policy),
                          {r.summary.avg_teg_w, r.summary.peak_teg_w,
                           100.0 * r.summary.pre,
                           r.summary.avg_t_in_c,
                           100.0 * r.summary.safe_fraction},
                          2);
-            if (!args.getString("out").empty() &&
-                policy == sched::Policy::TegLoadBalance) {
+
+            // With both schemes running, the exports carry the
+            // balance run (the paper's headline scheme).
+            if (policies.size() > 1 &&
+                r.summary.policy != sched::Policy::TegLoadBalance)
+                continue;
+            if (!args.getString("out").empty()) {
                 r.recorder->saveCsv(args.getString("out"));
                 std::cout << "channels -> " << args.getString("out")
                           << "\n";
             }
+            if (!args.getString("jsonl").empty()) {
+                std::ofstream os(args.getString("jsonl"));
+                expect(os.good(), "cannot open `",
+                       args.getString("jsonl"), "'");
+                r.recorder->writeJsonl(os);
+            }
         }
-        table.print(std::cout);
+        if (any_finished)
+            table.print(std::cout);
     } catch (const Error &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

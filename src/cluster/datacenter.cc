@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/hash.h"
 
 namespace h2p {
 namespace cluster {
@@ -48,6 +49,18 @@ Datacenter::setObservability(obs::Observability *obs)
         span_evaluate_ = obs::SpanRegistry::SpanId{};
         span_circulation_ = obs::SpanRegistry::SpanId{};
     }
+}
+
+uint64_t
+Datacenter::topologyFingerprint() const
+{
+    util::Fnv1a h;
+    h.size(params_.num_servers);
+    h.f64(params_.cold_source_c);
+    h.size(circulation_sizes_.size());
+    for (size_t n : circulation_sizes_)
+        h.size(n);
+    return h.digest();
 }
 
 size_t

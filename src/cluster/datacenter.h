@@ -13,6 +13,7 @@
 #define H2P_CLUSTER_DATACENTER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -111,6 +112,14 @@ class Datacenter
 
     /** Total number of servers. */
     size_t numServers() const { return params_.num_servers; }
+
+    /**
+     * Stable 64-bit digest of the simulated topology: server count,
+     * circulation partition and cold-source temperature. Checkpoints
+     * embed it so a session cannot be restored into a datacenter with
+     * a different layout.
+     */
+    uint64_t topologyFingerprint() const;
 
     /**
      * Evaluate one scheduling interval.

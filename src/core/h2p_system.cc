@@ -1,88 +1,11 @@
 #include "core/h2p_system.h"
 
-#include <algorithm>
-#include <cmath>
-#include <fstream>
-#include <iostream>
-#include <string>
+#include <thread>
 
-#include "fault/watchdog.h"
 #include "util/error.h"
-#include "util/units.h"
 
 namespace h2p {
 namespace core {
-
-namespace {
-
-void
-checkFinite(double v, const char *field)
-{
-    expect(std::isfinite(v), "run summary field `", field,
-           "' is not finite (", v,
-           "); the model diverged or a parameter is out of range");
-}
-
-/**
- * Every number the summary reports must be finite: a NaN or inf here
- * means some model input (e.g. an absurd parasitic power) drove the
- * simulation out of its domain, and silently returning it poisons
- * every downstream table. Fail the run loudly instead.
- */
-void
-validateSummary(const RunSummary &s)
-{
-    checkFinite(s.avg_teg_w, "avg_teg_w");
-    checkFinite(s.peak_teg_w, "peak_teg_w");
-    checkFinite(s.avg_cpu_w, "avg_cpu_w");
-    checkFinite(s.pre, "pre");
-    checkFinite(s.teg_energy_kwh, "teg_energy_kwh");
-    checkFinite(s.cpu_energy_kwh, "cpu_energy_kwh");
-    checkFinite(s.plant_energy_kwh, "plant_energy_kwh");
-    checkFinite(s.pump_energy_kwh, "pump_energy_kwh");
-    checkFinite(s.safe_fraction, "safe_fraction");
-    checkFinite(s.avg_t_in_c, "avg_t_in_c");
-    checkFinite(s.throttled_work_server_hours,
-                "throttled_work_server_hours");
-    checkFinite(s.teg_energy_lost_kwh, "teg_energy_lost_kwh");
-    for (double f : s.circulation_safe_fraction)
-        checkFinite(f, "circulation_safe_fraction");
-}
-
-const char *
-safeModeActionName(sched::SafeModeAction a)
-{
-    switch (a) {
-    case sched::SafeModeAction::Normal:
-        return "normal";
-    case sched::SafeModeAction::WidenMargin:
-        return "widen_margin";
-    case sched::SafeModeAction::ColdFallback:
-        return "cold_fallback";
-    }
-    return "unknown";
-}
-
-} // namespace
-
-/**
- * Everything one run loop needs to feed the observability sink:
- * span ids and metric handles resolved once up front, plus baselines
- * of the cumulative counters (optimizer cache, pool stats) so each
- * run reports its own delta.
- */
-struct H2PSystem::ObsRun
-{
-    obs::Observability *obs = nullptr;
-    obs::SpanRegistry::SpanId span_step;
-    obs::SpanRegistry::SpanId span_decide;
-    obs::Counter steps;
-    obs::HistogramMetric max_die_hist;
-    obs::HistogramMetric teg_hist;
-    size_t cache_hits0 = 0;
-    size_t cache_misses0 = 0;
-    util::ThreadPool::PoolStats pool0;
-};
 
 H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
 {
@@ -123,97 +46,35 @@ H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
         if (pool_)
             pool_->enableStats(true);
     }
-}
 
-H2PSystem::ObsRun
-H2PSystem::beginObsRun(sched::Policy policy, double dt,
-                       size_t num_steps) const
-{
-    ObsRun r;
-    r.obs = obs_.get();
-    if (r.obs == nullptr)
-        return r;
-
-    obs::SpanRegistry &spans = obs_->spans();
-    r.span_step = spans.id("step");
-    r.span_decide = spans.id("sched.decide");
-
-    obs::MetricsRegistry &m = obs_->metrics();
-    r.steps = m.counter("run.steps");
-    r.max_die_hist = m.histogram("step.max_die_c", 20.0, 100.0, 40);
-    r.teg_hist = m.histogram("step.teg_w_per_server", 0.0, 10.0, 40);
-
-    r.cache_hits0 = optimizer_->cacheHits();
-    r.cache_misses0 = optimizer_->cacheMisses();
-    if (pool_)
-        r.pool0 = pool_->stats();
-
-    obs::Event e;
-    e.kind = "run";
-    e.subject = "system";
-    e.detail = "run_start policy=" + sched::toString(policy);
-    e.fields = {{"num_steps", static_cast<double>(num_steps)},
-                {"dt_s", dt}};
-    obs_->events().append(std::move(e));
-    return r;
-}
-
-void
-H2PSystem::finishObsRun(const ObsRun &orun, const sim::Recorder &rec,
-                        const RunSummary &summary) const
-{
-    if (orun.obs == nullptr)
-        return;
-
-    obs::MetricsRegistry &m = obs_->metrics();
-    m.counter("optimizer.cache_hits")
-        .add(optimizer_->cacheHits() - orun.cache_hits0);
-    m.counter("optimizer.cache_misses")
-        .add(optimizer_->cacheMisses() - orun.cache_misses0);
-    if (pool_) {
-        util::ThreadPool::PoolStats ps = pool_->stats();
-        m.counter("pool.jobs").add(ps.jobs - orun.pool0.jobs);
-        m.counter("pool.wall_ns").add(ps.wall_ns - orun.pool0.wall_ns);
-        m.counter("pool.busy_ns").add(ps.busy_ns - orun.pool0.busy_ns);
-    }
-    m.gauge("run.pre").set(summary.pre);
-    m.gauge("run.avg_teg_w").set(summary.avg_teg_w);
-    m.gauge("run.avg_cpu_w").set(summary.avg_cpu_w);
-    m.gauge("run.safe_fraction").set(summary.safe_fraction);
-    m.gauge("run.plant_energy_kwh").set(summary.plant_energy_kwh);
-
-    const obs::ObsParams &p = obs_->params();
-    if (!p.jsonl_path.empty()) {
-        std::ofstream os(p.jsonl_path);
-        expect(os.good(), "cannot open obs jsonl output `",
-               p.jsonl_path, "'");
-        os << "{\"type\":\"run\",\"policy\":\""
-           << obs::jsonEscape(sched::toString(summary.policy))
-           << "\",\"dt_s\":" << rec.dt() << "}\n";
-        rec.writeJsonl(os);
-        obs_->writeJsonl(os);
-    }
-    if (!p.csv_path.empty()) {
-        std::ofstream os(p.csv_path);
-        expect(os.good(), "cannot open obs csv output `", p.csv_path,
-               "'");
-        obs_->writeMetricsCsv(os);
-    }
-    if (p.print_summary)
-        obs_->writeSummary(std::cout);
+    SimEngine::Wiring wiring;
+    wiring.config = &config_;
+    wiring.dc = dc_.get();
+    wiring.optimizer = optimizer_.get();
+    wiring.sched_original = sched_original_.get();
+    wiring.sched_balance = sched_balance_.get();
+    wiring.pool = pool_.get();
+    wiring.obs = obs_.get();
+    engine_ = std::make_unique<SimEngine>(wiring);
 }
 
 const sched::Scheduler &
 H2PSystem::scheduler(sched::Policy policy) const
 {
-    return policy == sched::Policy::TegLoadBalance ? *sched_balance_
-                                                   : *sched_original_;
+    return engine_->scheduler(policy);
 }
 
 cluster::DatacenterState
 H2PSystem::evaluateStep(const std::vector<double> &utils,
                         sched::Policy policy) const
 {
+    // A single fault-oblivious evaluation under a configuration that
+    // asks for faults or safe-mode control would silently ignore
+    // both; refuse instead of returning misleading numbers.
+    expect(!config_.faults.enabled() && !config_.safe_mode.enabled,
+           "evaluateStep() ignores fault injection and safe-mode "
+           "control, which this configuration enables; use run() or "
+           "startSession() so the resilient pipeline applies them");
     sched::ScheduleDecision decision = scheduler(policy).decide(utils);
     return dc_->evaluate(decision.utils, decision.settings);
 }
@@ -224,395 +85,32 @@ H2PSystem::run(const workload::UtilizationTrace &trace,
 {
     if (config_.faults.enabled() || config_.safe_mode.enabled)
         return runResilient(trace, policy);
-
-    size_t servers = dc_->numServers();
-    expect(trace.numServers() >= servers, "trace covers ",
-           trace.numServers(), " servers; datacenter has ", servers);
-    expect(trace.numSteps() >= 1, "trace is empty");
-
-    const sched::Scheduler &sched = scheduler(policy);
-
-    RunResult result;
-    result.summary.policy = policy;
-    result.recorder = std::make_shared<sim::Recorder>(trace.dt());
-    sim::Recorder &rec = *result.recorder;
-
-    // Resolve every channel once; the loop records through handles.
-    sim::Recorder::Channel ch_teg = rec.channel("teg_w_per_server");
-    sim::Recorder::Channel ch_cpu = rec.channel("cpu_w_per_server");
-    sim::Recorder::Channel ch_pre = rec.channel("pre");
-    sim::Recorder::Channel ch_tin = rec.channel("t_in_mean_c");
-    sim::Recorder::Channel ch_plant = rec.channel("plant_w");
-    sim::Recorder::Channel ch_pump = rec.channel("pump_w");
-    sim::Recorder::Channel ch_die = rec.channel("max_die_c");
-    sim::Recorder::Channel ch_umean = rec.channel("util_mean");
-    sim::Recorder::Channel ch_umax = rec.channel("util_max");
-    // Every channel this run records is now resolved; anything else
-    // would produce ragged export columns.
-    rec.freeze();
-
-    ObsRun orun = beginObsRun(policy, trace.dt(), trace.numSteps());
-    obs::SpanRegistry *spans =
-        orun.obs != nullptr ? &orun.obs->spans() : nullptr;
-
-    double n = static_cast<double>(servers);
-    double teg_j = 0.0, cpu_j = 0.0, plant_j = 0.0, pump_j = 0.0;
-    double t_in_sum = 0.0;
-    size_t safe_steps = 0;
-    std::vector<size_t> circ_safe_steps(dc_->numCirculations(), 0);
-
-    // Per-step scratch, allocated once and reused.
-    std::vector<double> utils;
-    sched::ScheduleDecision decision;
-    cluster::DatacenterState state;
-
-    for (size_t step = 0; step < trace.numSteps(); ++step) {
-        obs::TraceSpan step_span(spans, orun.span_step);
-        trace.stepInto(step, utils);
-        utils.resize(servers);
-
-        {
-            obs::TraceSpan decide_span(spans, orun.span_decide);
-            sched.decideInto(utils, {}, 0.0, decision);
-        }
-        dc_->evaluateInto(decision.utils, decision.settings, nullptr,
-                          state);
-
-        double teg_per = state.teg_power_w / n;
-        double cpu_per = state.cpu_power_w / n;
-        double t_in_mean = 0.0;
-        for (const auto &s : decision.settings)
-            t_in_mean += s.t_in_c;
-        t_in_mean /= static_cast<double>(decision.settings.size());
-
-        double max_die = 0.0;
-        for (size_t c = 0; c < state.circulations.size(); ++c) {
-            max_die = std::max(max_die, state.circulations[c].max_die_c);
-            if (state.circulations[c].all_safe)
-                ++circ_safe_steps[c];
-        }
-
-        double util_mean = 0.0, util_max = 0.0;
-        for (double u : utils) {
-            util_mean += u;
-            util_max = std::max(util_max, u);
-        }
-        util_mean /= n;
-
-        rec.record(ch_teg, teg_per);
-        rec.record(ch_cpu, cpu_per);
-        rec.record(ch_pre, cpu_per > 0.0 ? teg_per / cpu_per : 0.0);
-        rec.record(ch_tin, t_in_mean);
-        rec.record(ch_plant, state.plant_power_w);
-        rec.record(ch_pump, state.pump_power_w);
-        rec.record(ch_die, max_die);
-        rec.record(ch_umean, util_mean);
-        rec.record(ch_umax, util_max);
-
-        teg_j += state.teg_power_w * trace.dt();
-        cpu_j += state.cpu_power_w * trace.dt();
-        plant_j += state.plant_power_w * trace.dt();
-        pump_j += state.pump_power_w * trace.dt();
-        t_in_sum += t_in_mean;
-        if (state.all_safe)
-            ++safe_steps;
-
-        if (orun.obs != nullptr) {
-            orun.steps.add();
-            orun.max_die_hist.observe(max_die);
-            orun.teg_hist.observe(teg_per);
-        }
-    }
-
-    RunSummary &s = result.summary;
-    const auto &teg_series = rec.series("teg_w_per_server");
-    s.avg_teg_w = teg_series.mean();
-    s.peak_teg_w = teg_series.max();
-    s.avg_cpu_w = rec.series("cpu_w_per_server").mean();
-    s.teg_energy_kwh = units::joulesToKwh(teg_j);
-    s.cpu_energy_kwh = units::joulesToKwh(cpu_j);
-    s.plant_energy_kwh = units::joulesToKwh(plant_j);
-    s.pump_energy_kwh = units::joulesToKwh(pump_j);
-    s.pre = cpu_j > 0.0 ? teg_j / cpu_j : 0.0;
-    s.safe_fraction = static_cast<double>(safe_steps) /
-                      static_cast<double>(trace.numSteps());
-    s.avg_t_in_c =
-        t_in_sum / static_cast<double>(trace.numSteps());
-    s.circulation_safe_fraction.reserve(circ_safe_steps.size());
-    for (size_t c : circ_safe_steps)
-        s.circulation_safe_fraction.push_back(
-            static_cast<double>(c) /
-            static_cast<double>(trace.numSteps()));
-    validateSummary(s);
-    finishObsRun(orun, rec, s);
-    return result;
+    SimSession session = engine_->start(trace, policy);
+    session.runToCompletion();
+    return session.finish();
 }
 
 RunResult
 H2PSystem::runResilient(const workload::UtilizationTrace &trace,
                         sched::Policy policy) const
 {
-    size_t servers = dc_->numServers();
-    expect(trace.numServers() >= servers, "trace covers ",
-           trace.numServers(), " servers; datacenter has ", servers);
-    expect(trace.numSteps() >= 1, "trace is empty");
+    SimSession session = engine_->start(trace, policy);
+    session.runToCompletion();
+    return session.finish();
+}
 
-    const size_t num_circ = dc_->numCirculations();
-    const double dt = trace.dt();
-    const sched::SafeModeParams &sm = config_.safe_mode;
+SimSession
+H2PSystem::startSession(const workload::UtilizationTrace &trace,
+                        sched::Policy policy) const
+{
+    return engine_->start(trace, policy);
+}
 
-    const sched::Scheduler &sched = scheduler(policy);
-    fault::FaultInjector injector(
-        config_.faults, *dc_,
-        static_cast<double>(trace.numSteps()) * dt);
-    sched::SafetyMonitor monitor(num_circ, sm);
-
-    const bool use_watchdog = sm.enabled && sm.watchdog_enabled;
-    fault::WatchdogParams wd;
-    wd.trip_c = config_.datacenter.server.thermal.max_operating_c;
-    wd.throttle_factor = sm.throttle_factor;
-    wd.recovery_margin_c = sm.recovery_margin_c;
-    wd.release_step = sm.release_step;
-    fault::ThermalTripWatchdog watchdog(servers, wd);
-
-    RunResult result;
-    result.summary.policy = policy;
-    result.recorder = std::make_shared<sim::Recorder>(dt);
-    sim::Recorder &rec = *result.recorder;
-
-    sim::Recorder::Channel ch_teg = rec.channel("teg_w_per_server");
-    sim::Recorder::Channel ch_cpu = rec.channel("cpu_w_per_server");
-    sim::Recorder::Channel ch_pre = rec.channel("pre");
-    sim::Recorder::Channel ch_tin = rec.channel("t_in_mean_c");
-    sim::Recorder::Channel ch_plant = rec.channel("plant_w");
-    sim::Recorder::Channel ch_pump = rec.channel("pump_w");
-    sim::Recorder::Channel ch_die = rec.channel("max_die_c");
-    sim::Recorder::Channel ch_umean = rec.channel("util_mean");
-    sim::Recorder::Channel ch_umax = rec.channel("util_max");
-    sim::Recorder::Channel ch_faulted = rec.channel("faulted_servers");
-    sim::Recorder::Channel ch_lost =
-        rec.channel("teg_w_lost_per_server");
-    sim::Recorder::Channel ch_safe_mode =
-        rec.channel("safe_mode_circulations");
-    sim::Recorder::Channel ch_throttled =
-        rec.channel("throttled_servers");
-    rec.freeze();
-
-    ObsRun orun = beginObsRun(policy, dt, trace.numSteps());
-    obs::SpanRegistry *spans =
-        orun.obs != nullptr ? &orun.obs->spans() : nullptr;
-    size_t seen_faults = 0;
-    size_t seen_trips = 0;
-
-    double n = static_cast<double>(servers);
-    double teg_j = 0.0, cpu_j = 0.0, plant_j = 0.0, pump_j = 0.0;
-    double teg_lost_j = 0.0;
-    double t_in_sum = 0.0;
-    size_t safe_steps = 0;
-    size_t safe_mode_steps = 0;
-    size_t max_faulted = 0;
-    std::vector<size_t> circ_safe_steps(num_circ, 0);
-
-    // The controller acts on the previous interval's measurements;
-    // the first interval has none, so every loop starts Normal.
-    std::vector<sched::SensorReading> die_read(num_circ);
-    std::vector<sched::SensorReading> flow_read(num_circ);
-    std::vector<double> commanded_flow(num_circ, 0.0);
-    bool have_readings = false;
-
-    std::vector<double> die_temps(servers, 0.0);
-    std::vector<sched::SafeModeAction> actions(
-        num_circ, sched::SafeModeAction::Normal);
-
-    // Per-step scratch, allocated once and reused.
-    std::vector<double> utils;
-    sched::ScheduleDecision decision;
-    cluster::DatacenterState state;
-
-    for (size_t step = 0; step < trace.numSteps(); ++step) {
-        obs::TraceSpan step_span(spans, orun.span_step);
-        const double now_s = static_cast<double>(step) * dt;
-        injector.advanceTo(now_s);
-
-        // Every fault whose onset just passed becomes a structured
-        // event; the injector's timeline is sorted by onset, so the
-        // newly struck ones are exactly the next struckCount() delta.
-        if (orun.obs != nullptr) {
-            for (; seen_faults < injector.struckCount();
-                 ++seen_faults) {
-                const fault::FaultEvent &fe =
-                    injector.events()[seen_faults];
-                obs::Event e;
-                e.time_s = fe.time_s;
-                e.step = static_cast<long>(step);
-                e.kind = "fault";
-                e.subject = "circ" + std::to_string(fe.circulation);
-                e.detail = fault::toString(fe.kind);
-                e.fields = {
-                    {"server", static_cast<double>(fe.server)},
-                    {"magnitude", fe.magnitude},
-                    {"duration_s", fe.duration_s}};
-                orun.obs->events().append(std::move(e));
-            }
-        }
-
-        trace.stepInto(step, utils);
-        utils.resize(servers);
-        if (use_watchdog)
-            watchdog.shapeInPlace(utils, dt);
-
-        if (sm.enabled && have_readings) {
-            for (size_t c = 0; c < num_circ; ++c) {
-                sched::SafeModeAction next = monitor.assess(
-                    c, die_read[c], flow_read[c], commanded_flow[c],
-                    dt);
-                if (orun.obs != nullptr && next != actions[c]) {
-                    obs::Event e;
-                    e.time_s = now_s;
-                    e.step = static_cast<long>(step);
-                    e.kind = "safe_mode";
-                    e.subject = "circ" + std::to_string(c);
-                    e.detail =
-                        std::string(safeModeActionName(actions[c])) +
-                        " -> " + safeModeActionName(next);
-                    orun.obs->events().append(std::move(e));
-                }
-                actions[c] = next;
-            }
-        }
-
-        {
-            obs::TraceSpan decide_span(spans, orun.span_decide);
-            sched.decideInto(utils, actions, sm.margin_c, decision);
-        }
-        dc_->evaluateInto(decision.utils, decision.settings,
-                          &injector.health(), state);
-
-        // Feed the true die temperatures to the watchdog (the CPU's
-        // own on-die sensor) and the possibly-corrupted loop readings
-        // to the safety monitor for the next interval.
-        size_t server_idx = 0;
-        for (size_t c = 0; c < state.circulations.size(); ++c) {
-            const cluster::CirculationState &cs = state.circulations[c];
-            for (const cluster::ServerState &sv : cs.servers)
-                die_temps[server_idx++] = sv.die_temp_c;
-            die_read[c] = injector.readDie(c, cs.max_die_c);
-            flow_read[c] = injector.readFlow(c, cs.delivered_flow_lph);
-            commanded_flow[c] = decision.settings[c].flow_lph;
-        }
-        H2P_ASSERT(server_idx == servers, "server states incomplete");
-        have_readings = true;
-        if (use_watchdog)
-            watchdog.observe(die_temps);
-
-        double teg_per = state.teg_power_w / n;
-        double cpu_per = state.cpu_power_w / n;
-        double t_in_mean = 0.0;
-        for (const auto &s : decision.settings)
-            t_in_mean += s.t_in_c;
-        t_in_mean /= static_cast<double>(decision.settings.size());
-
-        double max_die = 0.0;
-        for (size_t c = 0; c < state.circulations.size(); ++c) {
-            max_die = std::max(max_die, state.circulations[c].max_die_c);
-            if (state.circulations[c].all_safe)
-                ++circ_safe_steps[c];
-        }
-
-        double util_mean = 0.0, util_max = 0.0;
-        for (double u : utils) {
-            util_mean += u;
-            util_max = std::max(util_max, u);
-        }
-        util_mean /= n;
-
-        size_t degraded_circs = 0;
-        for (sched::SafeModeAction a : actions)
-            if (a != sched::SafeModeAction::Normal)
-                ++degraded_circs;
-        safe_mode_steps += degraded_circs;
-
-        rec.record(ch_teg, teg_per);
-        rec.record(ch_cpu, cpu_per);
-        rec.record(ch_pre, cpu_per > 0.0 ? teg_per / cpu_per : 0.0);
-        rec.record(ch_tin, t_in_mean);
-        rec.record(ch_plant, state.plant_power_w);
-        rec.record(ch_pump, state.pump_power_w);
-        rec.record(ch_die, max_die);
-        rec.record(ch_umean, util_mean);
-        rec.record(ch_umax, util_max);
-        rec.record(ch_faulted,
-                   static_cast<double>(state.faulted_servers));
-        rec.record(ch_lost, state.teg_power_lost_w / n);
-        rec.record(ch_safe_mode, static_cast<double>(degraded_circs));
-        rec.record(ch_throttled,
-                   static_cast<double>(
-                       use_watchdog ? watchdog.numThrottled() : 0));
-
-        teg_j += state.teg_power_w * dt;
-        cpu_j += state.cpu_power_w * dt;
-        plant_j += state.plant_power_w * dt;
-        pump_j += state.pump_power_w * dt;
-        teg_lost_j += state.teg_power_lost_w * dt;
-        t_in_sum += t_in_mean;
-        if (state.all_safe)
-            ++safe_steps;
-        max_faulted = std::max(max_faulted, state.faulted_servers);
-
-        if (orun.obs != nullptr) {
-            orun.steps.add();
-            orun.max_die_hist.observe(max_die);
-            orun.teg_hist.observe(teg_per);
-            if (use_watchdog) {
-                size_t trips = watchdog.tripEvents();
-                if (trips > seen_trips) {
-                    obs::Event e;
-                    e.time_s = now_s;
-                    e.step = static_cast<long>(step);
-                    e.kind = "watchdog";
-                    e.subject = "cluster";
-                    e.detail = "thermal trip";
-                    e.fields = {
-                        {"new_trips", static_cast<double>(
-                                          trips - seen_trips)},
-                        {"throttled_servers",
-                         static_cast<double>(
-                             watchdog.numThrottled())}};
-                    orun.obs->events().append(std::move(e));
-                    seen_trips = trips;
-                }
-            }
-        }
-    }
-
-    RunSummary &s = result.summary;
-    const auto &teg_series = rec.series("teg_w_per_server");
-    s.avg_teg_w = teg_series.mean();
-    s.peak_teg_w = teg_series.max();
-    s.avg_cpu_w = rec.series("cpu_w_per_server").mean();
-    s.teg_energy_kwh = units::joulesToKwh(teg_j);
-    s.cpu_energy_kwh = units::joulesToKwh(cpu_j);
-    s.plant_energy_kwh = units::joulesToKwh(plant_j);
-    s.pump_energy_kwh = units::joulesToKwh(pump_j);
-    s.pre = cpu_j > 0.0 ? teg_j / cpu_j : 0.0;
-    s.safe_fraction = static_cast<double>(safe_steps) /
-                      static_cast<double>(trace.numSteps());
-    s.avg_t_in_c = t_in_sum / static_cast<double>(trace.numSteps());
-    s.fault_events = injector.struckCount();
-    s.throttle_events = use_watchdog ? watchdog.tripEvents() : 0;
-    s.throttled_work_server_hours =
-        use_watchdog ? watchdog.deferredWorkSeconds() / 3600.0 : 0.0;
-    s.teg_energy_lost_kwh = units::joulesToKwh(teg_lost_j);
-    s.safe_mode_steps = safe_mode_steps;
-    s.max_faulted_servers = max_faulted;
-    s.circulation_safe_fraction.reserve(num_circ);
-    for (size_t c : circ_safe_steps)
-        s.circulation_safe_fraction.push_back(
-            static_cast<double>(c) /
-            static_cast<double>(trace.numSteps()));
-    validateSummary(s);
-    finishObsRun(orun, rec, s);
-    return result;
+SimSession
+H2PSystem::resumeSession(const std::string &path,
+                         const workload::UtilizationTrace &trace) const
+{
+    return engine_->resume(path, trace);
 }
 
 } // namespace core

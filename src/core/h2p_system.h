@@ -3,10 +3,17 @@
  * The H2P system facade: the public entry point of the library.
  *
  * Wires the datacenter model, the look-up space, the cooling
- * optimizer and the scheduling policy together, runs a utilization
- * trace through them at the scheduling interval, and reports the
- * paper's evaluation metrics (Fig. 14/15): per-server TEG power,
- * power reusing efficiency, plant energy, and safety.
+ * optimizer and the scheduling policy together and exposes trace
+ * execution two ways:
+ *
+ *  - run(): batch — step the whole trace and return the result;
+ *  - startSession()/resumeSession(): incremental — a SimSession is
+ *    stepped interval by interval, can be checkpointed to disk at any
+ *    point and later resumed bit-identically, and accepts a custom
+ *    controller in place of the built-in scheduling stage.
+ *
+ * Both paths execute the same core::SimEngine pipeline, so a
+ * session-stepped run is sample-for-sample identical to run().
  */
 
 #ifndef H2P_CORE_H2P_SYSTEM_H_
@@ -17,11 +24,11 @@
 #include <vector>
 
 #include "cluster/datacenter.h"
-#include "fault/fault_injector.h"
+#include "core/run_types.h"
+#include "core/sim_engine.h"
 #include "obs/observability.h"
 #include "sched/cooling_optimizer.h"
 #include "sched/lookup_space.h"
-#include "sched/safe_mode.h"
 #include "sched/scheduler.h"
 #include "sim/recorder.h"
 #include "util/thread_pool.h"
@@ -29,107 +36,6 @@
 
 namespace h2p {
 namespace core {
-
-/**
- * Hot-path performance knobs ([perf] in INI configs). None of them
- * changes which servers/settings are simulated; threads is exactly
- * result-neutral (parallel evaluation is bit-identical to serial),
- * while the optimizer cache quantizes planning utilizations by a
- * quantum far below the control band.
- */
-struct PerfParams
-{
-    /**
-     * Worker threads for circulation evaluation: 1 = serial (the
-     * default), 0 = one per hardware thread, n = exactly n.
-     */
-    size_t threads = 1;
-    /**
-     * Planning-utilization quantum of the cooling-optimizer decision
-     * cache (OptimizerParams::cache_util_quantum); 0 disables it.
-     */
-    double optimizer_cache_quantum = 1e-3;
-};
-
-/** Full system configuration. */
-struct H2PConfig
-{
-    cluster::DatacenterParams datacenter;
-    sched::LookupSpaceParams lookup;
-    sched::OptimizerParams optimizer;
-    /** Fault scenario; default (no rates, no script) injects nothing. */
-    fault::FaultScenarioParams faults;
-    /** Degraded-mode control; disabled by default. */
-    sched::SafeModeParams safe_mode;
-    /** Hot-path performance knobs. */
-    PerfParams perf;
-    /**
-     * Observability ([obs] in INI configs); disabled by default.
-     * Enabling it never changes simulation results — it only collects
-     * metrics, span timings and events, and exports them at run end.
-     */
-    obs::ObsParams obs;
-};
-
-/** Summary of one trace-driven run. */
-struct RunSummary
-{
-    /** Scheme that produced this run. */
-    sched::Policy policy = sched::Policy::TegOriginal;
-    /** Average TEG output per server over the run, W. */
-    double avg_teg_w = 0.0;
-    /** Peak (per-step cluster-mean) TEG output per server, W. */
-    double peak_teg_w = 0.0;
-    /** Average CPU power per server, W. */
-    double avg_cpu_w = 0.0;
-    /** Run-level PRE = total TEG energy / total CPU energy. */
-    double pre = 0.0;
-    /** Total TEG energy, kWh. */
-    double teg_energy_kwh = 0.0;
-    /** Total CPU energy, kWh. */
-    double cpu_energy_kwh = 0.0;
-    /** Total facility plant energy (chiller + tower), kWh. */
-    double plant_energy_kwh = 0.0;
-    /** Total pump energy, kWh. */
-    double pump_energy_kwh = 0.0;
-    /** Fraction of intervals with every die at or below maximum. */
-    double safe_fraction = 0.0;
-    /** Mean chosen inlet temperature across circulations/steps, C. */
-    double avg_t_in_c = 0.0;
-
-    // Resilience accounting; all zero (and the vector sized but
-    // trivially 1.0 or equal to safe_fraction) on fault-free runs.
-    /** Fault events whose onset passed during the run. */
-    size_t fault_events = 0;
-    /** Thermal-trip watchdog trips (untripped -> tripped). */
-    size_t throttle_events = 0;
-    /** Work deferred by watchdog throttling, server-hours. */
-    double throttled_work_server_hours = 0.0;
-    /** Harvest energy lost to TEG faults, kWh. */
-    double teg_energy_lost_kwh = 0.0;
-    /** Circulation-intervals spent in a non-Normal safe-mode action. */
-    size_t safe_mode_steps = 0;
-    /** Peak simultaneous hardware-faulted servers. */
-    size_t max_faulted_servers = 0;
-    /** Per-circulation fraction of intervals with every die safe. */
-    std::vector<double> circulation_safe_fraction;
-};
-
-/** Full result: summary plus per-step recorded channels. */
-struct RunResult
-{
-    RunSummary summary;
-    /**
-     * Recorded channels at the scheduling interval:
-     *   "teg_w_per_server", "cpu_w_per_server", "pre",
-     *   "t_in_mean_c", "plant_w", "pump_w", "max_die_c",
-     *   "util_mean", "util_max".
-     * Runs with faults or safe mode enabled additionally record
-     *   "faulted_servers", "teg_w_lost_per_server",
-     *   "safe_mode_circulations", "throttled_servers".
-     */
-    std::shared_ptr<sim::Recorder> recorder;
-};
 
 /**
  * The Heat-to-Power system.
@@ -148,17 +54,44 @@ class H2PSystem
      * Google trace the same way).
      *
      * When the configuration enables a fault scenario or safe-mode
-     * control the run goes through the resilient loop: hardware health
-     * from the FaultInjector, sensor readings corrupted on their way
-     * to the SafetyMonitor, and (if enabled) the thermal-trip watchdog
-     * shaping utilizations. With neither enabled the original
-     * fault-free loop runs unchanged.
+     * control the engine activates the resilient pipeline stages:
+     * hardware health from the FaultInjector, sensor readings
+     * corrupted on their way to the SafetyMonitor, and (if enabled)
+     * the thermal-trip watchdog shaping utilizations. With neither
+     * enabled the original fault-free pipeline runs unchanged.
      */
     RunResult run(const workload::UtilizationTrace &trace,
                   sched::Policy policy) const;
 
     /**
+     * Begin an incremental run over @p trace: the returned session is
+     * stepped explicitly (SimSession::step()) and produces exactly the
+     * samples and summary run() would. The system and the trace must
+     * outlive the session.
+     */
+    SimSession startSession(const workload::UtilizationTrace &trace,
+                            sched::Policy policy) const;
+
+    /**
+     * Restore a session from a checkpoint written by
+     * SimSession::saveCheckpoint(). @p trace must be the trace the
+     * checkpointed run was driven by and this system's configuration
+     * must match the checkpoint's (both fingerprint-verified; [perf]
+     * threads may differ — it is result-neutral). Stepping the
+     * restored session to completion reproduces the uninterrupted run
+     * bit-identically.
+     */
+    SimSession resumeSession(const std::string &path,
+                             const workload::UtilizationTrace &trace)
+        const;
+
+    /**
      * Evaluate a single interval (used by examples and tests).
+     *
+     * Fault-oblivious by construction: it refuses to run (loudly)
+     * when the configuration enables a fault scenario or safe-mode
+     * control, because it would silently ignore both — use run() or
+     * a session instead.
      */
     cluster::DatacenterState evaluateStep(
         const std::vector<double> &utils, sched::Policy policy) const;
@@ -171,6 +104,9 @@ class H2PSystem
     }
     const H2PConfig &config() const { return config_; }
 
+    /** The step-pipeline engine underneath run() and the sessions. */
+    const SimEngine &engine() const { return *engine_; }
+
     /**
      * The observability sink, or null when [obs] is disabled. State
      * accumulates across run() calls on the same system (counters and
@@ -182,16 +118,9 @@ class H2PSystem
     const sched::Scheduler &scheduler(sched::Policy policy) const;
 
   private:
+    /** Batch wrapper over the engine's resilient pipeline. */
     RunResult runResilient(const workload::UtilizationTrace &trace,
                            sched::Policy policy) const;
-
-    /** Per-run obs bookkeeping shared by both run loops. */
-    struct ObsRun;
-
-    ObsRun beginObsRun(sched::Policy policy, double dt,
-                       size_t num_steps) const;
-    void finishObsRun(const ObsRun &orun, const sim::Recorder &rec,
-                      const RunSummary &summary) const;
 
     H2PConfig config_;
     std::unique_ptr<cluster::Datacenter> dc_;
@@ -203,6 +132,7 @@ class H2PSystem
     std::unique_ptr<sched::Scheduler> sched_balance_;
     std::unique_ptr<util::ThreadPool> pool_;
     std::unique_ptr<obs::Observability> obs_;
+    std::unique_ptr<SimEngine> engine_;
 };
 
 } // namespace core

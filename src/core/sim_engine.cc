@@ -1,0 +1,1077 @@
+#include "core/sim_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/channels.h"
+#include "util/error.h"
+#include "util/hash.h"
+#include "util/units.h"
+
+namespace h2p {
+namespace core {
+
+namespace {
+
+void
+checkFinite(double v, const char *field)
+{
+    expect(std::isfinite(v), "run summary field `", field,
+           "' is not finite (", v,
+           "); the model diverged or a parameter is out of range");
+}
+
+/**
+ * Every number the summary reports must be finite: a NaN or inf here
+ * means some model input (e.g. an absurd parasitic power) drove the
+ * simulation out of its domain, and silently returning it poisons
+ * every downstream table. Fail the run loudly instead.
+ */
+void
+validateSummary(const RunSummary &s)
+{
+    checkFinite(s.avg_teg_w, "avg_teg_w");
+    checkFinite(s.peak_teg_w, "peak_teg_w");
+    checkFinite(s.avg_cpu_w, "avg_cpu_w");
+    checkFinite(s.pre, "pre");
+    checkFinite(s.teg_energy_kwh, "teg_energy_kwh");
+    checkFinite(s.cpu_energy_kwh, "cpu_energy_kwh");
+    checkFinite(s.plant_energy_kwh, "plant_energy_kwh");
+    checkFinite(s.pump_energy_kwh, "pump_energy_kwh");
+    checkFinite(s.safe_fraction, "safe_fraction");
+    checkFinite(s.avg_t_in_c, "avg_t_in_c");
+    checkFinite(s.throttled_work_server_hours,
+                "throttled_work_server_hours");
+    checkFinite(s.teg_energy_lost_kwh, "teg_energy_lost_kwh");
+    for (double f : s.circulation_safe_fraction)
+        checkFinite(f, "circulation_safe_fraction");
+}
+
+const char *
+safeModeActionName(sched::SafeModeAction a)
+{
+    switch (a) {
+    case sched::SafeModeAction::Normal:
+        return "normal";
+    case sched::SafeModeAction::WidenMargin:
+        return "widen_margin";
+    case sched::SafeModeAction::ColdFallback:
+        return "cold_fallback";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint serialization.
+//
+// The format is a small explicitly-little-endian binary layout:
+//
+//   magic "H2PCKPT1" | version u32 | payload length u64 |
+//   payload bytes | FNV-1a(payload) u64
+//
+// The payload starts with the configuration and trace fingerprints,
+// then carries every piece of mutable loop state bit-exactly (doubles
+// travel as their IEEE-754 bit patterns, never through text). Restore
+// rejects wrong magic, unknown versions, truncation, checksum
+// mismatches and fingerprint mismatches with distinct messages.
+
+constexpr char kMagic[8] = {'H', '2', 'P', 'C', 'K', 'P', 'T', '1'};
+constexpr uint32_t kCheckpointVersion = 1;
+
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+    void u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    const std::string &data() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+class ByteReader
+{
+  public:
+    ByteReader(const std::string &buf, size_t begin, size_t end)
+        : buf_(buf), pos_(begin), end_(end)
+    {
+    }
+
+    uint8_t u8()
+    {
+        need(1);
+        return static_cast<uint8_t>(buf_[pos_++]);
+    }
+
+    uint32_t u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    uint64_t u64()
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    double f64()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    bool boolean() { return u8() != 0; }
+
+    std::string str()
+    {
+        uint64_t n = u64();
+        need(n);
+        std::string s = buf_.substr(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    bool exhausted() const { return pos_ == end_; }
+
+  private:
+    void need(size_t n)
+    {
+        expect(n <= end_ - pos_,
+               "checkpoint is truncated or corrupt (needed ", n,
+               " more bytes at offset ", pos_, ")");
+    }
+
+    const std::string &buf_;
+    size_t pos_;
+    size_t end_;
+};
+
+uint64_t
+payloadChecksum(const std::string &payload)
+{
+    util::Fnv1a h;
+    h.bytes(payload.data(), payload.size());
+    return h.digest();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// SimSession: thin delegation into the engine.
+
+size_t
+SimSession::numSteps() const
+{
+    return trace_->numSteps();
+}
+
+void
+SimSession::step()
+{
+    expect(!finished_, "session already finished");
+    expect(!done(), "session is done after ", cursor_,
+           " steps; nothing left to step");
+    engine_->stepOnce(*this);
+}
+
+void
+SimSession::runToCompletion()
+{
+    while (!done())
+        step();
+}
+
+RunResult
+SimSession::finish()
+{
+    return engine_->finish(*this);
+}
+
+void
+SimSession::saveCheckpoint(const std::string &path) const
+{
+    engine_->saveCheckpoint(*this, path);
+}
+
+void
+SimSession::setController(Controller controller)
+{
+    controller_ = std::move(controller);
+}
+
+const cluster::DatacenterState &
+SimSession::lastState() const
+{
+    expect(cursor_ > 0, "no step evaluated yet");
+    return state_;
+}
+
+const sched::ScheduleDecision &
+SimSession::lastDecision() const
+{
+    expect(cursor_ > 0, "no step evaluated yet");
+    return decision_;
+}
+
+const std::vector<double> &
+SimSession::lastUtils() const
+{
+    expect(cursor_ > 0, "no step evaluated yet");
+    return utils_;
+}
+
+// ---------------------------------------------------------------------
+// SimEngine.
+
+SimEngine::SimEngine(const Wiring &wiring) : w_(wiring)
+{
+    H2P_ASSERT(w_.config != nullptr && w_.dc != nullptr &&
+                   w_.optimizer != nullptr &&
+                   w_.sched_original != nullptr &&
+                   w_.sched_balance != nullptr,
+               "engine wiring incomplete");
+}
+
+const sched::Scheduler &
+SimEngine::scheduler(sched::Policy policy) const
+{
+    return policy == sched::Policy::TegLoadBalance ? *w_.sched_balance
+                                                   : *w_.sched_original;
+}
+
+uint64_t
+SimEngine::configFingerprint() const
+{
+    const H2PConfig &c = *w_.config;
+    util::Fnv1a h;
+    h.u64(w_.dc->topologyFingerprint());
+
+    // Decision-relevant control parameters.
+    h.size(c.lookup.util_points);
+    h.f64(c.lookup.flow_min_lph);
+    h.f64(c.lookup.flow_max_lph);
+    h.size(c.lookup.flow_points);
+    h.f64(c.lookup.tin_min_c);
+    h.f64(c.lookup.tin_max_c);
+    h.size(c.lookup.tin_points);
+    h.f64(c.optimizer.t_safe_c);
+    h.f64(c.optimizer.band_c);
+    // The cache quantum changes the planned utilization (it is an
+    // approximation knob, unlike threads, which is result-neutral and
+    // deliberately excluded).
+    h.f64(c.perf.optimizer_cache_quantum);
+
+    // Fault scenario: the whole timeline derives from these.
+    const fault::FaultScenarioParams &f = c.faults;
+    h.u64(f.seed);
+    h.f64(f.pump_degrade_per_circ_year);
+    h.f64(f.pump_fail_per_circ_year);
+    h.f64(f.teg_open_per_server_year);
+    h.f64(f.teg_short_per_server_year);
+    h.f64(f.chiller_outages_per_year);
+    h.f64(f.tower_outages_per_year);
+    h.f64(f.die_sensor_faults_per_circ_year);
+    h.f64(f.flow_sensor_faults_per_circ_year);
+    h.f64(f.fouling_kpw_per_year);
+    h.f64(f.outage_duration_hours);
+    h.f64(f.sensor_fault_duration_hours);
+    h.f64(f.sensor_drift_c_per_hour);
+    h.f64(f.pump_degraded_flow_factor);
+    h.size(f.scripted.size());
+    for (const fault::FaultEvent &e : f.scripted) {
+        h.f64(e.time_s);
+        h.u64(static_cast<uint64_t>(e.kind));
+        h.size(e.circulation);
+        h.size(e.server);
+        h.f64(e.magnitude);
+        h.f64(e.duration_s);
+    }
+
+    // Degraded-mode control.
+    const sched::SafeModeParams &sm = c.safe_mode;
+    h.boolean(sm.enabled);
+    h.f64(sm.margin_c);
+    h.f64(sm.min_plausible_c);
+    h.f64(sm.max_plausible_c);
+    h.f64(sm.max_rate_c_per_s);
+    h.f64(sm.flow_tolerance);
+    h.size(sm.hold_steps);
+    h.boolean(sm.watchdog_enabled);
+    h.f64(sm.throttle_factor);
+    h.f64(sm.recovery_margin_c);
+    h.f64(sm.release_step);
+    h.f64(c.datacenter.server.thermal.max_operating_c);
+
+    return h.digest();
+}
+
+SimSession
+SimEngine::makeSession(const workload::UtilizationTrace &trace,
+                       sched::Policy policy) const
+{
+    const size_t servers = w_.dc->numServers();
+    expect(trace.numServers() >= servers, "trace covers ",
+           trace.numServers(), " servers; datacenter has ", servers);
+    expect(trace.numSteps() >= 1, "trace is empty");
+
+    const size_t num_circ = w_.dc->numCirculations();
+    const sched::SafeModeParams &sm = w_.config->safe_mode;
+
+    SimSession s;
+    s.engine_ = this;
+    s.trace_ = &trace;
+    s.policy_ = policy;
+    s.resilient_ = w_.config->faults.enabled() || sm.enabled;
+    s.use_watchdog_ = s.resilient_ && sm.enabled && sm.watchdog_enabled;
+
+    s.recorder_ = std::make_shared<sim::Recorder>(trace.dt());
+    sim::Recorder &rec = *s.recorder_;
+
+    // Resolve every channel once; the loop records through handles.
+    namespace chn = sim::channels;
+    s.ch_.teg = rec.channel(chn::kTegWPerServer);
+    s.ch_.cpu = rec.channel(chn::kCpuWPerServer);
+    s.ch_.pre = rec.channel(chn::kPre);
+    s.ch_.tin = rec.channel(chn::kTInMeanC);
+    s.ch_.plant = rec.channel(chn::kPlantW);
+    s.ch_.pump = rec.channel(chn::kPumpW);
+    s.ch_.die = rec.channel(chn::kMaxDieC);
+    s.ch_.umean = rec.channel(chn::kUtilMean);
+    s.ch_.umax = rec.channel(chn::kUtilMax);
+    if (s.resilient_) {
+        s.ch_.faulted = rec.channel(chn::kFaultedServers);
+        s.ch_.lost = rec.channel(chn::kTegWLostPerServer);
+        s.ch_.safe_mode = rec.channel(chn::kSafeModeCirculations);
+        s.ch_.throttled = rec.channel(chn::kThrottledServers);
+    }
+    // Every channel this run records is now resolved; anything else
+    // would produce ragged export columns.
+    rec.freeze();
+
+    if (s.resilient_) {
+        s.injector_ = std::make_unique<fault::FaultInjector>(
+            w_.config->faults, *w_.dc,
+            static_cast<double>(trace.numSteps()) * trace.dt());
+        s.monitor_ = std::make_unique<sched::SafetyMonitor>(num_circ, sm);
+
+        fault::WatchdogParams wd;
+        wd.trip_c =
+            w_.config->datacenter.server.thermal.max_operating_c;
+        wd.throttle_factor = sm.throttle_factor;
+        wd.recovery_margin_c = sm.recovery_margin_c;
+        wd.release_step = sm.release_step;
+        s.watchdog_ =
+            std::make_unique<fault::ThermalTripWatchdog>(servers, wd);
+
+        // The controller acts on the previous interval's measurements;
+        // the first interval has none, so every loop starts Normal.
+        s.die_read_.resize(num_circ);
+        s.flow_read_.resize(num_circ);
+        s.commanded_flow_.assign(num_circ, 0.0);
+        s.actions_.assign(num_circ, sched::SafeModeAction::Normal);
+        s.die_temps_.assign(servers, 0.0);
+    }
+
+    s.acc_.circ_safe_steps.assign(num_circ, 0);
+    s.orun_ = beginObsRun(policy, trace.dt(), trace.numSteps());
+    return s;
+}
+
+SimSession
+SimEngine::start(const workload::UtilizationTrace &trace,
+                 sched::Policy policy) const
+{
+    return makeSession(trace, policy);
+}
+
+SimSession::ObsRun
+SimEngine::beginObsRun(sched::Policy policy, double dt,
+                       size_t num_steps) const
+{
+    SimSession::ObsRun r;
+    r.obs = w_.obs;
+    if (r.obs == nullptr)
+        return r;
+
+    obs::SpanRegistry &spans = r.obs->spans();
+    r.span_step = spans.id("step");
+    r.span_decide = spans.id("sched.decide");
+
+    obs::MetricsRegistry &m = r.obs->metrics();
+    r.steps = m.counter("run.steps");
+    r.max_die_hist = m.histogram("step.max_die_c", 20.0, 100.0, 40);
+    r.teg_hist = m.histogram("step.teg_w_per_server", 0.0, 10.0, 40);
+
+    r.cache_hits0 = w_.optimizer->cacheHits();
+    r.cache_misses0 = w_.optimizer->cacheMisses();
+    if (w_.pool)
+        r.pool0 = w_.pool->stats();
+
+    obs::Event e;
+    e.kind = "run";
+    e.subject = "system";
+    e.detail = "run_start policy=" + sched::toString(policy);
+    e.fields = {{"num_steps", static_cast<double>(num_steps)},
+                {"dt_s", dt}};
+    r.obs->events().append(std::move(e));
+    return r;
+}
+
+void
+SimEngine::finishObsRun(const SimSession::ObsRun &orun,
+                        const sim::Recorder &rec,
+                        const RunSummary &summary) const
+{
+    if (orun.obs == nullptr)
+        return;
+
+    obs::MetricsRegistry &m = orun.obs->metrics();
+    m.counter("optimizer.cache_hits")
+        .add(w_.optimizer->cacheHits() - orun.cache_hits0);
+    m.counter("optimizer.cache_misses")
+        .add(w_.optimizer->cacheMisses() - orun.cache_misses0);
+    if (w_.pool) {
+        util::ThreadPool::PoolStats ps = w_.pool->stats();
+        m.counter("pool.jobs").add(ps.jobs - orun.pool0.jobs);
+        m.counter("pool.wall_ns").add(ps.wall_ns - orun.pool0.wall_ns);
+        m.counter("pool.busy_ns").add(ps.busy_ns - orun.pool0.busy_ns);
+    }
+    m.gauge("run.pre").set(summary.pre);
+    m.gauge("run.avg_teg_w").set(summary.avg_teg_w);
+    m.gauge("run.avg_cpu_w").set(summary.avg_cpu_w);
+    m.gauge("run.safe_fraction").set(summary.safe_fraction);
+    m.gauge("run.plant_energy_kwh").set(summary.plant_energy_kwh);
+
+    const obs::ObsParams &p = orun.obs->params();
+    if (!p.jsonl_path.empty()) {
+        std::ofstream os(p.jsonl_path);
+        expect(os.good(), "cannot open obs jsonl output `",
+               p.jsonl_path, "'");
+        os << "{\"type\":\"run\",\"policy\":\""
+           << obs::jsonEscape(sched::toString(summary.policy))
+           << "\",\"dt_s\":" << rec.dt() << "}\n";
+        rec.writeJsonl(os);
+        orun.obs->writeJsonl(os);
+    }
+    if (!p.csv_path.empty()) {
+        std::ofstream os(p.csv_path);
+        expect(os.good(), "cannot open obs csv output `", p.csv_path,
+               "'");
+        orun.obs->writeMetricsCsv(os);
+    }
+    if (p.print_summary)
+        orun.obs->writeSummary(std::cout);
+}
+
+void
+SimEngine::stepOnce(SimSession &s) const
+{
+    const workload::UtilizationTrace &trace = *s.trace_;
+    const size_t step = s.cursor_;
+    const double dt = trace.dt();
+    const size_t servers = w_.dc->numServers();
+    const double n = static_cast<double>(servers);
+    const sched::SafeModeParams &sm = w_.config->safe_mode;
+    const size_t num_circ = w_.dc->numCirculations();
+    const double now_s = static_cast<double>(step) * dt;
+
+    obs::SpanRegistry *spans =
+        s.orun_.obs != nullptr ? &s.orun_.obs->spans() : nullptr;
+    obs::TraceSpan step_span(spans, s.orun_.span_step);
+
+    // Stage 1: fault-timeline advance.
+    if (s.resilient_) {
+        s.injector_->advanceTo(now_s);
+
+        // Every fault whose onset just passed becomes a structured
+        // event; the injector's timeline is sorted by onset, so the
+        // newly struck ones are exactly the next struckCount() delta.
+        if (s.orun_.obs != nullptr) {
+            for (; s.seen_faults_ < s.injector_->struckCount();
+                 ++s.seen_faults_) {
+                const fault::FaultEvent &fe =
+                    s.injector_->events()[s.seen_faults_];
+                obs::Event e;
+                e.time_s = fe.time_s;
+                e.step = static_cast<long>(step);
+                e.kind = "fault";
+                e.subject = "circ" + std::to_string(fe.circulation);
+                e.detail = fault::toString(fe.kind);
+                e.fields = {
+                    {"server", static_cast<double>(fe.server)},
+                    {"magnitude", fe.magnitude},
+                    {"duration_s", fe.duration_s}};
+                s.orun_.obs->events().append(std::move(e));
+            }
+        }
+    }
+
+    // Stage 2: workload arrival and watchdog shaping.
+    trace.stepInto(step, s.utils_);
+    s.utils_.resize(servers);
+    if (s.use_watchdog_)
+        s.watchdog_->shapeInPlace(s.utils_, dt);
+
+    // Stage 3: sensing / safe-mode assessment (on the previous
+    // interval's possibly-corrupted readings).
+    if (s.resilient_ && sm.enabled && s.have_readings_) {
+        for (size_t c = 0; c < num_circ; ++c) {
+            sched::SafeModeAction next = s.monitor_->assess(
+                c, s.die_read_[c], s.flow_read_[c],
+                s.commanded_flow_[c], dt);
+            if (s.orun_.obs != nullptr && next != s.actions_[c]) {
+                obs::Event e;
+                e.time_s = now_s;
+                e.step = static_cast<long>(step);
+                e.kind = "safe_mode";
+                e.subject = "circ" + std::to_string(c);
+                e.detail =
+                    std::string(safeModeActionName(s.actions_[c])) +
+                    " -> " + safeModeActionName(next);
+                s.orun_.obs->events().append(std::move(e));
+            }
+            s.actions_[c] = next;
+        }
+    }
+
+    // Stage 4: scheduling decision (built-in policy or a custom
+    // controller installed through setController()).
+    if (s.controller_) {
+        s.controller_(step, s.utils_, s.decision_);
+        expect(s.decision_.utils.size() == servers,
+               "controller produced ", s.decision_.utils.size(),
+               " utilizations; datacenter has ", servers, " servers");
+        expect(s.decision_.settings.size() == num_circ,
+               "controller produced ", s.decision_.settings.size(),
+               " cooling settings; datacenter has ", num_circ,
+               " circulations");
+    } else {
+        obs::TraceSpan decide_span(spans, s.orun_.span_decide);
+        if (s.resilient_)
+            scheduler(s.policy_).decideInto(s.utils_, s.actions_,
+                                            sm.margin_c, s.decision_);
+        else
+            scheduler(s.policy_).decideInto(s.utils_, {}, 0.0,
+                                            s.decision_);
+    }
+
+    // Stage 5: datacenter evaluation.
+    w_.dc->evaluateInto(s.decision_.utils, s.decision_.settings,
+                        s.resilient_ ? &s.injector_->health() : nullptr,
+                        s.state_);
+
+    // Stage 6: sensor feedback. Feed the true die temperatures to the
+    // watchdog (the CPU's own on-die sensor) and the possibly-
+    // corrupted loop readings to the safety monitor for the next
+    // interval.
+    if (s.resilient_) {
+        size_t server_idx = 0;
+        for (size_t c = 0; c < s.state_.circulations.size(); ++c) {
+            const cluster::CirculationState &cs =
+                s.state_.circulations[c];
+            for (const cluster::ServerState &sv : cs.servers)
+                s.die_temps_[server_idx++] = sv.die_temp_c;
+            s.die_read_[c] = s.injector_->readDie(c, cs.max_die_c);
+            s.flow_read_[c] =
+                s.injector_->readFlow(c, cs.delivered_flow_lph);
+            s.commanded_flow_[c] = s.decision_.settings[c].flow_lph;
+        }
+        H2P_ASSERT(server_idx == servers, "server states incomplete");
+        s.have_readings_ = true;
+        if (s.use_watchdog_)
+            s.watchdog_->observe(s.die_temps_);
+    }
+
+    // Stage 7: recording and accumulation.
+    double teg_per = s.state_.teg_power_w / n;
+    double cpu_per = s.state_.cpu_power_w / n;
+    double t_in_mean = 0.0;
+    for (const auto &cs : s.decision_.settings)
+        t_in_mean += cs.t_in_c;
+    t_in_mean /= static_cast<double>(s.decision_.settings.size());
+
+    double max_die = 0.0;
+    for (size_t c = 0; c < s.state_.circulations.size(); ++c) {
+        max_die =
+            std::max(max_die, s.state_.circulations[c].max_die_c);
+        if (s.state_.circulations[c].all_safe)
+            ++s.acc_.circ_safe_steps[c];
+    }
+
+    double util_mean = 0.0, util_max = 0.0;
+    for (double u : s.utils_) {
+        util_mean += u;
+        util_max = std::max(util_max, u);
+    }
+    util_mean /= n;
+
+    sim::Recorder &rec = *s.recorder_;
+    rec.record(s.ch_.teg, teg_per);
+    rec.record(s.ch_.cpu, cpu_per);
+    rec.record(s.ch_.pre, cpu_per > 0.0 ? teg_per / cpu_per : 0.0);
+    rec.record(s.ch_.tin, t_in_mean);
+    rec.record(s.ch_.plant, s.state_.plant_power_w);
+    rec.record(s.ch_.pump, s.state_.pump_power_w);
+    rec.record(s.ch_.die, max_die);
+    rec.record(s.ch_.umean, util_mean);
+    rec.record(s.ch_.umax, util_max);
+
+    size_t degraded_circs = 0;
+    if (s.resilient_) {
+        for (sched::SafeModeAction a : s.actions_)
+            if (a != sched::SafeModeAction::Normal)
+                ++degraded_circs;
+        s.acc_.safe_mode_steps += degraded_circs;
+
+        rec.record(s.ch_.faulted,
+                   static_cast<double>(s.state_.faulted_servers));
+        rec.record(s.ch_.lost, s.state_.teg_power_lost_w / n);
+        rec.record(s.ch_.safe_mode,
+                   static_cast<double>(degraded_circs));
+        rec.record(s.ch_.throttled,
+                   static_cast<double>(s.use_watchdog_
+                                           ? s.watchdog_->numThrottled()
+                                           : 0));
+    }
+
+    s.acc_.teg_j += s.state_.teg_power_w * dt;
+    s.acc_.cpu_j += s.state_.cpu_power_w * dt;
+    s.acc_.plant_j += s.state_.plant_power_w * dt;
+    s.acc_.pump_j += s.state_.pump_power_w * dt;
+    s.acc_.t_in_sum += t_in_mean;
+    if (s.state_.all_safe)
+        ++s.acc_.safe_steps;
+    if (s.resilient_) {
+        s.acc_.teg_lost_j += s.state_.teg_power_lost_w * dt;
+        s.acc_.max_faulted =
+            std::max(s.acc_.max_faulted, s.state_.faulted_servers);
+    }
+
+    // Stage 8: observability.
+    if (s.orun_.obs != nullptr) {
+        s.orun_.steps.add();
+        s.orun_.max_die_hist.observe(max_die);
+        s.orun_.teg_hist.observe(teg_per);
+        if (s.use_watchdog_) {
+            size_t trips = s.watchdog_->tripEvents();
+            if (trips > s.seen_trips_) {
+                obs::Event e;
+                e.time_s = now_s;
+                e.step = static_cast<long>(step);
+                e.kind = "watchdog";
+                e.subject = "cluster";
+                e.detail = "thermal trip";
+                e.fields = {
+                    {"new_trips",
+                     static_cast<double>(trips - s.seen_trips_)},
+                    {"throttled_servers",
+                     static_cast<double>(s.watchdog_->numThrottled())}};
+                s.orun_.obs->events().append(std::move(e));
+                s.seen_trips_ = trips;
+            }
+        }
+    }
+
+    ++s.cursor_;
+}
+
+RunResult
+SimEngine::finish(SimSession &s) const
+{
+    expect(!s.finished_, "session already finished");
+    expect(s.done(), "session has only evaluated ", s.cursor_, " of ",
+           s.numSteps(), " steps; step() it to completion (or "
+                         "checkpoint it) before finish()");
+    s.finished_ = true;
+
+    const size_t num_steps = s.numSteps();
+    const double steps = static_cast<double>(num_steps);
+
+    RunResult result;
+    result.summary.policy = s.policy_;
+    result.recorder = s.recorder_;
+
+    RunSummary &sum = result.summary;
+    const sim::Recorder &rec = *s.recorder_;
+    const TimeSeries &teg_series = rec.series(s.ch_.teg);
+    sum.avg_teg_w = teg_series.mean();
+    sum.peak_teg_w = teg_series.max();
+    sum.avg_cpu_w = rec.series(s.ch_.cpu).mean();
+    sum.teg_energy_kwh = units::joulesToKwh(s.acc_.teg_j);
+    sum.cpu_energy_kwh = units::joulesToKwh(s.acc_.cpu_j);
+    sum.plant_energy_kwh = units::joulesToKwh(s.acc_.plant_j);
+    sum.pump_energy_kwh = units::joulesToKwh(s.acc_.pump_j);
+    sum.pre = s.acc_.cpu_j > 0.0 ? s.acc_.teg_j / s.acc_.cpu_j : 0.0;
+    sum.safe_fraction =
+        static_cast<double>(s.acc_.safe_steps) / steps;
+    sum.avg_t_in_c = s.acc_.t_in_sum / steps;
+    if (s.resilient_) {
+        sum.fault_events = s.injector_->struckCount();
+        sum.throttle_events =
+            s.use_watchdog_ ? s.watchdog_->tripEvents() : 0;
+        sum.throttled_work_server_hours =
+            s.use_watchdog_
+                ? s.watchdog_->deferredWorkSeconds() / 3600.0
+                : 0.0;
+        sum.teg_energy_lost_kwh = units::joulesToKwh(s.acc_.teg_lost_j);
+        sum.safe_mode_steps = s.acc_.safe_mode_steps;
+        sum.max_faulted_servers = s.acc_.max_faulted;
+    }
+    sum.circulation_safe_fraction.reserve(s.acc_.circ_safe_steps.size());
+    for (size_t c : s.acc_.circ_safe_steps)
+        sum.circulation_safe_fraction.push_back(
+            static_cast<double>(c) / steps);
+    validateSummary(sum);
+    finishObsRun(s.orun_, rec, sum);
+    return result;
+}
+
+void
+SimEngine::saveCheckpoint(const SimSession &s,
+                          const std::string &path) const
+{
+    expect(!s.finished_, "cannot checkpoint a finished session");
+
+    ByteWriter w;
+    w.u64(configFingerprint());
+    w.u64(s.trace_->fingerprint());
+    w.u32(s.policy_ == sched::Policy::TegLoadBalance ? 1 : 0);
+    w.boolean(s.resilient_);
+    w.u64(s.numSteps());
+    w.f64(s.trace_->dt());
+    w.u64(s.cursor_);
+
+    // Summary accumulators.
+    w.f64(s.acc_.teg_j);
+    w.f64(s.acc_.cpu_j);
+    w.f64(s.acc_.plant_j);
+    w.f64(s.acc_.pump_j);
+    w.f64(s.acc_.teg_lost_j);
+    w.f64(s.acc_.t_in_sum);
+    w.u64(s.acc_.safe_steps);
+    w.u64(s.acc_.safe_mode_steps);
+    w.u64(s.acc_.max_faulted);
+    w.u64(s.acc_.circ_safe_steps.size());
+    for (size_t c : s.acc_.circ_safe_steps)
+        w.u64(c);
+
+    // Recorded samples, channel by channel.
+    std::vector<std::string> names = s.recorder_->channels();
+    w.u64(names.size());
+    for (const std::string &name : names) {
+        const TimeSeries &series = s.recorder_->series(name);
+        w.str(name);
+        w.u64(series.size());
+        for (double v : series.samples())
+            w.f64(v);
+    }
+
+    // Resilient-stage state. The fault timeline itself is recomputed
+    // deterministically on restore; only the replay cursor's sensor
+    // latches and the feedback loops need explicit state.
+    if (s.resilient_) {
+        const size_t num_circ = w_.dc->numCirculations();
+        w.u64(num_circ);
+        for (size_t c = 0; c < num_circ; ++c) {
+            fault::SensorChannel::Latch die =
+                s.injector_->dieSensor(c).latch();
+            fault::SensorChannel::Latch flow =
+                s.injector_->flowSensor(c).latch();
+            w.boolean(die.held);
+            w.f64(die.value);
+            w.boolean(flow.held);
+            w.f64(flow.value);
+        }
+
+        fault::ThermalTripWatchdog::State wd = s.watchdog_->snapshot();
+        w.u64(wd.cap.size());
+        for (double v : wd.cap)
+            w.f64(v);
+        for (double v : wd.backlog)
+            w.f64(v);
+        for (bool b : wd.tripped)
+            w.boolean(b);
+        w.u64(wd.trip_events);
+        w.f64(wd.deferred_s);
+
+        std::vector<sched::SafetyMonitor::CircState> mon =
+            s.monitor_->snapshot();
+        for (const sched::SafetyMonitor::CircState &cs : mon) {
+            w.f64(cs.last_die_c);
+            w.boolean(cs.has_last);
+            w.u64(cs.hold);
+            w.u32(static_cast<uint32_t>(cs.held));
+            w.u32(static_cast<uint32_t>(cs.action));
+        }
+
+        for (size_t c = 0; c < num_circ; ++c) {
+            w.f64(s.die_read_[c].value);
+            w.boolean(s.die_read_[c].valid);
+            w.f64(s.flow_read_[c].value);
+            w.boolean(s.flow_read_[c].valid);
+            w.f64(s.commanded_flow_[c]);
+        }
+        w.boolean(s.have_readings_);
+        for (sched::SafeModeAction a : s.actions_)
+            w.u32(static_cast<uint32_t>(a));
+    }
+
+    const std::string &payload = w.data();
+    std::ofstream os(path, std::ios::binary);
+    expect(os.good(), "cannot open checkpoint output `", path, "'");
+    os.write(kMagic, sizeof(kMagic));
+    ByteWriter header;
+    header.u32(kCheckpointVersion);
+    header.u64(payload.size());
+    os.write(header.data().data(),
+             static_cast<std::streamsize>(header.data().size()));
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+    ByteWriter footer;
+    footer.u64(payloadChecksum(payload));
+    os.write(footer.data().data(),
+             static_cast<std::streamsize>(footer.data().size()));
+    expect(os.good(), "failed writing checkpoint `", path, "'");
+
+    if (w_.obs != nullptr) {
+        obs::Event e;
+        e.step = static_cast<long>(s.cursor_);
+        e.kind = "checkpoint";
+        e.subject = "system";
+        e.detail = "save " + path;
+        e.fields = {{"step", static_cast<double>(s.cursor_)}};
+        w_.obs->events().append(std::move(e));
+    }
+}
+
+SimSession
+SimEngine::resume(const std::string &path,
+                  const workload::UtilizationTrace &trace) const
+{
+    std::ifstream is(path, std::ios::binary);
+    expect(is.good(), "cannot open checkpoint `", path, "'");
+    std::string file((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+
+    const size_t header_size = sizeof(kMagic) + 4 + 8;
+    expect(file.size() >= header_size + 8,
+           "checkpoint `", path, "' is too short to be valid");
+    expect(std::memcmp(file.data(), kMagic, sizeof(kMagic)) == 0,
+           "`", path, "' is not an H2P checkpoint (bad magic)");
+
+    ByteReader head(file, sizeof(kMagic), file.size());
+    uint32_t version = head.u32();
+    expect(version == kCheckpointVersion, "checkpoint version ",
+           version, " is not supported (this build reads version ",
+           kCheckpointVersion, ")");
+    uint64_t payload_size = head.u64();
+    expect(file.size() == header_size + payload_size + 8,
+           "checkpoint `", path, "' is truncated or has trailing "
+                                 "garbage");
+
+    const size_t payload_begin = header_size;
+    const size_t payload_end = payload_begin + payload_size;
+    std::string payload =
+        file.substr(payload_begin, payload_size);
+    ByteReader foot(file, payload_end, file.size());
+    uint64_t stored_sum = foot.u64();
+    expect(stored_sum == payloadChecksum(payload),
+           "checkpoint `", path, "' failed its checksum; the file is "
+                                 "corrupt");
+
+    ByteReader r(payload, 0, payload.size());
+    uint64_t cfg_fp = r.u64();
+    expect(cfg_fp == configFingerprint(),
+           "checkpoint was taken under a different configuration "
+           "(fault scenario, safe mode, topology or optimizer "
+           "parameters differ); refusing to resume");
+    uint64_t trace_fp = r.u64();
+    expect(trace_fp == trace.fingerprint(),
+           "checkpoint was taken against a different workload trace; "
+           "refusing to resume");
+
+    uint32_t policy_raw = r.u32();
+    expect(policy_raw <= 1, "checkpoint carries unknown policy ",
+           policy_raw);
+    sched::Policy policy = policy_raw == 1
+                               ? sched::Policy::TegLoadBalance
+                               : sched::Policy::TegOriginal;
+    bool resilient = r.boolean();
+    uint64_t num_steps = r.u64();
+    double dt = r.f64();
+    uint64_t cursor = r.u64();
+    expect(num_steps == trace.numSteps() && dt == trace.dt(),
+           "checkpoint trace shape mismatch");
+    expect(cursor <= num_steps, "checkpoint cursor ", cursor,
+           " exceeds the trace length ", num_steps);
+
+    SimSession s = makeSession(trace, policy);
+    H2P_ASSERT(s.resilient_ == resilient,
+               "config fingerprint matched but pipeline shape did "
+               "not");
+    s.cursor_ = cursor;
+
+    s.acc_.teg_j = r.f64();
+    s.acc_.cpu_j = r.f64();
+    s.acc_.plant_j = r.f64();
+    s.acc_.pump_j = r.f64();
+    s.acc_.teg_lost_j = r.f64();
+    s.acc_.t_in_sum = r.f64();
+    s.acc_.safe_steps = r.u64();
+    s.acc_.safe_mode_steps = r.u64();
+    s.acc_.max_faulted = r.u64();
+    uint64_t ncirc_safe = r.u64();
+    expect(ncirc_safe == s.acc_.circ_safe_steps.size(),
+           "checkpoint circulation count mismatch");
+    for (size_t c = 0; c < ncirc_safe; ++c)
+        s.acc_.circ_safe_steps[c] = r.u64();
+
+    // Replay the recorded samples through the already-resolved
+    // channel handles.
+    uint64_t nchannels = r.u64();
+    expect(nchannels == s.recorder_->channels().size(),
+           "checkpoint records ", nchannels, " channels; this "
+           "configuration records ", s.recorder_->channels().size());
+    for (uint64_t i = 0; i < nchannels; ++i) {
+        std::string name = r.str();
+        expect(s.recorder_->has(name), "checkpoint channel `", name,
+               "' is not recorded under this configuration");
+        sim::Recorder::Channel ch = s.recorder_->channel(name);
+        uint64_t nsamples = r.u64();
+        expect(nsamples == cursor, "checkpoint channel `", name,
+               "' has ", nsamples, " samples for ", cursor,
+               " completed steps; the file is corrupt");
+        for (uint64_t k = 0; k < nsamples; ++k)
+            s.recorder_->record(ch, r.f64());
+    }
+
+    if (resilient) {
+        const size_t num_circ = w_.dc->numCirculations();
+        uint64_t saved_circ = r.u64();
+        expect(saved_circ == num_circ,
+               "checkpoint circulation count mismatch");
+
+        // Re-run the deterministic fault timeline up to the last
+        // completed step; this re-arms every sensor-fault window
+        // exactly as the original run did, after which only the
+        // value-dependent stuck-at latches need explicit restore.
+        if (cursor > 0)
+            s.injector_->advanceTo(static_cast<double>(cursor - 1) *
+                                   dt);
+        for (size_t c = 0; c < num_circ; ++c) {
+            fault::SensorChannel::Latch die, flow;
+            die.held = r.boolean();
+            die.value = r.f64();
+            flow.held = r.boolean();
+            flow.value = r.f64();
+            s.injector_->dieSensor(c).restoreLatch(die);
+            s.injector_->flowSensor(c).restoreLatch(flow);
+        }
+
+        fault::ThermalTripWatchdog::State wd;
+        uint64_t nservers = r.u64();
+        expect(nservers == w_.dc->numServers(),
+               "checkpoint server count mismatch");
+        wd.cap.resize(nservers);
+        for (double &v : wd.cap)
+            v = r.f64();
+        wd.backlog.resize(nservers);
+        for (double &v : wd.backlog)
+            v = r.f64();
+        wd.tripped.resize(nservers);
+        for (size_t i = 0; i < nservers; ++i)
+            wd.tripped[i] = r.boolean();
+        wd.trip_events = r.u64();
+        wd.deferred_s = r.f64();
+        s.watchdog_->restore(wd);
+
+        std::vector<sched::SafetyMonitor::CircState> mon(num_circ);
+        for (sched::SafetyMonitor::CircState &cs : mon) {
+            cs.last_die_c = r.f64();
+            cs.has_last = r.boolean();
+            cs.hold = r.u64();
+            uint32_t held = r.u32();
+            uint32_t action = r.u32();
+            expect(held <= 2 && action <= 2,
+                   "checkpoint carries an unknown safe-mode action");
+            cs.held = static_cast<sched::SafeModeAction>(held);
+            cs.action = static_cast<sched::SafeModeAction>(action);
+        }
+        s.monitor_->restore(mon);
+
+        for (size_t c = 0; c < num_circ; ++c) {
+            s.die_read_[c].value = r.f64();
+            s.die_read_[c].valid = r.boolean();
+            s.flow_read_[c].value = r.f64();
+            s.flow_read_[c].valid = r.boolean();
+            s.commanded_flow_[c] = r.f64();
+        }
+        s.have_readings_ = r.boolean();
+        for (size_t c = 0; c < num_circ; ++c) {
+            uint32_t a = r.u32();
+            expect(a <= 2,
+                   "checkpoint carries an unknown safe-mode action");
+            s.actions_[c] = static_cast<sched::SafeModeAction>(a);
+        }
+
+        // Events struck before the checkpoint were already reported
+        // by the run that wrote it; only post-resume strikes and
+        // trips become new obs events.
+        s.seen_faults_ = s.injector_->struckCount();
+        s.seen_trips_ = s.watchdog_->tripEvents();
+    }
+    expect(r.exhausted(),
+           "checkpoint has trailing bytes; the file is corrupt");
+
+    if (w_.obs != nullptr) {
+        obs::Event e;
+        e.step = static_cast<long>(s.cursor_);
+        e.kind = "checkpoint";
+        e.subject = "system";
+        e.detail = "restore " + path;
+        e.fields = {{"step", static_cast<double>(s.cursor_)}};
+        w_.obs->events().append(std::move(e));
+    }
+    return s;
+}
+
+} // namespace core
+} // namespace h2p

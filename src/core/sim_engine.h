@@ -1,0 +1,292 @@
+/**
+ * @file
+ * The simulation engine: one composable step pipeline.
+ *
+ * Every trace-driven run — clean or faulted, batch or interactive —
+ * advances through the same sequence of optional stages:
+ *
+ *   fault advance -> watchdog shaping -> sensing / safe-mode
+ *   assessment -> scheduling decision -> datacenter evaluation ->
+ *   recording / accumulation -> observability
+ *
+ * Which stages are active is decided once, from the configuration,
+ * when a session starts; H2PSystem::run() and the old resilient run
+ * are thin wrappers that step a session to completion. The engine
+ * additionally exposes the loop incrementally (SimSession::step())
+ * for long-horizon and controller-in-the-loop workloads, and can
+ * checkpoint all mutable loop state to disk and restore it
+ * bit-identically: a run stepped N steps, checkpointed, restored and
+ * finished equals an uninterrupted run sample for sample, at any
+ * [perf] thread count.
+ */
+
+#ifndef H2P_CORE_SIM_ENGINE_H_
+#define H2P_CORE_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/datacenter.h"
+#include "core/run_types.h"
+#include "fault/fault_injector.h"
+#include "fault/watchdog.h"
+#include "obs/observability.h"
+#include "sched/cooling_optimizer.h"
+#include "sched/safe_mode.h"
+#include "sched/scheduler.h"
+#include "sim/recorder.h"
+#include "util/thread_pool.h"
+#include "workload/trace.h"
+
+namespace h2p {
+namespace core {
+
+class SimEngine;
+
+/**
+ * Running sums a step loop maintains and the summary is derived from.
+ * One accumulator serves both the clean and the resilient pipeline;
+ * the resilience fields simply stay zero when those stages are off.
+ */
+struct SummaryAccumulator
+{
+    double teg_j = 0.0;
+    double cpu_j = 0.0;
+    double plant_j = 0.0;
+    double pump_j = 0.0;
+    double teg_lost_j = 0.0;
+    double t_in_sum = 0.0;
+    size_t safe_steps = 0;
+    size_t safe_mode_steps = 0;
+    size_t max_faulted = 0;
+    std::vector<size_t> circ_safe_steps;
+};
+
+/**
+ * One trace-driven run in progress.
+ *
+ * Obtained from H2PSystem::startSession() (fresh) or
+ * H2PSystem::resumeSession() (from a checkpoint); drive it with
+ * step() until done(), then collect the RunResult with finish().
+ * The session keeps pointers into the system and the trace it was
+ * started with — both must outlive it.
+ *
+ * Sessions are move-only and single-use: finish() consumes the run.
+ */
+class SimSession
+{
+  public:
+    SimSession(SimSession &&) = default;
+    SimSession &operator=(SimSession &&) = default;
+    SimSession(const SimSession &) = delete;
+    SimSession &operator=(const SimSession &) = delete;
+
+    /** Total steps in the driving trace. */
+    size_t numSteps() const;
+
+    /** Steps completed so far (also the next step's index). */
+    size_t cursor() const { return cursor_; }
+
+    /** True once every trace step has been evaluated. */
+    bool done() const { return cursor_ >= numSteps(); }
+
+    /** Scheme this session runs under. */
+    sched::Policy policy() const { return policy_; }
+
+    /** Evaluate the next scheduling interval; throws when done(). */
+    void step();
+
+    /** Step the remaining intervals (no-op when already done). */
+    void runToCompletion();
+
+    /**
+     * Validate, export observability and return the run's result.
+     * The session must be done(); a session can be finished once.
+     */
+    RunResult finish();
+
+    /**
+     * Serialize all mutable loop state to @p path so a later
+     * H2PSystem::resumeSession() continues this run bit-identically:
+     * fault-timeline cursor and sensor latches, watchdog caps and
+     * backlog, safe-mode supervisor state, prior-interval readings,
+     * summary accumulators and every recorded sample. The file embeds
+     * a version, configuration/trace fingerprints and a checksum;
+     * restore rejects corrupt or mismatched checkpoints loudly.
+     *
+     * A custom controller (setController()) is not serialized — the
+     * caller owns that state and must re-install it after resume.
+     */
+    void saveCheckpoint(const std::string &path) const;
+
+    /**
+     * A custom scheduling stage: called once per step with the step
+     * index and the (watchdog-shaped) requested utilizations; must
+     * fill the decision's utils (numServers entries) and settings
+     * (one per circulation). Replaces the built-in scheduler — for
+     * causal/predictive controllers, RL-style agents and what-if
+     * probes that still want the rest of the pipeline.
+     */
+    using Controller = std::function<void(
+        size_t step, const std::vector<double> &utils,
+        sched::ScheduleDecision &decision)>;
+
+    /** Install (or clear, with nullptr) a custom scheduling stage. */
+    void setController(Controller controller);
+
+    /** Datacenter state of the last evaluated step. */
+    const cluster::DatacenterState &lastState() const;
+
+    /** Scheduling decision of the last evaluated step. */
+    const sched::ScheduleDecision &lastDecision() const;
+
+    /** (Shaped) utilizations submitted at the last evaluated step. */
+    const std::vector<double> &lastUtils() const;
+
+    /** The recorder accumulating this run's channels. */
+    const sim::Recorder &recorder() const { return *recorder_; }
+
+  private:
+    friend class SimEngine;
+    SimSession() = default;
+
+    /** Resolved recorder channel handles (see sim/channels.h). */
+    struct Channels
+    {
+        sim::Recorder::Channel teg, cpu, pre, tin, plant, pump, die,
+            umean, umax;
+        // Resilient-only channels; unresolved on clean runs.
+        sim::Recorder::Channel faulted, lost, safe_mode, throttled;
+    };
+
+    /** Per-run observability bookkeeping (idle when obs is off). */
+    struct ObsRun
+    {
+        obs::Observability *obs = nullptr;
+        obs::SpanRegistry::SpanId span_step;
+        obs::SpanRegistry::SpanId span_decide;
+        obs::Counter steps;
+        obs::HistogramMetric max_die_hist;
+        obs::HistogramMetric teg_hist;
+        size_t cache_hits0 = 0;
+        size_t cache_misses0 = 0;
+        util::ThreadPool::PoolStats pool0;
+    };
+
+    const SimEngine *engine_ = nullptr;
+    const workload::UtilizationTrace *trace_ = nullptr;
+    sched::Policy policy_ = sched::Policy::TegOriginal;
+    /** Fault/safe-mode stages active? */
+    bool resilient_ = false;
+    /** Watchdog-shaping stage active? */
+    bool use_watchdog_ = false;
+    size_t cursor_ = 0;
+    bool finished_ = false;
+
+    std::shared_ptr<sim::Recorder> recorder_;
+    Channels ch_;
+    SummaryAccumulator acc_;
+
+    // Resilient-stage state; null/empty on clean runs.
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<fault::ThermalTripWatchdog> watchdog_;
+    std::unique_ptr<sched::SafetyMonitor> monitor_;
+    std::vector<sched::SensorReading> die_read_;
+    std::vector<sched::SensorReading> flow_read_;
+    std::vector<double> commanded_flow_;
+    bool have_readings_ = false;
+    std::vector<sched::SafeModeAction> actions_;
+    std::vector<double> die_temps_;
+
+    // Per-step scratch, allocated once and reused.
+    std::vector<double> utils_;
+    sched::ScheduleDecision decision_;
+    cluster::DatacenterState state_;
+
+    ObsRun orun_;
+    size_t seen_faults_ = 0;
+    size_t seen_trips_ = 0;
+
+    Controller controller_;
+};
+
+/**
+ * The step pipeline and its wiring into one system's components.
+ * Owned by H2PSystem; stateless across runs (all per-run state lives
+ * in the SimSession), so any number of sessions can be derived from
+ * the same engine sequentially.
+ */
+class SimEngine
+{
+  public:
+    /** Non-owning wiring into the system's long-lived components. */
+    struct Wiring
+    {
+        const H2PConfig *config = nullptr;
+        cluster::Datacenter *dc = nullptr;
+        sched::CoolingOptimizer *optimizer = nullptr;
+        const sched::Scheduler *sched_original = nullptr;
+        const sched::Scheduler *sched_balance = nullptr;
+        /** Null when [perf] threads == 1. */
+        util::ThreadPool *pool = nullptr;
+        /** Null when [obs] is disabled. */
+        obs::Observability *obs = nullptr;
+    };
+
+    explicit SimEngine(const Wiring &wiring);
+
+    /** Begin a fresh session over @p trace under @p policy. */
+    SimSession start(const workload::UtilizationTrace &trace,
+                     sched::Policy policy) const;
+
+    /**
+     * Restore a session from a checkpoint written by
+     * SimSession::saveCheckpoint(). The trace must be the one the
+     * checkpointed run was driven by (fingerprint-verified), and this
+     * engine's configuration must match the checkpoint's (topology,
+     * fault scenario, safe mode and result-relevant optimizer
+     * parameters; [perf] threads may differ — it is result-neutral).
+     */
+    SimSession resume(const std::string &path,
+                      const workload::UtilizationTrace &trace) const;
+
+    /** The per-policy scheduler. */
+    const sched::Scheduler &scheduler(sched::Policy policy) const;
+
+    /**
+     * Digest of every configuration parameter that can change run
+     * results; embedded in checkpoints to reject restores into a
+     * mismatched system.
+     */
+    uint64_t configFingerprint() const;
+
+  private:
+    friend class SimSession;
+
+    /** Build the per-run skeleton shared by start() and resume(). */
+    SimSession makeSession(const workload::UtilizationTrace &trace,
+                           sched::Policy policy) const;
+
+    /** Advance @p s by one scheduling interval (the pipeline). */
+    void stepOnce(SimSession &s) const;
+
+    RunResult finish(SimSession &s) const;
+    void saveCheckpoint(const SimSession &s,
+                        const std::string &path) const;
+
+    SimSession::ObsRun beginObsRun(sched::Policy policy, double dt,
+                                   size_t num_steps) const;
+    void finishObsRun(const SimSession::ObsRun &orun,
+                      const sim::Recorder &rec,
+                      const RunSummary &summary) const;
+
+    Wiring w_;
+};
+
+} // namespace core
+} // namespace h2p
+
+#endif // H2P_CORE_SIM_ENGINE_H_

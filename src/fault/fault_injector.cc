@@ -351,6 +351,22 @@ FaultInjector::rebuildHealth()
     }
 }
 
+SensorChannel &
+FaultInjector::dieSensor(size_t circ)
+{
+    expect(circ < die_sensors_.size(), "circulation ", circ,
+           " out of range");
+    return die_sensors_[circ];
+}
+
+SensorChannel &
+FaultInjector::flowSensor(size_t circ)
+{
+    expect(circ < flow_sensors_.size(), "circulation ", circ,
+           " out of range");
+    return flow_sensors_[circ];
+}
+
 sched::SensorReading
 FaultInjector::readDie(size_t circ, double true_c)
 {

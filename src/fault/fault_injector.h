@@ -162,6 +162,16 @@ class FaultInjector
     /** Measure the delivered loop flow through its flow meter. */
     sched::SensorReading readFlow(size_t circ, double true_lph);
 
+    /**
+     * Direct access to a circulation's sensor channels, for
+     * checkpointing their stuck-at latches. The armed fault windows
+     * are deterministic replay state — advanceTo() re-arms them — but
+     * a latch captures the first value read inside a window, which
+     * depends on the simulation and must be saved explicitly.
+     */
+    SensorChannel &dieSensor(size_t circ);
+    SensorChannel &flowSensor(size_t circ);
+
     const FaultScenarioParams &params() const { return params_; }
 
     static constexpr double kSecondsPerYear = 365.0 * 24.0 * 3600.0;

@@ -65,6 +65,27 @@ class SensorChannel
     /** Forget the latched stuck-at value (new episode). */
     void resetLatch();
 
+    /**
+     * The stuck-at latch, exposed for checkpointing: the only channel
+     * state that depends on the values read (the armed window is
+     * re-derived from the fault timeline on restore).
+     */
+    struct Latch
+    {
+        double value = 0.0;
+        bool held = false;
+    };
+
+    /** Snapshot the stuck-at latch. */
+    Latch latch() const { return {latched_, has_latch_}; }
+
+    /** Restore a previously snapshotted latch. */
+    void restoreLatch(const Latch &l)
+    {
+        latched_ = l.value;
+        has_latch_ = l.held;
+    }
+
   private:
     SensorFaultWindow fault_;
     double latched_ = 0.0;

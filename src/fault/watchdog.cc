@@ -99,6 +99,33 @@ ThermalTripWatchdog::backlogSeconds(double dt_s) const
     return total * dt_s;
 }
 
+ThermalTripWatchdog::State
+ThermalTripWatchdog::snapshot() const
+{
+    State s;
+    s.cap = cap_;
+    s.backlog = backlog_;
+    s.tripped = tripped_;
+    s.trip_events = trip_events_;
+    s.deferred_s = deferred_s_;
+    return s;
+}
+
+void
+ThermalTripWatchdog::restore(const State &state)
+{
+    expect(state.cap.size() == cap_.size() &&
+               state.backlog.size() == backlog_.size() &&
+               state.tripped.size() == tripped_.size(),
+           "watchdog state covers ", state.cap.size(),
+           " servers; this watchdog has ", cap_.size());
+    cap_ = state.cap;
+    backlog_ = state.backlog;
+    tripped_ = state.tripped;
+    trip_events_ = state.trip_events;
+    deferred_s_ = state.deferred_s;
+}
+
 double
 ThermalTripWatchdog::cap(size_t i) const
 {

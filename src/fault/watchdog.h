@@ -86,6 +86,28 @@ class ThermalTripWatchdog
     /** Current cap of server @p i. */
     double cap(size_t i) const;
 
+    /**
+     * Complete mutable watchdog state, for deterministic
+     * checkpoint/restore of a run in progress.
+     */
+    struct State
+    {
+        std::vector<double> cap;
+        std::vector<double> backlog;
+        std::vector<bool> tripped;
+        size_t trip_events = 0;
+        double deferred_s = 0.0;
+    };
+
+    /** Snapshot the full mutable state. */
+    State snapshot() const;
+
+    /**
+     * Restore a snapshot; the server count must match the one this
+     * watchdog was constructed with.
+     */
+    void restore(const State &state);
+
     const WatchdogParams &params() const { return params_; }
 
   private:

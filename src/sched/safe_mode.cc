@@ -79,6 +79,15 @@ SafetyMonitor::action(size_t circ) const
     return circs_[circ].action;
 }
 
+void
+SafetyMonitor::restore(const std::vector<CircState> &state)
+{
+    expect(state.size() == circs_.size(), "monitor state covers ",
+           state.size(), " circulations; this monitor has ",
+           circs_.size());
+    circs_ = state;
+}
+
 size_t
 SafetyMonitor::numDegraded() const
 {

@@ -112,9 +112,7 @@ class SafetyMonitor
     /** Circulations currently not in Normal mode. */
     size_t numDegraded() const;
 
-    const SafeModeParams &params() const { return params_; }
-
-  private:
+    /** Per-circulation supervisor state (exposed for checkpointing). */
     struct CircState
     {
         double last_die_c = 0.0;
@@ -124,6 +122,18 @@ class SafetyMonitor
         SafeModeAction action = SafeModeAction::Normal;
     };
 
+    /** Snapshot the full mutable state (one CircState per loop). */
+    std::vector<CircState> snapshot() const { return circs_; }
+
+    /**
+     * Restore a snapshot; the circulation count must match the one
+     * this monitor was constructed with.
+     */
+    void restore(const std::vector<CircState> &state);
+
+    const SafeModeParams &params() const { return params_; }
+
+  private:
     SafeModeParams params_;
     std::vector<CircState> circs_;
 };

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Canonical recorder channel names.
+ *
+ * The run loop, the exporters, the benches and the tests all refer to
+ * the same per-step channels; before this header each of them spelled
+ * the names as ad-hoc string literals, so a typo compiled fine and
+ * failed at runtime (or worse, silently created a new empty channel).
+ * Every channel a trace-driven run records is named exactly once here.
+ */
+
+#ifndef H2P_SIM_CHANNELS_H_
+#define H2P_SIM_CHANNELS_H_
+
+namespace h2p {
+namespace sim {
+namespace channels {
+
+// Channels recorded by every trace-driven run.
+/** Cluster-mean TEG output per server, W. */
+inline constexpr const char kTegWPerServer[] = "teg_w_per_server";
+/** Cluster-mean CPU power per server, W. */
+inline constexpr const char kCpuWPerServer[] = "cpu_w_per_server";
+/** Per-step power reusing efficiency (TEG / CPU). */
+inline constexpr const char kPre[] = "pre";
+/** Mean chosen inlet temperature across circulations, C. */
+inline constexpr const char kTInMeanC[] = "t_in_mean_c";
+/** Facility plant power (chiller + tower), W. */
+inline constexpr const char kPlantW[] = "plant_w";
+/** Total pump power, W. */
+inline constexpr const char kPumpW[] = "pump_w";
+/** Hottest die in the cluster, C. */
+inline constexpr const char kMaxDieC[] = "max_die_c";
+/** Cluster-mean utilization. */
+inline constexpr const char kUtilMean[] = "util_mean";
+/** Cluster-max utilization. */
+inline constexpr const char kUtilMax[] = "util_max";
+
+// Channels additionally recorded by runs with faults or safe mode
+// enabled (the resilient pipeline stages).
+/** Servers currently affected by a hardware fault. */
+inline constexpr const char kFaultedServers[] = "faulted_servers";
+/** Harvest lost to TEG faults per server, W. */
+inline constexpr const char kTegWLostPerServer[] =
+    "teg_w_lost_per_server";
+/** Circulations in a non-Normal safe-mode action. */
+inline constexpr const char kSafeModeCirculations[] =
+    "safe_mode_circulations";
+/** Servers currently throttled by the thermal-trip watchdog. */
+inline constexpr const char kThrottledServers[] = "throttled_servers";
+
+} // namespace channels
+} // namespace sim
+} // namespace h2p
+
+#endif // H2P_SIM_CHANNELS_H_

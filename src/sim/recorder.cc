@@ -63,6 +63,14 @@ Recorder::series(const std::string &name) const
     return storage_[it->second];
 }
 
+const TimeSeries &
+Recorder::series(Channel ch) const
+{
+    expect(ch.index_ < storage_.size(),
+           "reading through an unresolved channel handle");
+    return storage_[ch.index_];
+}
+
 std::vector<std::string>
 Recorder::channels() const
 {

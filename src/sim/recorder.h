@@ -84,6 +84,13 @@ class Recorder
     /** Access a channel; throws when absent. */
     const TimeSeries &series(const std::string &name) const;
 
+    /**
+     * Access a channel through its resolved handle — the O(1) twin of
+     * the by-name lookup for callers that already hold a Channel from
+     * channel(). Throws on an unresolved (default-made) handle.
+     */
+    const TimeSeries &series(Channel ch) const;
+
     /** All channel names, sorted. */
     std::vector<std::string> channels() const;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/hash.h"
 
 namespace h2p {
 namespace workload {
@@ -91,6 +92,19 @@ UtilizationTrace::volatility() const
         }
     }
     return sum / static_cast<double>(count);
+}
+
+uint64_t
+UtilizationTrace::fingerprint() const
+{
+    util::Fnv1a h;
+    h.size(num_servers_);
+    h.size(numSteps());
+    h.f64(dt_);
+    for (const auto &row : data_)
+        for (double u : row)
+            h.f64(u);
+    return h.digest();
 }
 
 UtilizationTrace

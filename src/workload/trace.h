@@ -12,6 +12,7 @@
 #define H2P_WORKLOAD_TRACE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,13 @@ class UtilizationTrace
 
     /** Restrict to the first @p n servers (used to slice big traces). */
     UtilizationTrace firstServers(size_t n) const;
+
+    /**
+     * Stable 64-bit digest of the whole trace (dimensions, interval
+     * and every sample's exact bit pattern). Checkpoints embed it so a
+     * resumed session provably continues the same workload.
+     */
+    uint64_t fingerprint() const;
 
   private:
     size_t num_servers_;

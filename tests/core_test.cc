@@ -10,6 +10,7 @@
 
 #include "core/h2p_system.h"
 #include "core/prototype.h"
+#include "sim/channels.h"
 #include "sim/recorder.h"
 #include "util/csv.h"
 #include "util/error.h"
@@ -79,7 +80,7 @@ class SystemFixture : public ::testing::Test
 TEST_F(SystemFixture, SummaryConsistentWithRecorder)
 {
     RunResult r = sys->run(*trace, sched::Policy::TegOriginal);
-    const auto &teg = r.recorder->series("teg_w_per_server");
+    const auto &teg = r.recorder->series(sim::channels::kTegWPerServer);
     EXPECT_NEAR(r.summary.avg_teg_w, teg.mean(), 1e-9);
     EXPECT_NEAR(r.summary.peak_teg_w, teg.max(), 1e-9);
     EXPECT_EQ(teg.size(), trace->numSteps());
@@ -116,7 +117,7 @@ TEST_F(SystemFixture, EveryIntervalStaysSafe)
 {
     RunResult r = sys->run(*trace, sched::Policy::TegLoadBalance);
     EXPECT_DOUBLE_EQ(r.summary.safe_fraction, 1.0);
-    EXPECT_LT(r.recorder->series("max_die_c").max(), 78.9);
+    EXPECT_LT(r.recorder->series(sim::channels::kMaxDieC).max(), 78.9);
 }
 
 TEST_F(SystemFixture, EvaluateStepMatchesRunChannels)
@@ -141,7 +142,7 @@ TEST_F(SystemFixture, OversizedTraceIsSliced)
     workload::TraceGenerator gen(3);
     auto big = gen.generate(workload::TraceGenParams{}, 150, 1800.0);
     RunResult r = sys->run(big, sched::Policy::TegOriginal);
-    EXPECT_EQ(r.recorder->series("teg_w_per_server").size(),
+    EXPECT_EQ(r.recorder->series(sim::channels::kTegWPerServer).size(),
               big.numSteps());
 }
 

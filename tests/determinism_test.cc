@@ -13,6 +13,7 @@
 #include "core/transient_circulation.h"
 #include "fault/fault_injector.h"
 #include "sched/cooling_optimizer.h"
+#include "sim/channels.h"
 #include "thermal/rc_network.h"
 #include "util/error.h"
 #include "workload/trace_gen.h"
@@ -38,8 +39,8 @@ TEST(DeterminismTest, RepeatedRunsAreBitIdentical)
     auto b = sys.run(trace, sched::Policy::TegLoadBalance);
     EXPECT_DOUBLE_EQ(a.summary.avg_teg_w, b.summary.avg_teg_w);
     EXPECT_DOUBLE_EQ(a.summary.pre, b.summary.pre);
-    const auto &sa = a.recorder->series("teg_w_per_server");
-    const auto &sb = b.recorder->series("teg_w_per_server");
+    const auto &sa = a.recorder->series(sim::channels::kTegWPerServer);
+    const auto &sb = b.recorder->series(sim::channels::kTegWPerServer);
     ASSERT_EQ(sa.size(), sb.size());
     for (size_t i = 0; i < sa.size(); ++i)
         EXPECT_DOUBLE_EQ(sa.at(i), sb.at(i));

@@ -14,6 +14,7 @@
 #include "core/prototype.h"
 #include "econ/tco.h"
 #include "sched/circulation_design.h"
+#include "sim/channels.h"
 #include "stats/regression.h"
 #include "storage/hybrid_buffer.h"
 #include "workload/trace_gen.h"
@@ -97,8 +98,8 @@ TEST_F(PipelineTest, PowerAnticorrelatesWithUtilization)
     // Fig. 14a: when utilization is high the generated power is low.
     auto r = system().run(trace(workload::TraceProfile::Drastic),
                           sched::Policy::TegOriginal);
-    const auto &teg = r.recorder->series("teg_w_per_server");
-    const auto &umax = r.recorder->series("util_max");
+    const auto &teg = r.recorder->series(sim::channels::kTegWPerServer);
+    const auto &umax = r.recorder->series(sim::channels::kUtilMax);
     double mt = teg.mean(), mu = umax.mean();
     double cov = 0.0, vt = 0.0, vu = 0.0;
     for (size_t i = 0; i < teg.size(); ++i) {
@@ -140,7 +141,7 @@ TEST_F(PipelineTest, BufferSmoothsTegOutputForLedLoad)
     // series mean; the buffer must serve nearly all of it.
     auto r = system().run(trace(workload::TraceProfile::Irregular),
                           sched::Policy::TegLoadBalance);
-    const auto &teg = r.recorder->series("teg_w_per_server");
+    const auto &teg = r.recorder->series(sim::channels::kTegWPerServer);
     double demand = teg.mean() * 0.95;
     storage::HybridBuffer buffer;
     double served = 0.0, total = 0.0;

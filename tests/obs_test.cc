@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/observability.h"
 #include "obs/trace_span.h"
+#include "sim/channels.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 #include "workload/trace_gen.h"
@@ -432,7 +433,7 @@ TEST(ObsSystemTest, RunRecorderIsFrozen)
 
     ASSERT_TRUE(r.recorder->frozen());
     // Existing channels stay accessible ...
-    EXPECT_NO_THROW(r.recorder->channel("teg_w_per_server"));
+    EXPECT_NO_THROW(r.recorder->channel(sim::channels::kTegWPerServer));
     // ... but late registration is a loud error, not a ragged column.
     EXPECT_THROW(r.recorder->channel("made_up_late"), Error);
     EXPECT_THROW(r.recorder->record("also_late", 1.0), Error);

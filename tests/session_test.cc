@@ -1,0 +1,461 @@
+/**
+ * @file
+ * SimEngine session tests: per-sample equivalence of the incremental
+ * session API with batch run(), bit-identical checkpoint/resume for
+ * clean and faulted runs (including across thread counts), checkpoint
+ * rejection paths, the evaluateStep() fault-config guard and resolved
+ * recorder channel handles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/h2p_system.h"
+#include "fault/fault_injector.h"
+#include "sim/channels.h"
+#include "util/error.h"
+#include "workload/trace_gen.h"
+
+namespace h2p {
+namespace {
+
+bool
+sameBits(double a, double b)
+{
+    uint64_t x, y;
+    std::memcpy(&x, &a, sizeof(x));
+    std::memcpy(&y, &b, sizeof(y));
+    return x == y;
+}
+
+void
+expectSameChannels(const sim::Recorder &a, const sim::Recorder &b)
+{
+    ASSERT_EQ(a.channels(), b.channels());
+    for (const std::string &name : a.channels()) {
+        const auto &sa = a.series(name).samples();
+        const auto &sb = b.series(name).samples();
+        ASSERT_EQ(sa.size(), sb.size()) << name;
+        for (size_t i = 0; i < sa.size(); ++i)
+            ASSERT_TRUE(sameBits(sa[i], sb[i]))
+                << name << " sample " << i << ": " << sa[i]
+                << " != " << sb[i];
+    }
+}
+
+void
+expectSameSummary(const core::RunSummary &a, const core::RunSummary &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_TRUE(sameBits(a.avg_teg_w, b.avg_teg_w));
+    EXPECT_TRUE(sameBits(a.peak_teg_w, b.peak_teg_w));
+    EXPECT_TRUE(sameBits(a.avg_cpu_w, b.avg_cpu_w));
+    EXPECT_TRUE(sameBits(a.pre, b.pre));
+    EXPECT_TRUE(sameBits(a.teg_energy_kwh, b.teg_energy_kwh));
+    EXPECT_TRUE(sameBits(a.cpu_energy_kwh, b.cpu_energy_kwh));
+    EXPECT_TRUE(sameBits(a.plant_energy_kwh, b.plant_energy_kwh));
+    EXPECT_TRUE(sameBits(a.pump_energy_kwh, b.pump_energy_kwh));
+    EXPECT_TRUE(sameBits(a.safe_fraction, b.safe_fraction));
+    EXPECT_TRUE(sameBits(a.avg_t_in_c, b.avg_t_in_c));
+    EXPECT_EQ(a.fault_events, b.fault_events);
+    EXPECT_EQ(a.throttle_events, b.throttle_events);
+    EXPECT_TRUE(sameBits(a.throttled_work_server_hours,
+                         b.throttled_work_server_hours));
+    EXPECT_TRUE(sameBits(a.teg_energy_lost_kwh, b.teg_energy_lost_kwh));
+    EXPECT_EQ(a.safe_mode_steps, b.safe_mode_steps);
+    EXPECT_EQ(a.max_faulted_servers, b.max_faulted_servers);
+    ASSERT_EQ(a.circulation_safe_fraction.size(),
+              b.circulation_safe_fraction.size());
+    for (size_t i = 0; i < a.circulation_safe_fraction.size(); ++i)
+        EXPECT_TRUE(sameBits(a.circulation_safe_fraction[i],
+                             b.circulation_safe_fraction[i]));
+}
+
+core::H2PConfig
+smallConfig()
+{
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = 40;
+    cfg.datacenter.servers_per_circulation = 20;
+    return cfg;
+}
+
+/**
+ * A scenario exercising every checkpointed subsystem: a degraded
+ * pump (health + flow mismatch), a die sensor stuck across a window
+ * (latch state), a TEG fault (lost-harvest accounting) and a flow
+ * dropout, under safe-mode control with the watchdog on.
+ */
+core::H2PConfig
+faultedConfig()
+{
+    core::H2PConfig cfg = smallConfig();
+    cfg.safe_mode.enabled = true;
+    cfg.safe_mode.watchdog_enabled = true;
+    auto &f = cfg.faults;
+    f.scripted.push_back(
+        {300.0, fault::FaultKind::PumpDegraded, 0, 0, 0.4, 0.0});
+    f.scripted.push_back(
+        {600.0, fault::FaultKind::DieSensorStuck, 0, 0, 0.0, 1800.0});
+    f.scripted.push_back(
+        {900.0, fault::FaultKind::TegOpenCircuit, 1, 3, 0.0, 0.0});
+    f.scripted.push_back(
+        {1200.0, fault::FaultKind::FlowSensorDropout, 1, 0, 0.0,
+         900.0});
+    return cfg;
+}
+
+workload::UtilizationTrace
+makeTrace(uint64_t seed = 11, size_t servers = 40,
+          double duration_s = 2.0 * 3600.0)
+{
+    workload::TraceGenerator gen(seed);
+    return gen.generate(workload::TraceGenParams::forProfile(
+                            workload::TraceProfile::Drastic),
+                        servers, duration_s);
+}
+
+/** RAII temp-file path cleaned up on scope exit. */
+struct TempPath
+{
+    explicit TempPath(const std::string &name) : path(name) {}
+    ~TempPath() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+// ------------------------------------------------ session == run()
+
+TEST(SessionTest, StepLoopMatchesBatchRunClean)
+{
+    core::H2PSystem sys(smallConfig());
+    auto trace = makeTrace();
+
+    auto batch = sys.run(trace, sched::Policy::TegLoadBalance);
+
+    auto session =
+        sys.startSession(trace, sched::Policy::TegLoadBalance);
+    EXPECT_EQ(session.numSteps(), trace.numSteps());
+    while (!session.done())
+        session.step();
+    auto stepped = session.finish();
+
+    expectSameSummary(batch.summary, stepped.summary);
+    expectSameChannels(*batch.recorder, *stepped.recorder);
+}
+
+TEST(SessionTest, StepLoopMatchesBatchRunFaulted)
+{
+    core::H2PSystem sys(faultedConfig());
+    auto trace = makeTrace();
+
+    auto batch = sys.run(trace, sched::Policy::TegOriginal);
+    EXPECT_GT(batch.summary.fault_events, 0u);
+
+    auto session = sys.startSession(trace, sched::Policy::TegOriginal);
+    session.runToCompletion();
+    auto stepped = session.finish();
+
+    expectSameSummary(batch.summary, stepped.summary);
+    expectSameChannels(*batch.recorder, *stepped.recorder);
+}
+
+// ------------------------------------------- checkpoint round trips
+
+TEST(SessionTest, CheckpointRoundTripCleanBitIdentical)
+{
+    TempPath ck("session_test_clean.ckpt");
+    auto trace = makeTrace();
+
+    core::H2PSystem sys(smallConfig());
+    auto full = sys.run(trace, sched::Policy::TegLoadBalance);
+
+    auto first =
+        sys.startSession(trace, sched::Policy::TegLoadBalance);
+    for (size_t i = 0; i < trace.numSteps() / 2; ++i)
+        first.step();
+    first.saveCheckpoint(ck.path);
+
+    // Restore into a *fresh* system built from the same config: no
+    // state may leak through anything but the checkpoint file.
+    core::H2PSystem sys2(smallConfig());
+    auto resumed = sys2.resumeSession(ck.path, trace);
+    EXPECT_EQ(resumed.cursor(), trace.numSteps() / 2);
+    EXPECT_EQ(resumed.policy(), sched::Policy::TegLoadBalance);
+    resumed.runToCompletion();
+    auto rest = resumed.finish();
+
+    expectSameSummary(full.summary, rest.summary);
+    expectSameChannels(*full.recorder, *rest.recorder);
+}
+
+TEST(SessionTest, CheckpointRoundTripFaultedMidSensorWindow)
+{
+    TempPath ck("session_test_faulted.ckpt");
+    auto trace = makeTrace();
+
+    core::H2PSystem sys(faultedConfig());
+    auto full = sys.run(trace, sched::Policy::TegOriginal);
+
+    // Checkpoint inside the stuck-sensor window (starts at 600 s) so
+    // the latch, the armed windows, the degraded-pump health and the
+    // safe-mode holds all carry real state.
+    const double dt = trace.dt();
+    size_t at = static_cast<size_t>(900.0 / dt) + 1;
+    ASSERT_LT(at, trace.numSteps());
+
+    auto first = sys.startSession(trace, sched::Policy::TegOriginal);
+    while (first.cursor() < at)
+        first.step();
+    first.saveCheckpoint(ck.path);
+
+    core::H2PSystem sys2(faultedConfig());
+    auto resumed = sys2.resumeSession(ck.path, trace);
+    resumed.runToCompletion();
+    auto rest = resumed.finish();
+
+    expectSameSummary(full.summary, rest.summary);
+    expectSameChannels(*full.recorder, *rest.recorder);
+}
+
+TEST(SessionTest, CheckpointResumesAcrossThreadCounts)
+{
+    TempPath ck("session_test_threads.ckpt");
+    auto trace = makeTrace();
+
+    // Serial run start, parallel resume: [perf] threads is
+    // result-neutral, so the checkpoint must carry across.
+    core::H2PConfig serial = faultedConfig();
+    serial.perf.threads = 1;
+    core::H2PConfig parallel = faultedConfig();
+    parallel.perf.threads = 3;
+
+    core::H2PSystem sys_serial(serial);
+    auto full = sys_serial.run(trace, sched::Policy::TegLoadBalance);
+
+    auto first =
+        sys_serial.startSession(trace, sched::Policy::TegLoadBalance);
+    for (size_t i = 0; i < trace.numSteps() / 3; ++i)
+        first.step();
+    first.saveCheckpoint(ck.path);
+
+    core::H2PSystem sys_parallel(parallel);
+    auto resumed = sys_parallel.resumeSession(ck.path, trace);
+    resumed.runToCompletion();
+    auto rest = resumed.finish();
+
+    expectSameSummary(full.summary, rest.summary);
+    expectSameChannels(*full.recorder, *rest.recorder);
+}
+
+// ------------------------------------------------- rejection paths
+
+TEST(SessionTest, CheckpointRejectsCorruption)
+{
+    TempPath ck("session_test_corrupt.ckpt");
+    auto trace = makeTrace();
+    core::H2PSystem sys(smallConfig());
+
+    auto session =
+        sys.startSession(trace, sched::Policy::TegOriginal);
+    for (size_t i = 0; i < 4; ++i)
+        session.step();
+    session.saveCheckpoint(ck.path);
+
+    std::string bytes;
+    {
+        std::ifstream is(ck.path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(bytes.size(), 64u);
+
+    auto rewrite = [&](const std::string &b) {
+        std::ofstream os(ck.path, std::ios::binary);
+        os.write(b.data(), static_cast<std::streamsize>(b.size()));
+    };
+
+    // Bad magic.
+    std::string bad = bytes;
+    bad[0] = 'X';
+    rewrite(bad);
+    EXPECT_THROW(sys.resumeSession(ck.path, trace), Error);
+
+    // Unsupported version (u32 after the 8-byte magic).
+    bad = bytes;
+    bad[8] = 2;
+    rewrite(bad);
+    EXPECT_THROW(sys.resumeSession(ck.path, trace), Error);
+
+    // Flipped payload byte: checksum mismatch.
+    bad = bytes;
+    bad[40] = static_cast<char>(bad[40] ^ 0x5a);
+    rewrite(bad);
+    EXPECT_THROW(sys.resumeSession(ck.path, trace), Error);
+
+    // Truncation.
+    rewrite(bytes.substr(0, bytes.size() - 9));
+    EXPECT_THROW(sys.resumeSession(ck.path, trace), Error);
+
+    // The pristine file still restores.
+    rewrite(bytes);
+    EXPECT_NO_THROW(sys.resumeSession(ck.path, trace));
+}
+
+TEST(SessionTest, CheckpointRejectsMismatchedConfig)
+{
+    TempPath ck("session_test_mismatch.ckpt");
+    auto trace = makeTrace();
+
+    core::H2PSystem sys(smallConfig());
+    auto session =
+        sys.startSession(trace, sched::Policy::TegOriginal);
+    session.step();
+    session.saveCheckpoint(ck.path);
+
+    // A different control setpoint changes results: refuse.
+    core::H2PConfig other = smallConfig();
+    other.optimizer.t_safe_c = 60.0;
+    core::H2PSystem sys_other(other);
+    EXPECT_THROW(sys_other.resumeSession(ck.path, trace), Error);
+
+    // A different fault scenario: refuse.
+    core::H2PSystem sys_faulted(faultedConfig());
+    EXPECT_THROW(sys_faulted.resumeSession(ck.path, trace), Error);
+
+    // A thread-count change alone is fine.
+    core::H2PConfig threads = smallConfig();
+    threads.perf.threads = 2;
+    core::H2PSystem sys_threads(threads);
+    EXPECT_NO_THROW(sys_threads.resumeSession(ck.path, trace));
+}
+
+TEST(SessionTest, CheckpointRejectsMismatchedTrace)
+{
+    TempPath ck("session_test_trace.ckpt");
+    auto trace = makeTrace(11);
+    core::H2PSystem sys(smallConfig());
+
+    auto session =
+        sys.startSession(trace, sched::Policy::TegOriginal);
+    session.step();
+    session.saveCheckpoint(ck.path);
+
+    auto other_trace = makeTrace(12);
+    EXPECT_THROW(sys.resumeSession(ck.path, other_trace), Error);
+}
+
+// --------------------------------------------- lifecycle and guards
+
+TEST(SessionTest, LifecycleMisuseThrows)
+{
+    core::H2PSystem sys(smallConfig());
+    auto trace = makeTrace();
+    auto session =
+        sys.startSession(trace, sched::Policy::TegOriginal);
+
+    EXPECT_THROW(session.finish(), Error);   // not done yet
+    EXPECT_THROW(session.lastState(), Error); // nothing evaluated
+
+    session.runToCompletion();
+    EXPECT_THROW(session.step(), Error); // past the end
+
+    auto r = session.finish();
+    EXPECT_GT(r.summary.avg_teg_w, 0.0);
+    EXPECT_THROW(session.finish(), Error); // single-use
+    EXPECT_THROW(session.saveCheckpoint("nope.ckpt"), Error);
+}
+
+TEST(SessionTest, EvaluateStepRefusesFaultObliviousUse)
+{
+    std::vector<double> utils(40, 0.5);
+
+    // Fault scenario enabled: the single-step path would silently
+    // ignore it — must refuse.
+    core::H2PSystem faulted(faultedConfig());
+    EXPECT_THROW(
+        faulted.evaluateStep(utils, sched::Policy::TegOriginal),
+        Error);
+
+    // Safe-mode control alone must also refuse.
+    core::H2PConfig sm_only = smallConfig();
+    sm_only.safe_mode.enabled = true;
+    core::H2PSystem sm_sys(sm_only);
+    EXPECT_THROW(
+        sm_sys.evaluateStep(utils, sched::Policy::TegOriginal),
+        Error);
+
+    // The clean configuration still evaluates.
+    core::H2PSystem clean(smallConfig());
+    auto state =
+        clean.evaluateStep(utils, sched::Policy::TegOriginal);
+    EXPECT_GT(state.teg_power_w, 0.0);
+}
+
+// ------------------------------------------------ controller seam
+
+TEST(SessionTest, ControllerOverrideDrivesTheDecision)
+{
+    core::H2PSystem sys(smallConfig());
+    auto trace = makeTrace();
+    auto session =
+        sys.startSession(trace, sched::Policy::TegOriginal);
+
+    const size_t num_circ = sys.datacenter().numCirculations();
+    cluster::CoolingSetting fixed{45.0, 80.0};
+    size_t calls = 0;
+    session.setController([&](size_t, const std::vector<double> &u,
+                              sched::ScheduleDecision &d) {
+        ++calls;
+        d.utils = u;
+        d.settings.assign(num_circ, fixed);
+        d.details.clear();
+    });
+
+    session.runToCompletion();
+    EXPECT_EQ(calls, trace.numSteps());
+    EXPECT_TRUE(
+        sameBits(session.lastDecision().settings[0].t_in_c, 45.0));
+    auto r = session.finish();
+    // Every interval ran at the fixed inlet temperature.
+    EXPECT_TRUE(sameBits(r.summary.avg_t_in_c, 45.0));
+}
+
+TEST(SessionTest, ControllerShapeIsValidated)
+{
+    core::H2PSystem sys(smallConfig());
+    auto trace = makeTrace();
+    auto session =
+        sys.startSession(trace, sched::Policy::TegOriginal);
+    session.setController([](size_t, const std::vector<double> &u,
+                             sched::ScheduleDecision &d) {
+        d.utils = u;
+        d.settings.clear(); // wrong: one setting per circulation
+    });
+    EXPECT_THROW(session.step(), Error);
+}
+
+// ------------------------------------------- recorder channel handles
+
+TEST(SessionTest, RecorderSeriesByHandleMatchesByName)
+{
+    sim::Recorder rec(300.0);
+    sim::Recorder::Channel ch =
+        rec.channel(sim::channels::kTegWPerServer);
+    rec.record(ch, 1.5);
+    rec.record(ch, 2.5);
+    EXPECT_EQ(&rec.series(ch),
+              &rec.series(sim::channels::kTegWPerServer));
+    EXPECT_EQ(rec.series(ch).size(), 2u);
+
+    sim::Recorder::Channel unresolved;
+    EXPECT_THROW(rec.series(unresolved), Error);
+}
+
+} // namespace
+} // namespace h2p
