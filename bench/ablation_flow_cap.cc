@@ -4,12 +4,17 @@
  * flow and reports the generated TEG power against the pump power it
  * costs — quantifying the paper's qualitative claim that chasing
  * voltage with flow is "too little to be worth making".
+ *
+ * Executed through core::SweepEngine. Unlike the T_safe ablation,
+ * every point here samples a *different* look-up table (the flow cap
+ * is a grid extent), so the sweep's lookup_spaces_built equals the
+ * grid size — the cache cannot help, but batching still can.
  */
 
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "core/h2p_system.h"
+#include "core/sweep_engine.h"
 #include "sim/channels.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -31,20 +36,30 @@ main()
                      "pump avg[W/server]", "net[W/server]"});
     CsvTable csv({"flow_cap_lph", "teg_w", "pump_w", "net_w"});
 
-    for (double cap : {20.0, 40.0, 60.0, 100.0, 150.0, 250.0}) {
-        core::H2PConfig cfg;
-        cfg.datacenter.num_servers = 200;
-        cfg.datacenter.servers_per_circulation = 50;
-        cfg.lookup.flow_max_lph = cap;
-        core::H2PSystem sys(cfg);
-        auto r = sys.run(trace, sched::Policy::TegLoadBalance);
+    const std::vector<double> caps = {20.0,  40.0,  60.0,
+                                      100.0, 150.0, 250.0};
+    std::vector<core::SweepPoint> grid;
+    for (double cap : caps) {
+        core::SweepPoint pt;
+        pt.config.datacenter.num_servers = 200;
+        pt.config.datacenter.servers_per_circulation = 50;
+        pt.config.lookup.flow_max_lph = cap;
+        pt.trace = &trace;
+        pt.policy = sched::Policy::TegLoadBalance;
+        pt.label = "flow_cap=" + strings::fixed(cap, 0);
+        grid.push_back(pt);
+    }
+
+    core::SweepEngine engine;
+    engine.run(grid, [&](const core::SweepPointResult &r) {
+        double cap = caps[r.index];
         double pump_per =
             r.recorder->series(sim::channels::kPumpW).mean() / 200.0;
         double net = r.summary.avg_teg_w - pump_per;
         table.addRow(strings::fixed(cap, 0),
                      {r.summary.avg_teg_w, pump_per, net}, 3);
         csv.addRow({cap, r.summary.avg_teg_w, pump_per, net});
-    }
+    });
     table.print(std::cout);
     bench::saveCsv(csv, "ablation_flow_cap");
 

@@ -4,11 +4,19 @@
  * 0.57 % TCO reduction and 920-day break-even assume $1 TEGs, a
  * 25-year lifespan and 13 c/kWh electricity. This bench sweeps each
  * assumption to show which ones the economics actually hinge on.
+ *
+ * No simulations run here — each section is a pure economic-model
+ * sweep driven through core::SweepEngine::forEachOrdered, the same
+ * ordered parallel map the simulation sweeps use: rows compute in
+ * parallel and emit in sweep order, so output stays byte-identical
+ * at any worker count.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "core/sweep_engine.h"
 #include "econ/npv.h"
 #include "econ/tco.h"
 #include "util/strings.h"
@@ -28,36 +36,62 @@ main()
                            "reduction[%]", "break-even[d]"});
     CsvTable csv({"price", "teg_cost", "lifespan_y", "reduction_pct",
                   "break_even_days"});
-    for (double price : {0.05, 0.09, 0.13, 0.20, 0.30}) {
-        econ::TcoParams p;
-        p.electricity_usd_per_kwh = price;
-        econ::TcoModel tco(p);
-        auto r = tco.compare(watts);
-        price_table.addRow(strings::fixed(price, 2),
-                           {r.teg_rev, r.reduction_pct,
-                            tco.breakEvenDays(watts)},
-                           3);
-        csv.addRow({price, 1.0, 25.0, r.reduction_pct,
-                    tco.breakEvenDays(watts)});
-    }
+    const std::vector<double> prices = {0.05, 0.09, 0.13, 0.20, 0.30};
+    struct PriceRow
+    {
+        double teg_rev, reduction_pct, break_even_days;
+    };
+    std::vector<PriceRow> price_rows(prices.size());
+    core::SweepEngine::forEachOrdered(
+        prices.size(), 0,
+        [&](size_t i) {
+            econ::TcoParams p;
+            p.electricity_usd_per_kwh = prices[i];
+            econ::TcoModel tco(p);
+            auto r = tco.compare(watts);
+            price_rows[i] = {r.teg_rev, r.reduction_pct,
+                             tco.breakEvenDays(watts)};
+        },
+        [&](size_t i) {
+            const PriceRow &r = price_rows[i];
+            price_table.addRow(strings::fixed(prices[i], 2),
+                               {r.teg_rev, r.reduction_pct,
+                                r.break_even_days},
+                               3);
+            csv.addRow({prices[i], 1.0, 25.0, r.reduction_pct,
+                        r.break_even_days});
+        });
     price_table.print(std::cout);
 
     // 2. TEG purchase price.
     TablePrinter cost_table("TCO sensitivity - TEG unit cost");
     cost_table.setHeader({"cost[$/TEG]", "TEGCapEx[$/mo]",
                           "reduction[%]", "break-even[d]"});
-    for (double cost : {0.5, 1.0, 2.0, 5.0, 10.0}) {
-        econ::TcoParams p;
-        p.teg_unit_cost = cost;
-        econ::TcoModel tco(p);
-        auto r = tco.compare(watts);
-        cost_table.addRow(strings::fixed(cost, 1),
-                          {r.teg_capex, r.reduction_pct,
-                           tco.breakEvenDays(watts)},
-                          3);
-        csv.addRow({0.13, cost, 25.0, r.reduction_pct,
-                    tco.breakEvenDays(watts)});
-    }
+    const std::vector<double> costs = {0.5, 1.0, 2.0, 5.0, 10.0};
+    struct CostRow
+    {
+        double teg_capex, reduction_pct, break_even_days;
+    };
+    std::vector<CostRow> cost_rows(costs.size());
+    core::SweepEngine::forEachOrdered(
+        costs.size(), 0,
+        [&](size_t i) {
+            econ::TcoParams p;
+            p.teg_unit_cost = costs[i];
+            econ::TcoModel tco(p);
+            auto r = tco.compare(watts);
+            cost_rows[i] = {r.teg_capex, r.reduction_pct,
+                            tco.breakEvenDays(watts)};
+        },
+        [&](size_t i) {
+            const CostRow &r = cost_rows[i];
+            cost_table.addRow(strings::fixed(costs[i], 1),
+                              {r.teg_capex, r.reduction_pct,
+                               r.break_even_days},
+                              3);
+            csv.addRow({0.13, costs[i], 25.0, r.reduction_pct,
+                        r.break_even_days});
+        });
     std::cout << "\n";
     cost_table.print(std::cout);
 
@@ -65,16 +99,29 @@ main()
     TablePrinter life_table("TCO sensitivity - TEG lifespan");
     life_table.setHeader({"lifespan[y]", "TEGCapEx[$/mo]",
                           "reduction[%]"});
-    for (double years : {5.0, 10.0, 25.0, 34.0}) {
-        econ::TcoParams p;
-        p.teg_lifespan_years = years;
-        econ::TcoModel tco(p);
-        auto r = tco.compare(watts);
-        life_table.addRow(strings::fixed(years, 0),
-                          {r.teg_capex, r.reduction_pct}, 3);
-        csv.addRow({0.13, 1.0, years, r.reduction_pct,
-                    tco.breakEvenDays(watts)});
-    }
+    const std::vector<double> lifespans = {5.0, 10.0, 25.0, 34.0};
+    struct LifeRow
+    {
+        double teg_capex, reduction_pct, break_even_days;
+    };
+    std::vector<LifeRow> life_rows(lifespans.size());
+    core::SweepEngine::forEachOrdered(
+        lifespans.size(), 0,
+        [&](size_t i) {
+            econ::TcoParams p;
+            p.teg_lifespan_years = lifespans[i];
+            econ::TcoModel tco(p);
+            auto r = tco.compare(watts);
+            life_rows[i] = {r.teg_capex, r.reduction_pct,
+                            tco.breakEvenDays(watts)};
+        },
+        [&](size_t i) {
+            const LifeRow &r = life_rows[i];
+            life_table.addRow(strings::fixed(lifespans[i], 0),
+                              {r.teg_capex, r.reduction_pct}, 3);
+            csv.addRow({0.13, 1.0, lifespans[i], r.reduction_pct,
+                        r.break_even_days});
+        });
     std::cout << "\n";
     life_table.print(std::cout);
 
@@ -84,13 +131,22 @@ main()
         "2 %/y electricity escalation)");
     npv_table.setHeader({"discount rate[%]", "NPV[$]",
                          "disc. payback[y]"});
-    for (double rate : {0.0, 0.05, 0.08, 0.12}) {
-        econ::NpvParams np;
-        np.discount_rate = rate;
-        auto r = econ::evaluateNpv(watts, 0.13, np);
-        npv_table.addRow(strings::fixed(100.0 * rate, 0),
-                         {r.npv_usd, r.discounted_payback_years}, 2);
-    }
+    const std::vector<double> rates = {0.0, 0.05, 0.08, 0.12};
+    std::vector<econ::NpvResult> npv_rows(rates.size());
+    core::SweepEngine::forEachOrdered(
+        rates.size(), 0,
+        [&](size_t i) {
+            econ::NpvParams np;
+            np.discount_rate = rates[i];
+            npv_rows[i] = econ::evaluateNpv(watts, 0.13, np);
+        },
+        [&](size_t i) {
+            npv_table.addRow(
+                strings::fixed(100.0 * rates[i], 0),
+                {npv_rows[i].npv_usd,
+                 npv_rows[i].discounted_payback_years},
+                2);
+        });
     std::cout << "\n";
     npv_table.print(std::cout);
     bench::saveCsv(csv, "ablation_tco_sensitivity");

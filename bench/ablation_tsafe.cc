@@ -5,12 +5,17 @@
  * inlet temperature, hence of TEG temperature difference. The sweep
  * also reports the worst die temperature to show the margin being
  * spent.
+ *
+ * Executed through core::SweepEngine: the six setpoint variants run
+ * batched (sharing one trace and one look-up table — T_safe does not
+ * affect the sampled space) and stream their rows back in grid order,
+ * bit-identical to looping serial runs.
  */
 
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "core/h2p_system.h"
+#include "core/sweep_engine.h"
 #include "sim/channels.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -33,14 +38,25 @@ main()
     CsvTable csv({"t_safe_c", "teg_w", "t_in_c", "worst_die_c",
                   "margin_c", "safe"});
 
-    for (double t_safe : {57.0, 60.0, 63.0, 66.0, 69.0, 72.0}) {
-        core::H2PConfig cfg;
-        cfg.datacenter.num_servers = 200;
-        cfg.datacenter.servers_per_circulation = 50;
-        cfg.optimizer.t_safe_c = t_safe;
-        core::H2PSystem sys(cfg);
-        auto r = sys.run(trace, sched::Policy::TegLoadBalance);
-        double worst = r.recorder->series(sim::channels::kMaxDieC).max();
+    const std::vector<double> setpoints = {57.0, 60.0, 63.0,
+                                           66.0, 69.0, 72.0};
+    std::vector<core::SweepPoint> grid;
+    for (double t_safe : setpoints) {
+        core::SweepPoint pt;
+        pt.config.datacenter.num_servers = 200;
+        pt.config.datacenter.servers_per_circulation = 50;
+        pt.config.optimizer.t_safe_c = t_safe;
+        pt.trace = &trace;
+        pt.policy = sched::Policy::TegLoadBalance;
+        pt.label = "t_safe=" + strings::fixed(t_safe, 0);
+        grid.push_back(pt);
+    }
+
+    core::SweepEngine engine;
+    engine.run(grid, [&](const core::SweepPointResult &r) {
+        double t_safe = setpoints[r.index];
+        double worst =
+            r.recorder->series(sim::channels::kMaxDieC).max();
         double margin = 78.9 - worst;
         table.addRow(strings::fixed(t_safe, 0),
                      {r.summary.avg_teg_w, r.summary.avg_t_in_c, worst,
@@ -48,7 +64,7 @@ main()
                      2);
         csv.addRow({t_safe, r.summary.avg_teg_w, r.summary.avg_t_in_c,
                     worst, margin, r.summary.safe_fraction});
-    }
+    });
     table.print(std::cout);
     bench::saveCsv(csv, "ablation_tsafe");
 

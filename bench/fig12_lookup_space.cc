@@ -4,6 +4,12 @@
  * temperature) -> CPU temperature look-up space, fitted continuous by
  * trilinear interpolation. Prints the grid shape, sample slices and
  * the interpolation error against the direct model.
+ *
+ * The space comes from sched::LookupSpaceCache (the shared instance
+ * every H2PSystem with the default server model also references) and
+ * the slice rows evaluate through core::SweepEngine::forEachOrdered —
+ * probing the immutable table from several threads is exactly the
+ * sharing a batched sweep relies on.
  */
 
 #include <algorithm>
@@ -11,7 +17,8 @@
 
 #include "bench/bench_common.h"
 #include "cluster/server.h"
-#include "sched/lookup_space.h"
+#include "core/sweep_engine.h"
+#include "sched/lookup_cache.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -21,8 +28,10 @@ main()
     using namespace h2p;
 
     cluster::Server server;
-    sched::LookupSpace space(server);
-    const auto &p = space.params();
+    std::shared_ptr<const sched::LookupSpace> space =
+        sched::LookupSpaceCache::instance().acquire(
+            cluster::ServerParams{}, sched::LookupSpaceParams{});
+    const auto &p = space->params();
 
     std::cout << "Fig. 12 - look-up space over (u, f, T_in):\n"
               << "  utilization axis: [0, 1] x " << p.util_points
@@ -32,7 +41,7 @@ main()
               << " points\n"
               << "  inlet axis: [" << p.tin_min_c << ", " << p.tin_max_c
               << "] C x " << p.tin_points << " points\n"
-              << "  total " << space.numPoints() << " grid points\n\n";
+              << "  total " << space->numPoints() << " grid points\n\n";
 
     // A sample slice (the paper colours T_CPU on such planes).
     TablePrinter table("Slice u = 0.5: T_CPU [C] over flow x inlet");
@@ -42,15 +51,23 @@ main()
         header.push_back(strings::fixed(f, 0) + " L/H");
     table.setHeader(header);
     CsvTable csv({"t_in", "f10", "f30", "f50", "f70", "f100"});
-    for (double t = 25.0; t <= 55.001; t += 5.0) {
-        std::vector<double> row;
-        for (double f : flows)
-            row.push_back(space.cpuTemp(0.5, f, t));
-        table.addRow(strings::fixed(t, 0), row, 2);
-        std::vector<double> cr{t};
-        cr.insert(cr.end(), row.begin(), row.end());
-        csv.addRow(cr);
-    }
+
+    std::vector<double> inlets;
+    for (double t = 25.0; t <= 55.001; t += 5.0)
+        inlets.push_back(t);
+    std::vector<std::vector<double>> rows(inlets.size());
+    core::SweepEngine::forEachOrdered(
+        inlets.size(), 0,
+        [&](size_t i) {
+            for (double f : flows)
+                rows[i].push_back(space->cpuTemp(0.5, f, inlets[i]));
+        },
+        [&](size_t i) {
+            table.addRow(strings::fixed(inlets[i], 0), rows[i], 2);
+            std::vector<double> cr{inlets[i]};
+            cr.insert(cr.end(), rows[i].begin(), rows[i].end());
+            csv.addRow(cr);
+        });
     table.print(std::cout);
     bench::saveCsv(csv, "fig12_lookup_slice_u50");
 
@@ -64,7 +81,8 @@ main()
                 double direct =
                     thermal.dieTemperature(power.power(u), f, t);
                 max_err = std::max(
-                    max_err, std::abs(space.cpuTemp(u, f, t) - direct));
+                    max_err,
+                    std::abs(space->cpuTemp(u, f, t) - direct));
             }
         }
     }

@@ -8,6 +8,11 @@
  * cache, no thread pool), and writes the measurements to
  * bench_results/BENCH_hotpath.json so future changes have a perf
  * trajectory to compare against.
+ *
+ * A second section measures batch throughput: a 16-point sweep run
+ * serially versus through core::SweepEngine at 1/4/8 workers,
+ * verifying bit-identical summaries along the way, written to
+ * bench_results/BENCH_sweep.json.
  */
 
 #include <algorithm>
@@ -27,6 +32,7 @@
 #include "cluster/datacenter.h"
 #include "cluster/server.h"
 #include "core/h2p_system.h"
+#include "core/sweep_engine.h"
 #include "fault/fault_injector.h"
 #include "sched/cooling_optimizer.h"
 #include "sched/lookup_space.h"
@@ -162,9 +168,26 @@ struct StepRow
 {
     size_t servers = 0;
     size_t threads = 1;
+    /** Workers actually in the pool for this row (vs requested). */
+    size_t pool_threads = 1;
     double baseline_ns = 0.0;
     double fast_ns = 0.0;
 };
+
+/** Exact (bitwise) equality of the fields a sweep row reports. */
+bool
+sameSummary(const core::RunSummary &a, const core::RunSummary &b)
+{
+    return a.avg_teg_w == b.avg_teg_w &&
+           a.peak_teg_w == b.peak_teg_w && a.avg_cpu_w == b.avg_cpu_w &&
+           a.pre == b.pre && a.teg_energy_kwh == b.teg_energy_kwh &&
+           a.cpu_energy_kwh == b.cpu_energy_kwh &&
+           a.plant_energy_kwh == b.plant_energy_kwh &&
+           a.pump_energy_kwh == b.pump_energy_kwh &&
+           a.safe_fraction == b.safe_fraction &&
+           a.avg_t_in_c == b.avg_t_in_c &&
+           a.circulation_safe_fraction == b.circulation_safe_fraction;
+}
 
 std::string
 jsonNum(double v)
@@ -181,9 +204,14 @@ main()
 {
     using namespace h2p;
 
-    const size_t hw = std::thread::hardware_concurrency();
+    // Host view vs process view: under CPU affinity or cgroup limits
+    // (CI runners, containers) hardware_concurrency() reports what
+    // *this process* may use, which used to land here as
+    // host_hardware_threads = 1 on big machines. Report both.
+    const size_t hw = util::hostHardwareThreads();
+    const size_t usable = util::hardwareThreads();
     std::cout << "Hot-path perf report (host hardware threads: " << hw
-              << ")\n\n";
+              << ", usable by this process: " << usable << ")\n\n";
 
     cluster::Server server;
     thermal::TegModule teg(server.params().tegs_per_server,
@@ -252,8 +280,8 @@ main()
     // ------------------------------------------------ step evaluation
     const std::vector<size_t> sizes{64, 256, 1024};
     std::vector<size_t> thread_counts{1};
-    if (hw > 1)
-        thread_counts.push_back(std::min<size_t>(hw, 8));
+    if (usable > 1)
+        thread_counts.push_back(std::min<size_t>(usable, 8));
     else
         thread_counts.push_back(8); // measured anyway; see JSON note
 
@@ -308,6 +336,7 @@ main()
             StepRow row;
             row.servers = servers;
             row.threads = threads;
+            row.pool_threads = pool.workers();
             row.baseline_ns = baseline_ns;
             row.fast_ns = fast_ns;
             rows.push_back(row);
@@ -385,11 +414,146 @@ main()
     telem.run(telem_trace, sched::Policy::TegLoadBalance);
     std::cout << "[jsonl] " << tc.obs.jsonl_path << "\n\n";
 
+    // ------------------------------------------------ sweep throughput
+    // Batch throughput of independent runs: a 16-point T_safe grid on
+    // 64 servers, run as a plain serial loop and through the sweep
+    // engine at 1/4/8 workers. The batched summaries must match the
+    // serial ones bitwise at every worker count; the speedup is real
+    // only on hosts with that many usable cores.
+    const size_t sweep_n = 16;
+    auto sweep_trace = gen.generate(
+        workload::TraceGenParams::forProfile(
+            workload::TraceProfile::Drastic),
+        64, 6.0 * 3600.0);
+    std::vector<core::SweepPoint> sweep_grid;
+    for (size_t i = 0; i < sweep_n; ++i) {
+        core::SweepPoint pt;
+        pt.config.datacenter.num_servers = 64;
+        pt.config.datacenter.servers_per_circulation = 16;
+        pt.config.optimizer.t_safe_c =
+            56.0 + static_cast<double>(i);
+        pt.trace = &sweep_trace;
+        pt.policy = sched::Policy::TegLoadBalance;
+        pt.label = "t_safe=" + strings::fixed(
+                                   pt.config.optimizer.t_safe_c, 0);
+        sweep_grid.push_back(pt);
+    }
+
+    // Serial reference: the pre-engine pattern, one system and one
+    // run at a time on the calling thread (warmed once so the shared
+    // look-up table is built outside the timed region for everybody).
+    std::vector<core::RunSummary> serial_summaries;
+    auto serial_sweep = [&] {
+        serial_summaries.clear();
+        for (const core::SweepPoint &pt : sweep_grid) {
+            core::H2PConfig c = pt.config;
+            c.perf.threads = 1;
+            core::H2PSystem system(c);
+            serial_summaries.push_back(
+                system.run(*pt.trace, pt.policy).summary);
+        }
+    };
+    serial_sweep(); // warm (builds + caches the look-up table)
+    auto serial_t0 = Clock::now();
+    serial_sweep();
+    double serial_s =
+        std::chrono::duration<double>(Clock::now() - serial_t0)
+            .count();
+
+    struct SweepThroughputRow
+    {
+        size_t workers = 0;
+        double wall_s = 0.0;
+        bool bit_identical = false;
+    };
+    std::vector<SweepThroughputRow> sweep_rows;
+    bool sweep_identical = true;
+    for (size_t workers : {size_t{1}, size_t{4}, size_t{8}}) {
+        core::SweepOptions so;
+        so.workers = workers;
+        so.keep_recorders = false;
+        core::SweepEngine engine(so);
+        auto batch_t0 = Clock::now();
+        core::SweepResult sr = engine.run(sweep_grid);
+        double batch_s =
+            std::chrono::duration<double>(Clock::now() - batch_t0)
+                .count();
+
+        SweepThroughputRow row;
+        row.workers = workers;
+        row.wall_s = batch_s;
+        row.bit_identical = true;
+        for (size_t i = 0; i < sweep_n; ++i)
+            if (!sameSummary(sr.points[i].summary,
+                             serial_summaries[i]))
+                row.bit_identical = false;
+        sweep_identical = sweep_identical && row.bit_identical;
+        sweep_rows.push_back(row);
+    }
+
+    TablePrinter sweep_table(
+        "Sweep throughput (16-point grid, 64 servers, "
+        "TEG_LoadBalance)");
+    sweep_table.setHeader({"mode", "wall s", "runs/s", "speedup",
+                           "bit-identical"});
+    sweep_table.addRow("serial loop",
+                       {serial_s, sweep_n / serial_s, 1.0, 1.0}, 2);
+    for (const SweepThroughputRow &r : sweep_rows)
+        sweep_table.addRow(
+            "batched x" + std::to_string(r.workers),
+            {r.wall_s, sweep_n / r.wall_s, serial_s / r.wall_s,
+             r.bit_identical ? 1.0 : 0.0},
+            2);
+    sweep_table.print(std::cout);
+    std::cout << (sweep_identical
+                      ? "batched summaries match serial bitwise at "
+                        "every worker count\n"
+                      : "MISMATCH: batched summaries differ from "
+                        "serial\n");
+
+    std::ostringstream sweep_json;
+    sweep_json
+        << "{\n"
+        << "  \"bench\": \"sweep\",\n"
+        << "  \"host_hardware_threads\": " << hw << ",\n"
+        << "  \"process_usable_threads\": " << usable << ",\n"
+        << "  \"note\": \"runs/sec of a 16-point sweep, serial loop "
+           "vs SweepEngine. Batched speedup requires that many cores "
+           "usable by the process; bit_identical must hold "
+           "everywhere.\",\n"
+        << "  \"grid_points\": " << sweep_n << ",\n"
+        << "  \"servers\": 64,\n"
+        << "  \"steps_per_run\": " << sweep_trace.numSteps() << ",\n"
+        << "  \"serial\": {\"wall_s\": " << jsonNum(serial_s)
+        << ", \"runs_per_s\": " << jsonNum(sweep_n / serial_s)
+        << "},\n"
+        << "  \"batched\": [\n";
+    for (size_t i = 0; i < sweep_rows.size(); ++i) {
+        const SweepThroughputRow &r = sweep_rows[i];
+        sweep_json << "    {\"workers\": " << r.workers
+                   << ", \"wall_s\": " << jsonNum(r.wall_s)
+                   << ", \"runs_per_s\": "
+                   << jsonNum(sweep_n / r.wall_s)
+                   << ", \"speedup_vs_serial\": "
+                   << jsonNum(serial_s / r.wall_s)
+                   << ", \"bit_identical\": "
+                   << (r.bit_identical ? "true" : "false") << "}"
+                   << (i + 1 < sweep_rows.size() ? "," : "") << "\n";
+    }
+    sweep_json << "  ]\n}\n";
+    std::string sweep_path =
+        bench::resultsDir() + "/BENCH_sweep.json";
+    std::ofstream sweep_out(sweep_path);
+    sweep_out << sweep_json.str();
+    sweep_out.close();
+    std::cout << "[json] " << sweep_path << "\n\n";
+
     // -------------------------------------------------- JSON report
     std::ostringstream json;
     json << "{\n"
          << "  \"bench\": \"hotpath\",\n"
          << "  \"host_hardware_threads\": " << hw << ",\n"
+         << "  \"process_usable_threads\": " << usable << ",\n"
          << "  \"note\": \"baseline emulates the pre-optimization "
             "path: materialized slices, per-step allocation, no "
             "decision cache, no thread pool. Threaded rows only show "
@@ -408,6 +572,7 @@ main()
         const StepRow &r = rows[i];
         json << "    {\"servers\": " << r.servers
              << ", \"threads\": " << r.threads
+             << ", \"pool_threads\": " << r.pool_threads
              << ", \"baseline_ns\": " << jsonNum(r.baseline_ns)
              << ", \"fast_ns\": " << jsonNum(r.fast_ns)
              << ", \"speedup\": " << jsonNum(r.baseline_ns / r.fast_ns)

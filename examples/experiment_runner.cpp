@@ -34,8 +34,19 @@
  *   [trace]
  *   profile = irregular
  *   seed = 7
+ *
+ * --sweep turns one experiment description into a batched grid: each
+ * `section.key=v1,v2,...' dimension overrides that INI key, dimensions
+ * cross-multiply, and the whole grid runs on core::SweepEngine (all
+ * points share the trace and, where configs agree, the look-up table):
+ *
+ *   # 3 x 2 grid, batched across workers, summaries to sweep.csv
+ *   ./examples/experiment_runner \
+ *       --sweep "optimizer.t_safe_c=57,63,69;datacenter.cold_source_c=15,25" \
+ *       --sweep-out sweep.csv
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -43,6 +54,7 @@
 
 #include "core/config_io.h"
 #include "core/h2p_system.h"
+#include "core/sweep_engine.h"
 #include "util/args.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -63,6 +75,158 @@ parsePolicies(const std::string &name)
     throw h2p::Error("--policy must be original, balance or both, "
                      "not `" +
                      name + "'");
+}
+
+/** One --sweep dimension: an INI key and the values to cross. */
+struct SweepDimension
+{
+    std::string section;
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/** Parse `section.key=v1,v2;section.key=v1,...' into dimensions. */
+std::vector<SweepDimension>
+parseSweepSpec(const std::string &spec)
+{
+    using namespace h2p;
+    std::vector<SweepDimension> dims;
+    for (const std::string &part : strings::split(spec, ';')) {
+        std::string dim_text = strings::trim(part);
+        if (dim_text.empty())
+            continue;
+        size_t eq = dim_text.find('=');
+        expect(eq != std::string::npos, "--sweep dimension `",
+               dim_text, "' has no `='");
+        std::string name = strings::trim(dim_text.substr(0, eq));
+        size_t dot = name.find('.');
+        expect(dot != std::string::npos && dot > 0 &&
+                   dot + 1 < name.size(),
+               "--sweep key `", name, "' must be section.key");
+        SweepDimension dim;
+        dim.section = name.substr(0, dot);
+        dim.key = name.substr(dot + 1);
+        for (const std::string &v :
+             strings::split(dim_text.substr(eq + 1), ','))
+            if (!strings::trim(v).empty())
+                dim.values.push_back(strings::trim(v));
+        expect(!dim.values.empty(), "--sweep dimension `", name,
+               "' has no values");
+        dims.push_back(dim);
+    }
+    expect(!dims.empty(), "--sweep spec has no dimensions");
+    return dims;
+}
+
+/**
+ * Run the --sweep grid: the cross product of every dimension's
+ * values (x the policy list), batched on core::SweepEngine.
+ */
+int
+runSweep(const h2p::sim::Config &base_ini, const std::string &spec,
+         const std::vector<h2p::sched::Policy> &policies,
+         size_t workers, const std::string &out_path, bool quiet)
+{
+    using namespace h2p;
+    std::vector<SweepDimension> dims = parseSweepSpec(spec);
+
+    // Expand the cross product: variant v picks value
+    // (v / stride_d) % |values_d| of dimension d, so the first
+    // dimension varies slowest — the order the spec reads in.
+    size_t variants = 1;
+    for (const SweepDimension &dim : dims)
+        variants *= dim.values.size();
+    expect(variants * policies.size() <= 10000,
+           "--sweep grid has ", variants * policies.size(),
+           " points; keep it at or below 10000");
+
+    std::vector<sim::Config> configs;
+    std::vector<std::string> labels;
+    for (size_t v = 0; v < variants; ++v) {
+        sim::Config ini = base_ini;
+        std::string label;
+        size_t stride = variants;
+        for (const SweepDimension &dim : dims) {
+            stride /= dim.values.size();
+            const std::string &value =
+                dim.values[(v / stride) % dim.values.size()];
+            ini.set(dim.section, dim.key, value);
+            if (!label.empty())
+                label += " ";
+            label += dim.section + "." + dim.key + "=" + value;
+        }
+        configs.push_back(ini);
+        labels.push_back(label);
+    }
+
+    // One trace drives every point, sized for the largest fleet in
+    // the grid so a num_servers dimension never starves a point.
+    core::TraceRequest treq = core::traceRequestFromIni(base_ini);
+    size_t max_servers = treq.servers;
+    for (const sim::Config &ini : configs)
+        max_servers =
+            std::max(max_servers, static_cast<size_t>(
+                                      core::configFromIni(ini)
+                                          .datacenter.num_servers));
+    treq.servers = max_servers;
+    workload::UtilizationTrace trace = core::makeTrace(treq);
+
+    std::vector<core::SweepPoint> grid;
+    for (size_t v = 0; v < variants; ++v) {
+        for (sched::Policy policy : policies) {
+            core::SweepPoint pt;
+            pt.config = core::configFromIni(configs[v]);
+            pt.trace = &trace;
+            pt.policy = policy;
+            pt.label = labels[v];
+            grid.push_back(pt);
+        }
+    }
+
+    std::ofstream out;
+    if (!out_path.empty()) {
+        out.open(out_path);
+        expect(out.good(), "cannot open `", out_path, "'");
+        out << "index,label,policy,teg_avg_w,teg_peak_w,pre,"
+               "t_in_avg_c,safe_fraction\n";
+    }
+
+    TablePrinter table("sweep results");
+    table.setHeader({"point", "TEG avg[W]", "PRE[%]", "avg T_in[C]",
+                     "safe[%]"});
+    core::SweepOptions options;
+    options.workers = workers;
+    options.keep_recorders = false; // summaries only; O(1) memory
+    core::SweepEngine engine(options);
+    core::SweepResult result = engine.run(
+        grid, [&](const core::SweepPointResult &r) {
+            table.addRow(r.label + " " + toString(r.policy),
+                         {r.summary.avg_teg_w, 100.0 * r.summary.pre,
+                          r.summary.avg_t_in_c,
+                          100.0 * r.summary.safe_fraction},
+                         2);
+            if (out.is_open())
+                out << r.index << "," << r.label << ","
+                    << toString(r.policy) << ","
+                    << strings::fixed(r.summary.avg_teg_w, 6) << ","
+                    << strings::fixed(r.summary.peak_teg_w, 6) << ","
+                    << strings::fixed(r.summary.pre, 8) << ","
+                    << strings::fixed(r.summary.avg_t_in_c, 6) << ","
+                    << strings::fixed(r.summary.safe_fraction, 6)
+                    << "\n";
+        });
+
+    table.print(std::cout);
+    if (!quiet)
+        std::cout << "\nsweep: " << result.runs_completed << " runs, "
+                  << result.workers << " worker(s), "
+                  << result.threads_per_run << " thread(s)/run, "
+                  << result.lookup_spaces_built
+                  << " look-up table(s) built, "
+                  << strings::fixed(result.wall_s, 2) << " s\n";
+    if (out.is_open())
+        std::cout << "summaries -> " << out_path << "\n";
+    return 0;
 }
 
 } // namespace
@@ -92,12 +256,32 @@ main(int argc, char **argv)
                      "resume the run from --checkpoint instead of "
                      "starting fresh");
         args.addFlag("quiet", "suppress the config echo");
+        args.addString("sweep", "",
+                       "grid spec `section.key=v1,v2;...': cross "
+                       "product of INI overrides, batched on the "
+                       "sweep engine");
+        args.addLong("sweep-workers", 0,
+                     "sweep worker threads (0 = one per hardware "
+                     "thread)");
+        args.addString("sweep-out", "",
+                       "per-point summary CSV path for --sweep");
         if (!args.parse(argc, argv))
             return 0;
 
         sim::Config ini;
         if (!args.getString("config").empty())
             ini = sim::Config::load(args.getString("config"));
+
+        if (!args.getString("sweep").empty()) {
+            expect(args.getString("checkpoint").empty(),
+                   "--sweep and checkpointing do not mix");
+            return runSweep(
+                ini, args.getString("sweep"),
+                parsePolicies(args.getString("policy")),
+                static_cast<size_t>(
+                    std::max(0L, args.getLong("sweep-workers"))),
+                args.getString("sweep-out"), args.getFlag("quiet"));
+        }
 
         core::H2PConfig cfg = core::configFromIni(ini);
         core::TraceRequest treq = core::traceRequestFromIni(ini);

@@ -51,7 +51,9 @@ warnUnknownKeys(const sim::Config &ini)
           "max_rate_c_per_s", "flow_tolerance", "hold_steps",
           "watchdog_enabled", "throttle_factor", "recovery_margin_c",
           "release_step"}},
-        {"perf", {"threads", "optimizer_cache_quantum"}},
+        {"perf",
+         {"threads", "min_servers_per_thread",
+          "optimizer_cache_quantum"}},
         {"obs",
          {"enabled", "jsonl_path", "csv_path", "print_summary",
           "max_events"}},
@@ -213,6 +215,9 @@ configFromIni(const sim::Config &ini)
     auto &perf = cfg.perf;
     perf.threads = static_cast<size_t>(ini.getLong(
         "perf", "threads", static_cast<long>(perf.threads)));
+    perf.min_servers_per_thread = static_cast<size_t>(
+        ini.getLong("perf", "min_servers_per_thread",
+                    static_cast<long>(perf.min_servers_per_thread)));
     perf.optimizer_cache_quantum =
         ini.getDouble("perf", "optimizer_cache_quantum",
                       perf.optimizer_cache_quantum);

@@ -30,8 +30,9 @@
  *                hold_steps, watchdog_enabled (0|1), throttle_factor,
  *                recovery_margin_c, release_step
  *   [perf]       threads (1 = serial, 0 = all hardware threads),
- *                optimizer_cache_quantum (0 disables the decision
- *                cache)
+ *                min_servers_per_thread (oversubscription guard; 0
+ *                disables it), optimizer_cache_quantum (0 disables
+ *                the decision cache)
  *   [obs]        enabled (0|1), jsonl_path, csv_path,
  *                print_summary (0|1), max_events
  *

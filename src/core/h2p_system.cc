@@ -1,18 +1,45 @@
 #include "core/h2p_system.h"
 
-#include <thread>
+#include <algorithm>
 
+#include "sched/lookup_cache.h"
 #include "util/error.h"
 
 namespace h2p {
 namespace core {
 
+size_t
+H2PSystem::resolveThreads(const H2PConfig &config,
+                          const cluster::Datacenter &dc)
+{
+    size_t threads = config.perf.threads != 0
+                         ? config.perf.threads
+                         : util::hardwareThreads();
+    // Oversubscription guard: fanning a small fleet across many
+    // workers pays more in synchronization than it saves in compute
+    // (BENCH_hotpath.json, step_eval 64-server rows), so cap the
+    // degree by the per-worker server quota and by the circulation
+    // count (the pool partitions over circulations; extra workers
+    // would idle).
+    if (config.perf.min_servers_per_thread > 0)
+        threads = std::min(
+            threads, std::max<size_t>(
+                         1, dc.numServers() /
+                                config.perf.min_servers_per_thread));
+    threads = std::min(threads, std::max<size_t>(
+                                    1, dc.numCirculations()));
+    return std::max<size_t>(1, threads);
+}
+
 H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
 {
     dc_ = std::make_unique<cluster::Datacenter>(config.datacenter);
-    cluster::Server server_model(config.datacenter.server);
-    space_ = std::make_unique<sched::LookupSpace>(server_model,
-                                                  config.lookup);
+    // The sampled look-up table is a pure function of the server
+    // model and the grid extents; identical models share one
+    // immutable instance instead of re-sampling ~14k grid points per
+    // system (the dominant construction cost in sweeps).
+    space_ = sched::LookupSpaceCache::instance().acquire(
+        config.datacenter.server, config.lookup);
     teg_ = std::make_unique<thermal::TegModule>(
         config.datacenter.server.tegs_per_server,
         config.datacenter.server.teg);
@@ -30,13 +57,13 @@ H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
     sched_balance_ = std::make_unique<sched::Scheduler>(
         *dc_, *optimizer_, sched::Policy::TegLoadBalance);
 
-    // threads == 1 keeps the plain serial path (no pool at all);
-    // anything else fans circulation evaluation out bit-identically.
-    size_t threads = config.perf.threads != 0
-                         ? config.perf.threads
-                         : std::thread::hardware_concurrency();
-    if (threads > 1) {
-        pool_ = std::make_unique<util::ThreadPool>(threads);
+    // An effective degree of 1 keeps the plain serial path (no pool
+    // at all); anything else fans circulation evaluation out
+    // bit-identically. The chosen degree is result-neutral either
+    // way.
+    effective_threads_ = resolveThreads(config, *dc_);
+    if (effective_threads_ > 1) {
+        pool_ = std::make_unique<util::ThreadPool>(effective_threads_);
         dc_->setThreadPool(pool_.get());
     }
 
@@ -45,6 +72,12 @@ H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
         dc_->setObservability(obs_.get());
         if (pool_)
             pool_->enableStats(true);
+        // Record the parallelism the guard actually granted, so a
+        // sweep or operator can see when a threads request was
+        // clamped.
+        obs_->metrics()
+            .gauge("perf.threads_effective")
+            .set(static_cast<double>(effective_threads_));
     }
 
     SimEngine::Wiring wiring;

@@ -97,6 +97,13 @@ class H2PSystem
         const std::vector<double> &utils, sched::Policy policy) const;
 
     const cluster::Datacenter &datacenter() const { return *dc_; }
+
+    /**
+     * The sampled cooling look-up space. Shared and immutable:
+     * systems built from identical server models and grid extents
+     * reference one table (sched::LookupSpaceCache) instead of each
+     * re-sampling it.
+     */
     const sched::LookupSpace &lookupSpace() const { return *space_; }
     const sched::CoolingOptimizer &optimizer() const
     {
@@ -117,14 +124,25 @@ class H2PSystem
     /** The per-policy scheduler built once at construction. */
     const sched::Scheduler &scheduler(sched::Policy policy) const;
 
+    /**
+     * Worker threads actually used for circulation evaluation: the
+     * [perf] threads request (0 = one per hardware thread) clamped by
+     * the min_servers_per_thread oversubscription guard and the
+     * circulation count. 1 means the serial path (no pool).
+     */
+    size_t effectiveThreads() const { return effective_threads_; }
+
   private:
+    /** The effective-parallelism heuristic behind effectiveThreads(). */
+    static size_t resolveThreads(const H2PConfig &config,
+                                 const cluster::Datacenter &dc);
     /** Batch wrapper over the engine's resilient pipeline. */
     RunResult runResilient(const workload::UtilizationTrace &trace,
                            sched::Policy policy) const;
 
     H2PConfig config_;
     std::unique_ptr<cluster::Datacenter> dc_;
-    std::unique_ptr<sched::LookupSpace> space_;
+    std::shared_ptr<const sched::LookupSpace> space_;
     std::unique_ptr<thermal::TegModule> teg_;
     std::unique_ptr<sched::CoolingOptimizer> optimizer_;
     // One scheduler per policy, hoisted out of the per-step loop.
@@ -133,6 +151,7 @@ class H2PSystem
     std::unique_ptr<util::ThreadPool> pool_;
     std::unique_ptr<obs::Observability> obs_;
     std::unique_ptr<SimEngine> engine_;
+    size_t effective_threads_ = 1;
 };
 
 } // namespace core

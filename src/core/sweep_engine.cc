@@ -1,0 +1,194 @@
+#include "core/sweep_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "core/h2p_system.h"
+#include "sched/lookup_cache.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace h2p {
+namespace core {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+void
+SweepEngine::forEachOrdered(size_t n, size_t workers,
+                            const std::function<void(size_t)> &compute,
+                            const std::function<void(size_t)> &emit)
+{
+    if (n == 0)
+        return;
+    if (workers == 0)
+        workers = util::hardwareThreads();
+    workers = std::min(workers, n);
+
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i) {
+            compute(i);
+            if (emit)
+                emit(i);
+        }
+        return;
+    }
+
+    util::ThreadPool pool(workers);
+    if (!emit) {
+        pool.parallelForDynamic(n, compute);
+        return;
+    }
+
+    // Streaming with deterministic order: each worker marks its index
+    // done, then drains the contiguous completed prefix under the
+    // lock. Whichever worker happens to extend the prefix emits it,
+    // so emission order is grid order no matter the completion order.
+    std::mutex mutex;
+    std::vector<char> done(n, 0);
+    size_t next_emit = 0;
+    pool.parallelForDynamic(n, [&](size_t i) {
+        compute(i);
+        std::lock_guard<std::mutex> lock(mutex);
+        done[i] = 1;
+        while (next_emit < n && done[next_emit] != 0) {
+            emit(next_emit);
+            ++next_emit;
+        }
+    });
+}
+
+SweepResult
+SweepEngine::run(const std::vector<SweepPoint> &grid,
+                 const ResultCallback &on_result) const
+{
+    cancel_.store(false);
+
+    SweepResult result;
+    const size_t n = grid.size();
+
+    // Split the worker budget: enough points saturate the budget at
+    // one worker per run (serial runs, maximal batch throughput);
+    // a grid smaller than the budget hands the leftover workers to
+    // each run's circulation fan-out, still subject to that run's own
+    // oversubscription guard.
+    const size_t requested = options_.workers != 0
+                                 ? options_.workers
+                                 : util::hardwareThreads();
+    result.workers = std::max<size_t>(
+        1, std::min(requested, std::max<size_t>(1, n)));
+    result.threads_per_run =
+        n > 0 ? std::max<size_t>(1, requested / n) : 1;
+    result.points.resize(n);
+    if (n == 0)
+        return result;
+
+    for (size_t i = 0; i < n; ++i)
+        expect(grid[i].trace != nullptr, "sweep point ", i, " (",
+               grid[i].label, ") has no trace");
+
+    obs::Observability *obs = options_.obs;
+    obs::Counter runs_counter;
+    obs::HistogramMetric run_ms;
+    obs::TraceSpan sweep_span(
+        obs != nullptr ? &obs->spans() : nullptr,
+        obs != nullptr ? obs->spans().id("sweep")
+                       : obs::SpanRegistry::SpanId{});
+    if (obs != nullptr) {
+        runs_counter = obs->metrics().counter("sweep.runs");
+        run_ms =
+            obs->metrics().histogram("sweep.run_ms", 0.0, 60e3, 60);
+        obs->metrics()
+            .gauge("sweep.workers")
+            .set(static_cast<double>(result.workers));
+    }
+
+    const uint64_t builds_before =
+        sched::LookupSpaceCache::instance().builds();
+    const auto sweep_t0 = std::chrono::steady_clock::now();
+
+    // The lowest failing index wins so the surfaced error is
+    // deterministic under any completion order.
+    std::mutex error_mutex;
+    size_t error_index = std::numeric_limits<size_t>::max();
+    std::string error_what;
+    std::atomic<bool> failed{false};
+
+    auto compute = [&](size_t i) {
+        SweepPointResult &slot = result.points[i];
+        slot.index = i;
+        slot.label = grid[i].label;
+        slot.policy = grid[i].policy;
+        if (cancel_.load(std::memory_order_relaxed) ||
+            failed.load(std::memory_order_relaxed))
+            return;
+        try {
+            // Per-point system: the cooling optimizer's decision
+            // cache is mutable and not thread-safe, so runs never
+            // share one. The expensive immutable parts are shared
+            // underneath (LookupSpaceCache, borrowed traces).
+            H2PConfig config = grid[i].config;
+            config.perf.threads = result.threads_per_run;
+            const auto t0 = std::chrono::steady_clock::now();
+            H2PSystem system(config);
+            RunResult run = system.run(*grid[i].trace, grid[i].policy);
+            slot.duration_s = secondsSince(t0);
+            slot.summary = run.summary;
+            if (options_.keep_recorders)
+                slot.recorder = run.recorder;
+            slot.completed = true;
+            runs_counter.add();
+            run_ms.observe(slot.duration_s * 1e3);
+        } catch (const std::exception &e) {
+            failed.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (i < error_index) {
+                error_index = i;
+                error_what = e.what();
+            }
+        }
+    };
+
+    std::function<void(size_t)> emit;
+    if (on_result)
+        emit = [&](size_t i) {
+            if (result.points[i].completed)
+                on_result(result.points[i]);
+        };
+
+    forEachOrdered(n, result.workers, compute, emit);
+
+    result.wall_s = secondsSince(sweep_t0);
+    result.lookup_spaces_built =
+        sched::LookupSpaceCache::instance().builds() - builds_before;
+    result.cancelled = cancel_.load();
+    for (const SweepPointResult &p : result.points)
+        if (p.completed)
+            ++result.runs_completed;
+    sweep_span.stop();
+
+    if (error_index != std::numeric_limits<size_t>::max())
+        fatal("sweep point ", error_index, " (",
+              grid[error_index].label.empty()
+                  ? "unlabeled"
+                  : grid[error_index].label,
+              ", policy ", sched::toString(grid[error_index].policy),
+              ", ", grid[error_index].config.datacenter.num_servers,
+              " servers) failed: ", error_what);
+    return result;
+}
+
+} // namespace core
+} // namespace h2p

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Batched sweep execution: run-level parallelism over independent
+ * simulations.
+ *
+ * Ablations and design-space studies run the same simulation dozens
+ * of times with small configuration deltas. Each run is serial-ish
+ * and independent, so the batch — not the step loop — is the natural
+ * unit of parallelism: whole runs are claimed dynamically by sweep
+ * workers (runs differ wildly in cost; static partitioning would
+ * leave workers idle), while heavyweight immutable inputs are shared
+ * instead of rebuilt — traces by reference, look-up tables through
+ * sched::LookupSpaceCache.
+ *
+ * Determinism contract: every run executes exactly the code path of a
+ * standalone serial H2PSystem::run(), results land in per-index slots
+ * and the streaming callback fires in grid order (held back until the
+ * contiguous prefix is complete), so a sweep's output is bit-identical
+ * at any worker count — including 1.
+ */
+
+#ifndef H2P_CORE_SWEEP_ENGINE_H_
+#define H2P_CORE_SWEEP_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "core/sweep_types.h"
+
+namespace h2p {
+namespace core {
+
+/**
+ * Executes a grid of independent runs, in parallel, deterministically.
+ *
+ * One engine may execute several sweeps (serially); the options are
+ * fixed at construction. Thread-safe only in the sense run() supports
+ * requestCancel() from another thread (or from the callback).
+ */
+class SweepEngine
+{
+  public:
+    /**
+     * Streaming result sink: invoked once per completed point, in
+     * grid order, serialized (never concurrently). Point i's callback
+     * fires as soon as points 0..i have all completed, independent of
+     * the order the workers finish them in.
+     */
+    using ResultCallback =
+        std::function<void(const SweepPointResult &)>;
+
+    explicit SweepEngine(SweepOptions options = SweepOptions{})
+        : options_(options)
+    {
+    }
+
+    /**
+     * Run every point of @p grid and return the results in grid
+     * order. Each point simulates on its own H2PSystem (the cooling
+     * optimizer's decision cache is not thread-safe, so systems are
+     * never shared across workers) built from shared immutable parts.
+     *
+     * A point whose run throws stops the sweep: no new points start,
+     * in-flight ones finish, and the error is rethrown annotated with
+     * the failing point's index and label (the lowest failing index
+     * when several fail, for determinism).
+     *
+     * @param on_result Optional streaming sink; see ResultCallback.
+     */
+    SweepResult run(const std::vector<SweepPoint> &grid,
+                    const ResultCallback &on_result = nullptr) const;
+
+    /**
+     * Ask a run() in progress to stop early: points not yet started
+     * are skipped (completed = false in their result slots),
+     * in-flight ones finish normally, and run() returns the partial
+     * result with SweepResult::cancelled set. Callable from the
+     * result callback or any thread; resets on the next run().
+     */
+    void requestCancel() const { cancel_.store(true); }
+
+    /**
+     * Deterministic ordered parallel map, the primitive under run():
+     * @p compute runs for every index in [0, n) across @p workers
+     * threads (0 = auto; dynamically chunked), and @p emit — when
+     * non-null — fires serialized in index order as the completed
+     * prefix grows. With one worker (or n <= 1) everything runs on
+     * the calling thread in index order; results must not depend on
+     * the worker count, and for pure per-index computations they
+     * cannot.
+     *
+     * A @p compute that throws stops further emission at its index;
+     * the lowest-index exception is rethrown after in-flight indices
+     * drain.
+     */
+    static void forEachOrdered(
+        size_t n, size_t workers,
+        const std::function<void(size_t)> &compute,
+        const std::function<void(size_t)> &emit);
+
+    const SweepOptions &options() const { return options_; }
+
+  private:
+    SweepOptions options_;
+    mutable std::atomic<bool> cancel_{false};
+};
+
+} // namespace core
+} // namespace h2p
+
+#endif // H2P_CORE_SWEEP_ENGINE_H_

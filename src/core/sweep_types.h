@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Input and result types of batched sweeps (core::SweepEngine).
+ *
+ * A sweep is a grid of independent simulation runs — configuration
+ * variants crossed with traces, seeds and policies. Each grid point
+ * carries its own full H2PConfig (points are self-contained and can
+ * differ in any knob), while the heavyweight immutable inputs are
+ * shared by reference: traces are borrowed from the caller and
+ * look-up tables are deduplicated behind the scenes by
+ * sched::LookupSpaceCache.
+ */
+
+#ifndef H2P_CORE_SWEEP_TYPES_H_
+#define H2P_CORE_SWEEP_TYPES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/run_types.h"
+#include "obs/observability.h"
+#include "sched/scheduler.h"
+#include "sim/recorder.h"
+#include "workload/trace.h"
+
+namespace h2p {
+namespace core {
+
+/** One point of a sweep grid: a self-contained run specification. */
+struct SweepPoint
+{
+    /** Full configuration of this run. */
+    H2PConfig config;
+    /**
+     * Utilization trace to drive the run; borrowed, the caller keeps
+     * it alive for the duration of SweepEngine::run(). Many points
+     * may (and typically do) share one trace.
+     */
+    const workload::UtilizationTrace *trace = nullptr;
+    /** Scheduling policy of this run. */
+    sched::Policy policy = sched::Policy::TegOriginal;
+    /**
+     * Free-form tag carried through to the result — typically the
+     * swept parameter value ("t_safe=60") so output rows label
+     * themselves.
+     */
+    std::string label;
+};
+
+/** Knobs of a sweep execution; results are identical under all. */
+struct SweepOptions
+{
+    /**
+     * Sweep worker threads: 0 = auto (one per hardware thread),
+     * n = at most n. The engine clamps the count to the grid size and
+     * splits the budget between run-level and per-run parallelism:
+     * with at least as many points as workers each run executes
+     * serially (run-level parallelism dominates); with fewer points
+     * the leftover workers fan out inside each run, still capped by
+     * that run's own [perf] oversubscription guard.
+     */
+    size_t workers = 0;
+    /**
+     * Keep each run's per-step Recorder in its result. Disable for
+     * large grids where only summaries matter — recorders dominate
+     * the sweep's memory footprint.
+     */
+    bool keep_recorders = true;
+    /**
+     * Optional sweep-level observability sink (null = none): records
+     * the "sweep" span, the "sweep.runs" counter and the
+     * "sweep.run_ms" duration histogram. Independent of any per-point
+     * [obs] configuration, which each run honors as usual.
+     */
+    obs::Observability *obs = nullptr;
+};
+
+/** Result of one grid point. */
+struct SweepPointResult
+{
+    /** Position in the input grid (results keep grid order). */
+    size_t index = 0;
+    /** SweepPoint::label, carried through. */
+    std::string label;
+    /** Policy the run executed under. */
+    sched::Policy policy = sched::Policy::TegOriginal;
+    /**
+     * True once the run finished. False only for points skipped after
+     * a cancellation request (SweepResult::cancelled tells which).
+     */
+    bool completed = false;
+    /** Run summary; bit-identical to a serial H2PSystem::run(). */
+    RunSummary summary;
+    /** Per-step channels, or null when SweepOptions::keep_recorders
+     * is off (or the point was skipped). */
+    std::shared_ptr<sim::Recorder> recorder;
+    /** Wall time of this run, seconds. */
+    double duration_s = 0.0;
+};
+
+/** Result of a whole sweep. */
+struct SweepResult
+{
+    /**
+     * One entry per grid point, in grid order regardless of the
+     * completion order under parallel execution.
+     */
+    std::vector<SweepPointResult> points;
+    /** Runs that actually completed (== points.size() unless
+     * cancelled). */
+    size_t runs_completed = 0;
+    /** Wall time of the whole sweep, seconds. */
+    double wall_s = 0.0;
+    /** Sweep workers actually used (after clamping). */
+    size_t workers = 1;
+    /** Worker threads granted to each individual run. */
+    size_t threads_per_run = 1;
+    /**
+     * Distinct look-up tables sampled during the sweep — the rest
+     * were shared via sched::LookupSpaceCache. A grid varying only
+     * TEG, optimizer or trace parameters builds exactly one.
+     */
+    uint64_t lookup_spaces_built = 0;
+    /** True when SweepEngine::requestCancel() cut the sweep short. */
+    bool cancelled = false;
+};
+
+} // namespace core
+} // namespace h2p
+
+#endif // H2P_CORE_SWEEP_TYPES_H_

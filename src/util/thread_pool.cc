@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "util/error.h"
 
 namespace h2p {
@@ -21,13 +25,36 @@ nowNs()
 
 } // namespace
 
+size_t
+hardwareThreads()
+{
+    size_t n = std::thread::hardware_concurrency();
+#if defined(_SC_NPROCESSORS_ONLN)
+    if (n == 0) {
+        long onln = sysconf(_SC_NPROCESSORS_ONLN);
+        if (onln > 0)
+            n = static_cast<size_t>(onln);
+    }
+#endif
+    return n == 0 ? 1 : n;
+}
+
+size_t
+hostHardwareThreads()
+{
+    size_t n = hardwareThreads();
+#if defined(_SC_NPROCESSORS_CONF)
+    long conf = sysconf(_SC_NPROCESSORS_CONF);
+    if (conf > 0)
+        n = std::max(n, static_cast<size_t>(conf));
+#endif
+    return n;
+}
+
 ThreadPool::ThreadPool(size_t workers)
 {
-    if (workers == 0) {
-        workers = std::thread::hardware_concurrency();
-        if (workers == 0)
-            workers = 1;
-    }
+    if (workers == 0)
+        workers = hardwareThreads();
     workers_ = workers;
     errors_.resize(workers_);
     threads_.reserve(workers_ - 1);
@@ -74,6 +101,96 @@ ThreadPool::runChunk(size_t part)
                                 std::memory_order_relaxed);
 }
 
+void
+ThreadPool::runDynamic()
+{
+    const bool timed = stats_enabled_.load(std::memory_order_relaxed);
+    const uint64_t t0 = timed ? nowNs() : 0;
+    for (;;) {
+        size_t i = job_cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job_n_)
+            break;
+        try {
+            (*job_fn_)(i);
+        } catch (...) {
+            // Keep the exception of the lowest failing index so the
+            // surfaced error does not depend on worker timing.
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (dyn_error_ == nullptr || i < dyn_error_index_) {
+                dyn_error_ = std::current_exception();
+                dyn_error_index_ = i;
+            }
+        }
+    }
+    if (timed)
+        stat_busy_ns_.fetch_add(nowNs() - t0,
+                                std::memory_order_relaxed);
+}
+
+void
+ThreadPool::parallelForDynamic(size_t n,
+                               const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const bool timed = stats_enabled_.load(std::memory_order_relaxed);
+    const uint64_t t0 = timed ? nowNs() : 0;
+    if (workers_ == 1) {
+        // Same contract as the threaded path: every index runs, the
+        // lowest failing index's exception is rethrown at the end.
+        std::exception_ptr first;
+        for (size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (first == nullptr)
+                    first = std::current_exception();
+            }
+        }
+        if (timed) {
+            const uint64_t dt = nowNs() - t0;
+            stat_jobs_.fetch_add(1, std::memory_order_relaxed);
+            stat_wall_ns_.fetch_add(dt, std::memory_order_relaxed);
+            stat_busy_ns_.fetch_add(dt, std::memory_order_relaxed);
+        }
+        if (first)
+            std::rethrow_exception(first);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_fn_ = &fn;
+        job_n_ = n;
+        job_dynamic_ = true;
+        job_cursor_.store(0, std::memory_order_relaxed);
+        dyn_error_ = nullptr;
+        dyn_error_index_ = 0;
+        pending_ = workers_ - 1;
+        ++generation_;
+    }
+    start_cv_.notify_all();
+
+    runDynamic();
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return pending_ == 0; });
+        job_fn_ = nullptr;
+        job_dynamic_ = false;
+        error = dyn_error_;
+        dyn_error_ = nullptr;
+    }
+    if (timed) {
+        stat_jobs_.fetch_add(1, std::memory_order_relaxed);
+        stat_wall_ns_.fetch_add(nowNs() - t0,
+                                std::memory_order_relaxed);
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
 ThreadPool::PoolStats
 ThreadPool::stats() const
 {
@@ -106,7 +223,10 @@ ThreadPool::workerLoop(size_t worker_index)
                 return;
             seen = generation_;
         }
-        runChunk(worker_index);
+        if (job_dynamic_)
+            runDynamic();
+        else
+            runChunk(worker_index);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --pending_;

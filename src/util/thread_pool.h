@@ -2,14 +2,23 @@
  * @file
  * A small deterministic thread pool for the simulation hot path.
  *
- * The pool exists for one job shape: fan a fixed index range out
- * across a fixed set of workers. Partitioning is static (worker w owns
- * one contiguous chunk whose bounds depend only on n and the worker
- * count), so which thread evaluates which index never depends on
- * timing. Callers write results into
- * per-index slots and reduce serially in index order afterwards, which
- * makes parallel evaluation bit-identical to the serial loop; the pool
- * itself never reorders or combines anything.
+ * The pool exists for two job shapes:
+ *
+ *  - parallelFor: fan a fixed index range out across a fixed set of
+ *    workers with *static* partitioning (worker w owns one contiguous
+ *    chunk whose bounds depend only on n and the worker count), so
+ *    which thread evaluates which index never depends on timing.
+ *  - parallelForDynamic: the work-stealing flavor for *uneven* jobs
+ *    (e.g. whole simulation runs of different lengths): indices are
+ *    claimed one at a time from a shared atomic cursor, so a worker
+ *    that finishes early takes the next pending index instead of
+ *    idling. Which thread runs which index then depends on timing —
+ *    callers must keep per-index work independent.
+ *
+ * In both shapes callers write results into per-index slots and reduce
+ * serially in index order afterwards, which makes parallel evaluation
+ * bit-identical to the serial loop; the pool itself never reorders or
+ * combines anything.
  */
 
 #ifndef H2P_UTIL_THREAD_POOL_H_
@@ -27,6 +36,25 @@
 
 namespace h2p {
 namespace util {
+
+/**
+ * Hardware threads available to *this process*, always >= 1:
+ * std::thread::hardware_concurrency() with a fallback to the
+ * online-processor count when it reports 0 (which the standard
+ * permits). Use this to size thread pools.
+ */
+size_t hardwareThreads();
+
+/**
+ * Hardware threads of the *host*, always >= 1. On Linux,
+ * hardware_concurrency() honors the process CPU-affinity mask, so a
+ * pinned or containerized process on a multi-core machine sees 1;
+ * this consults the configured-processor count as well and returns
+ * the larger. Use this for reporting (bench metadata), not for
+ * sizing pools — threads beyond the affinity mask cannot run in
+ * parallel.
+ */
+size_t hostHardwareThreads();
 
 /**
  * Fixed-size pool of long-lived workers executing static-partitioned
@@ -59,6 +87,20 @@ class ThreadPool
      * is rethrown here (others are discarded); the pool stays usable.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Invoke @p fn(i) for every i in [0, n) with *dynamic* chunking:
+     * each worker (including the calling thread) repeatedly claims the
+     * next unclaimed index from a shared cursor. Blocks until all
+     * indices are done. Use for jobs whose per-index cost varies a lot
+     * — run-level batch execution — where static chunks would leave
+     * workers idle. If invocations throw, the exception of the
+     * lowest-numbered failing index is rethrown (others are
+     * discarded); remaining unclaimed indices still run. The pool
+     * stays usable afterwards.
+     */
+    void parallelForDynamic(size_t n,
+                            const std::function<void(size_t)> &fn);
 
     /**
      * The static partition: chunk @p part of @p parts over [0, n).
@@ -96,6 +138,7 @@ class ThreadPool
   private:
     void workerLoop(size_t worker_index);
     void runChunk(size_t part);
+    void runDynamic();
 
     size_t workers_;
     std::vector<std::thread> threads_;
@@ -111,6 +154,12 @@ class ThreadPool
     size_t job_n_ = 0;
     size_t pending_ = 0;
     std::vector<std::exception_ptr> errors_;
+
+    // Dynamic-job state (parallelForDynamic only).
+    bool job_dynamic_ = false;
+    std::atomic<size_t> job_cursor_{0};
+    std::exception_ptr dyn_error_;
+    size_t dyn_error_index_ = 0;
 
     std::atomic<bool> stats_enabled_{false};
     std::atomic<uint64_t> stat_jobs_{0};

@@ -118,6 +118,10 @@ identityConfig(size_t threads, bool faulted)
     cfg.datacenter.num_servers = 96;
     cfg.datacenter.servers_per_circulation = 20;
     cfg.perf.threads = threads;
+    // Disable the oversubscription guard: these tests compare the
+    // parallel path against serial, so the pool must actually engage
+    // even though 96 servers would not normally warrant it.
+    cfg.perf.min_servers_per_thread = 1;
     if (faulted) {
         cfg.faults.seed = 31;
         cfg.faults.pump_degrade_per_circ_year = 3000.0;

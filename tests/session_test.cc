@@ -83,6 +83,10 @@ smallConfig()
     core::H2PConfig cfg;
     cfg.datacenter.num_servers = 40;
     cfg.datacenter.servers_per_circulation = 20;
+    // Keep the pool engaged when a test asks for threads: 40 servers
+    // would otherwise be clamped serial by the oversubscription
+    // guard, silently weakening the parallel-resume coverage.
+    cfg.perf.min_servers_per_thread = 1;
     return cfg;
 }
 

@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Tests of the batched sweep engine and the shared immutable state
+ * underneath it: bit-identity with serial execution at any worker
+ * count, deterministic streaming order, look-up table sharing, the
+ * oversubscription guard and the dynamic thread-pool primitive.
+ */
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config_io.h"
+#include "core/h2p_system.h"
+#include "core/sweep_engine.h"
+#include "sched/lookup_cache.h"
+#include "sim/channels.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+#include "workload/trace_gen.h"
+
+namespace h2p {
+namespace {
+
+core::H2PConfig
+baseConfig(bool faulted)
+{
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = 40;
+    cfg.datacenter.servers_per_circulation = 10;
+    if (faulted) {
+        cfg.faults.seed = 77;
+        cfg.faults.pump_degrade_per_circ_year = 2000.0;
+        cfg.faults.teg_open_per_server_year = 30.0;
+        cfg.faults.chiller_outages_per_year = 40.0;
+        cfg.safe_mode.enabled = true;
+        cfg.safe_mode.watchdog_enabled = true;
+    }
+    return cfg;
+}
+
+workload::UtilizationTrace
+makeTrace(size_t servers = 40, uint64_t seed = 5)
+{
+    workload::TraceGenerator gen(seed);
+    return gen.generate(workload::TraceGenParams::forProfile(
+                            workload::TraceProfile::Drastic),
+                        servers, 4.0 * 3600.0);
+}
+
+std::vector<core::SweepPoint>
+makeGrid(const workload::UtilizationTrace &trace, bool faulted)
+{
+    std::vector<core::SweepPoint> grid;
+    for (double t_safe : {58.0, 61.0, 64.0, 67.0, 70.0}) {
+        for (sched::Policy policy : {sched::Policy::TegOriginal,
+                                     sched::Policy::TegLoadBalance}) {
+            core::SweepPoint pt;
+            pt.config = baseConfig(faulted);
+            pt.config.optimizer.t_safe_c = t_safe;
+            pt.trace = &trace;
+            pt.policy = policy;
+            pt.label = "t_safe=" + std::to_string(t_safe);
+            grid.push_back(pt);
+        }
+    }
+    return grid;
+}
+
+void
+expectSameSummary(const core::RunSummary &a, const core::RunSummary &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.avg_teg_w, b.avg_teg_w);
+    EXPECT_EQ(a.peak_teg_w, b.peak_teg_w);
+    EXPECT_EQ(a.avg_cpu_w, b.avg_cpu_w);
+    EXPECT_EQ(a.pre, b.pre);
+    EXPECT_EQ(a.teg_energy_kwh, b.teg_energy_kwh);
+    EXPECT_EQ(a.cpu_energy_kwh, b.cpu_energy_kwh);
+    EXPECT_EQ(a.plant_energy_kwh, b.plant_energy_kwh);
+    EXPECT_EQ(a.pump_energy_kwh, b.pump_energy_kwh);
+    EXPECT_EQ(a.safe_fraction, b.safe_fraction);
+    EXPECT_EQ(a.avg_t_in_c, b.avg_t_in_c);
+    EXPECT_EQ(a.fault_events, b.fault_events);
+    EXPECT_EQ(a.throttle_events, b.throttle_events);
+    EXPECT_EQ(a.teg_energy_lost_kwh, b.teg_energy_lost_kwh);
+    EXPECT_EQ(a.safe_mode_steps, b.safe_mode_steps);
+    EXPECT_EQ(a.circulation_safe_fraction,
+              b.circulation_safe_fraction);
+}
+
+// --------------------------------------------- batched == serial
+
+class SweepIdentityTest
+    : public ::testing::TestWithParam<std::tuple<bool, size_t>>
+{
+};
+
+TEST_P(SweepIdentityTest, BatchedMatchesSerialBitwise)
+{
+    const bool faulted = std::get<0>(GetParam());
+    const size_t workers = std::get<1>(GetParam());
+
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, faulted);
+
+    // Serial reference: plain one-at-a-time H2PSystem::run().
+    std::vector<core::RunResult> serial;
+    for (const core::SweepPoint &pt : grid) {
+        core::H2PSystem system(pt.config);
+        serial.push_back(system.run(*pt.trace, pt.policy));
+    }
+
+    core::SweepOptions options;
+    options.workers = workers;
+    core::SweepEngine engine(options);
+    core::SweepResult result = engine.run(grid);
+
+    ASSERT_EQ(result.points.size(), grid.size());
+    EXPECT_EQ(result.runs_completed, grid.size());
+    EXPECT_FALSE(result.cancelled);
+    for (size_t i = 0; i < grid.size(); ++i) {
+        const core::SweepPointResult &pr = result.points[i];
+        EXPECT_EQ(pr.index, i);
+        EXPECT_EQ(pr.label, grid[i].label);
+        EXPECT_TRUE(pr.completed);
+        expectSameSummary(pr.summary, serial[i].summary);
+        // Per-step channels too, sample for sample.
+        ASSERT_NE(pr.recorder, nullptr);
+        for (const std::string &ch :
+             serial[i].recorder->channels()) {
+            EXPECT_EQ(pr.recorder->series(ch).samples(),
+                      serial[i].recorder->series(ch).samples())
+                << "channel " << ch << " of point " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CleanAndFaulted, SweepIdentityTest,
+    ::testing::Combine(::testing::Values(false, true),
+                       ::testing::Values(size_t{1}, size_t{2},
+                                         size_t{8})));
+
+// --------------------------------------------- streaming order
+
+TEST(SweepTest, CallbackStreamsInGridOrder)
+{
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, false);
+
+    core::SweepOptions options;
+    options.workers = 8; // parallel completion, ordered emission
+    options.keep_recorders = false;
+    core::SweepEngine engine(options);
+
+    std::vector<size_t> seen;
+    core::SweepResult result =
+        engine.run(grid, [&](const core::SweepPointResult &r) {
+            seen.push_back(r.index);
+        });
+
+    ASSERT_EQ(seen.size(), grid.size());
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i);
+    for (const core::SweepPointResult &pr : result.points)
+        EXPECT_EQ(pr.recorder, nullptr); // keep_recorders off
+}
+
+TEST(SweepTest, ForEachOrderedEmitsInOrderUnderShuffledCompletion)
+{
+    // Reverse-staircase delays: the highest index finishes first, so
+    // ordered emission actually has to buffer.
+    const size_t n = 24;
+    std::vector<int> computed(n, 0);
+    std::vector<size_t> emitted;
+    core::SweepEngine::forEachOrdered(
+        n, 8,
+        [&](size_t i) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((n - i) * 200));
+            computed[i] = 1;
+        },
+        [&](size_t i) { emitted.push_back(i); });
+    EXPECT_EQ(std::count(computed.begin(), computed.end(), 1),
+              static_cast<long>(n));
+    ASSERT_EQ(emitted.size(), n);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(emitted[i], i);
+}
+
+TEST(SweepTest, ForEachOrderedHandlesEdgeCases)
+{
+    // n = 0: no calls at all.
+    core::SweepEngine::forEachOrdered(
+        0, 4, [&](size_t) { FAIL() << "compute on empty range"; },
+        [&](size_t) { FAIL() << "emit on empty range"; });
+
+    // n = 1: runs inline.
+    size_t computes = 0, emits = 0;
+    core::SweepEngine::forEachOrdered(
+        1, 4, [&](size_t) { ++computes; }, [&](size_t) { ++emits; });
+    EXPECT_EQ(computes, 1u);
+    EXPECT_EQ(emits, 1u);
+
+    // Null emit is allowed.
+    std::atomic<size_t> ran{0};
+    core::SweepEngine::forEachOrdered(
+        10, 4, [&](size_t) { ran.fetch_add(1); }, nullptr);
+    EXPECT_EQ(ran.load(), 10u);
+}
+
+// --------------------------------------------- grid edge cases
+
+TEST(SweepTest, EmptyGridReturnsEmptyResult)
+{
+    core::SweepEngine engine;
+    core::SweepResult result = engine.run({});
+    EXPECT_TRUE(result.points.empty());
+    EXPECT_EQ(result.runs_completed, 0u);
+    EXPECT_FALSE(result.cancelled);
+}
+
+TEST(SweepTest, SinglePointAndDuplicatePointsWork)
+{
+    auto trace = makeTrace();
+    core::SweepPoint pt;
+    pt.config = baseConfig(false);
+    pt.trace = &trace;
+    pt.policy = sched::Policy::TegLoadBalance;
+    pt.label = "only";
+
+    core::SweepEngine engine;
+    core::SweepResult one = engine.run({pt});
+    ASSERT_EQ(one.points.size(), 1u);
+    EXPECT_TRUE(one.points[0].completed);
+
+    // Duplicates are just independent identical runs.
+    core::SweepResult dup = engine.run({pt, pt, pt});
+    ASSERT_EQ(dup.points.size(), 3u);
+    for (const core::SweepPointResult &r : dup.points)
+        expectSameSummary(r.summary, one.points[0].summary);
+}
+
+TEST(SweepTest, MissingTraceIsRejected)
+{
+    core::SweepPoint pt;
+    pt.config = baseConfig(false);
+    pt.label = "no-trace";
+    core::SweepEngine engine;
+    EXPECT_THROW(engine.run({pt}), Error);
+}
+
+// --------------------------------------------- errors and cancel
+
+TEST(SweepTest, FailingPointSurfacesItsConfigDeterministically)
+{
+    auto trace = makeTrace(40);
+    auto grid = makeGrid(trace, false);
+    // Point 3 asks for more servers than the trace covers; its run
+    // throws inside a worker and the sweep must rethrow with the
+    // point's identity attached, not hang or die.
+    grid[3].config.datacenter.num_servers = 500;
+    grid[3].label = "bad-point";
+
+    for (size_t workers : {size_t{1}, size_t{4}}) {
+        core::SweepOptions options;
+        options.workers = workers;
+        core::SweepEngine engine(options);
+        try {
+            engine.run(grid);
+            FAIL() << "sweep accepted a failing point";
+        } catch (const Error &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("sweep point 3"), std::string::npos)
+                << what;
+            EXPECT_NE(what.find("bad-point"), std::string::npos)
+                << what;
+            EXPECT_NE(what.find("500 servers"), std::string::npos)
+                << what;
+        }
+    }
+}
+
+TEST(SweepTest, CancelFromCallbackStopsLaunchingRuns)
+{
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, false);
+
+    core::SweepOptions options;
+    options.workers = 1; // deterministic: strictly one run at a time
+    options.keep_recorders = false;
+    core::SweepEngine engine(options);
+    size_t delivered = 0;
+    core::SweepResult result =
+        engine.run(grid, [&](const core::SweepPointResult &) {
+            if (++delivered == 2)
+                engine.requestCancel();
+        });
+
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_EQ(delivered, 2u);
+    EXPECT_EQ(result.runs_completed, 2u);
+    ASSERT_EQ(result.points.size(), grid.size());
+    EXPECT_TRUE(result.points[0].completed);
+    EXPECT_TRUE(result.points[1].completed);
+    for (size_t i = 2; i < result.points.size(); ++i)
+        EXPECT_FALSE(result.points[i].completed);
+
+    // The engine resets the flag: the next run completes fully.
+    core::SweepResult again = engine.run(grid);
+    EXPECT_FALSE(again.cancelled);
+    EXPECT_EQ(again.runs_completed, grid.size());
+}
+
+// --------------------------------------------- shared lookup space
+
+TEST(SweepTest, GridVaryingOnlySetpointBuildsOneLookupSpace)
+{
+    sched::LookupSpaceCache::instance().clear();
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, false); // t_safe x policy only
+
+    core::SweepOptions options;
+    options.workers = 4;
+    core::SweepEngine engine(options);
+    core::SweepResult result = engine.run(grid);
+    EXPECT_EQ(result.lookup_spaces_built, 1u);
+    EXPECT_GE(sched::LookupSpaceCache::instance().hits(),
+              grid.size() - 1);
+}
+
+TEST(SweepTest, LookupGridDimensionBuildsOnePerVariant)
+{
+    sched::LookupSpaceCache::instance().clear();
+    auto trace = makeTrace();
+    std::vector<core::SweepPoint> grid;
+    for (double cap : {80.0, 100.0, 120.0}) {
+        core::SweepPoint pt;
+        pt.config = baseConfig(false);
+        pt.config.lookup.flow_max_lph = cap;
+        pt.trace = &trace;
+        pt.policy = sched::Policy::TegLoadBalance;
+        grid.push_back(pt);
+    }
+    core::SweepEngine engine;
+    core::SweepResult result = engine.run(grid);
+    EXPECT_EQ(result.lookup_spaces_built, 3u);
+}
+
+TEST(SweepTest, CachedLookupSpaceIsBitIdenticalToFresh)
+{
+    sched::LookupSpaceCache::instance().clear();
+    cluster::ServerParams server;
+    sched::LookupSpaceParams params;
+    auto cached =
+        sched::LookupSpaceCache::instance().acquire(server, params);
+    auto again =
+        sched::LookupSpaceCache::instance().acquire(server, params);
+    EXPECT_EQ(cached.get(), again.get()); // one shared instance
+    EXPECT_EQ(sched::LookupSpaceCache::instance().builds(), 1u);
+    EXPECT_EQ(sched::LookupSpaceCache::instance().hits(), 1u);
+
+    // Regression: the cached table must be the table a fresh
+    // construction produces, sample for sample.
+    cluster::Server model(server);
+    sched::LookupSpace fresh(model, params);
+    for (double u : {0.0, 0.25, 0.5, 0.91, 1.0})
+        for (double f : {12.0, 37.0, 60.0, 99.0})
+            for (double t : {22.0, 33.5, 41.0, 54.0}) {
+                EXPECT_EQ(cached->cpuTemp(u, f, t),
+                          fresh.cpuTemp(u, f, t));
+                EXPECT_EQ(cached->outletTemp(u, f, t),
+                          fresh.outletTemp(u, f, t));
+            }
+}
+
+TEST(SweepTest, CacheDistinguishesServerAndGridParams)
+{
+    sched::LookupSpaceCache::instance().clear();
+    cluster::ServerParams server;
+    sched::LookupSpaceParams params;
+    auto base =
+        sched::LookupSpaceCache::instance().acquire(server, params);
+
+    cluster::ServerParams warmer = server;
+    warmer.thermal.gamma_slope += 0.01;
+    auto other =
+        sched::LookupSpaceCache::instance().acquire(warmer, params);
+    EXPECT_NE(base.get(), other.get());
+
+    sched::LookupSpaceParams finer = params;
+    finer.tin_points += 4;
+    auto third =
+        sched::LookupSpaceCache::instance().acquire(server, finer);
+    EXPECT_NE(base.get(), third.get());
+    EXPECT_EQ(sched::LookupSpaceCache::instance().builds(), 3u);
+}
+
+TEST(SweepTest, SystemsShareTheCachedLookupSpace)
+{
+    sched::LookupSpaceCache::instance().clear();
+    core::H2PConfig cfg = baseConfig(false);
+    core::H2PSystem a(cfg);
+    core::H2PSystem b(cfg);
+    EXPECT_EQ(&a.lookupSpace(), &b.lookupSpace());
+    EXPECT_EQ(sched::LookupSpaceCache::instance().builds(), 1u);
+}
+
+// --------------------------------------------- thread heuristics
+
+TEST(SweepTest, OversubscriptionGuardClampsThreads)
+{
+    // 40 servers / guard 64 -> serial despite an 8-thread request.
+    core::H2PConfig cfg = baseConfig(false);
+    cfg.perf.threads = 8;
+    EXPECT_EQ(core::H2PSystem(cfg).effectiveThreads(), 1u);
+
+    // Guard off: the request stands, clamped by circulations (4).
+    cfg.perf.min_servers_per_thread = 0;
+    EXPECT_EQ(core::H2PSystem(cfg).effectiveThreads(), 4u);
+
+    // A big fleet earns its workers under the default guard.
+    core::H2PConfig big = baseConfig(false);
+    big.datacenter.num_servers = 512;
+    big.datacenter.servers_per_circulation = 64;
+    big.perf.threads = 8;
+    EXPECT_EQ(core::H2PSystem(big).effectiveThreads(), 8u);
+
+    // threads = 1 stays serial no matter what.
+    big.perf.threads = 1;
+    EXPECT_EQ(core::H2PSystem(big).effectiveThreads(), 1u);
+}
+
+TEST(SweepTest, PerfIniParsesMinServersPerThread)
+{
+    sim::Config ini;
+    ini.set("perf", "threads", "8");
+    ini.set("perf", "min_servers_per_thread", "32");
+    core::H2PConfig cfg = core::configFromIni(ini);
+    EXPECT_EQ(cfg.perf.threads, 8u);
+    EXPECT_EQ(cfg.perf.min_servers_per_thread, 32u);
+}
+
+TEST(SweepTest, SmallGridSplitsWorkersIntoRuns)
+{
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, false);
+    std::vector<core::SweepPoint> two(grid.begin(), grid.begin() + 2);
+
+    core::SweepOptions options;
+    options.workers = 8;
+    options.keep_recorders = false;
+    core::SweepEngine engine(options);
+    core::SweepResult result = engine.run(two);
+    EXPECT_EQ(result.workers, 2u);        // clamped to the grid
+    EXPECT_EQ(result.threads_per_run, 4u); // leftover budget per run
+}
+
+// --------------------------------------------- pool primitives
+
+TEST(SweepTest, ParallelForDynamicRunsEveryIndexOnce)
+{
+    util::ThreadPool pool(4);
+    std::vector<std::atomic<int>> counts(103);
+    for (auto &c : counts)
+        c.store(0);
+    pool.parallelForDynamic(counts.size(), [&](size_t i) {
+        counts[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < counts.size(); ++i)
+        EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+
+    // Serial pool takes the inline path, same contract.
+    util::ThreadPool serial(1);
+    std::vector<int> serial_counts(17, 0);
+    serial.parallelForDynamic(serial_counts.size(),
+                              [&](size_t i) { ++serial_counts[i]; });
+    for (int c : serial_counts)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(SweepTest, ParallelForDynamicPropagatesLowestIndexError)
+{
+    for (size_t workers : {size_t{1}, size_t{4}}) {
+        util::ThreadPool pool(workers);
+        try {
+            pool.parallelForDynamic(64, [&](size_t i) {
+                if (i == 7 || i == 23)
+                    fatal("boom at ", i);
+            });
+            FAIL() << "error not propagated (workers=" << workers
+                   << ")";
+        } catch (const Error &e) {
+            EXPECT_STREQ(e.what(), "boom at 7");
+        }
+        // The pool survives and keeps working afterwards.
+        std::atomic<size_t> ran{0};
+        pool.parallelForDynamic(8,
+                                [&](size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 8u);
+    }
+}
+
+TEST(SweepTest, HardwareThreadQueriesAreSane)
+{
+    EXPECT_GE(util::hardwareThreads(), 1u);
+    EXPECT_GE(util::hostHardwareThreads(), util::hardwareThreads());
+}
+
+} // namespace
+} // namespace h2p
