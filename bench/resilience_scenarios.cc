@@ -14,12 +14,18 @@
  * sampled scenario (pump wear, TEG failures, plant outages, sensor
  * faults) with safe mode off and on, reporting safety, harvest and
  * the resilience accounting channels.
+ *
+ * Part 3 exercises the supervised sweep itself: a grid seeded with a
+ * numerically diverging point and a point that blows its step budget
+ * runs to completion anyway, with exactly those two quarantined and
+ * attributed to the offending step and pipeline stage.
  */
 
 #include <iostream>
 
 #include "bench/bench_common.h"
 #include "core/h2p_system.h"
+#include "core/sweep_engine.h"
 #include "sim/channels.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -139,6 +145,64 @@ main()
     table.print(std::cout);
     bench::saveCsv(csv, "resilience_scenarios");
     bench::saveCsv(demo_csv, "resilience_pump_demo");
+
+    // ------------- Part 3: supervised sweep under failures -------------
+    // Six healthy points plus two saboteurs: point 2's server power is
+    // scaled to overflow (numeric divergence at the evaluate stage of
+    // step 0) and point 5 gets a 3-step budget (timeout). The sweep
+    // must quarantine exactly those two and finish the rest.
+    std::vector<core::SweepPoint> grid;
+    for (size_t i = 0; i < 8; ++i) {
+        core::SweepPoint pt;
+        pt.config = baseConfig();
+        pt.config.optimizer.t_safe_c = 55.0 + 2.0 * i;
+        pt.trace = &trace;
+        pt.policy = sched::Policy::TegLoadBalance;
+        pt.label = "t_safe=" + strings::fixed(55.0 + 2.0 * i, 0);
+        if (i == 2) {
+            pt.config.datacenter.server.power.scale = 1e308;
+            pt.label += " (diverging)";
+        }
+        if (i == 5) {
+            pt.step_budget = 3;
+            pt.label += " (3-step budget)";
+        }
+        grid.push_back(pt);
+    }
+
+    TablePrinter sup("Supervised sweep (8 points, 2 saboteurs; "
+                     "quarantine instead of abort)");
+    sup.setHeader({"point", "safe", "TEG avg[W]", "attempts"});
+    CsvTable sup_csv({"index", "completed", "attempts", "fail_step",
+                      "safe_fraction", "teg_w"});
+
+    core::SweepOptions sweep_options;
+    sweep_options.keep_recorders = false;
+    core::SweepEngine engine(sweep_options);
+    core::SweepResult sweep = engine.run(grid);
+    for (const core::SweepPointResult &r : sweep.points) {
+        if (r.status == core::PointStatus::Completed)
+            sup.addRow(r.label,
+                       {r.summary.safe_fraction, r.summary.avg_teg_w,
+                        static_cast<double>(r.attempts)},
+                       2);
+        else
+            sup.addRow(r.label + "  -> " + r.failure.describe(),
+                       {0.0, 0.0, static_cast<double>(r.attempts)}, 2);
+        sup_csv.addRow(
+            {static_cast<double>(r.index),
+             r.status == core::PointStatus::Completed ? 1.0 : 0.0,
+             static_cast<double>(r.attempts),
+             r.failure.step == RunFailure::kNoStep
+                 ? -1.0
+                 : static_cast<double>(r.failure.step),
+             r.summary.safe_fraction, r.summary.avg_teg_w});
+    }
+    sup.print(std::cout);
+    std::cout << "supervision: " << sweep.runs_completed
+              << " completed, " << sweep.quarantined
+              << " quarantined, " << sweep.retries << " retrie(s)\n";
+    bench::saveCsv(sup_csv, "resilience_supervised_sweep");
 
     std::cout << "\nFaults cost harvest before they cost safety: TEG "
                  "failures only dent the average output, while pump "

@@ -44,6 +44,21 @@
  *   ./examples/experiment_runner \
  *       --sweep "optimizer.t_safe_c=57,63,69;datacenter.cold_source_c=15,25" \
  *       --sweep-out sweep.csv
+ *
+ * Sweeps are supervised: a point that diverges or blows its
+ * --point-deadline is quarantined (reported, exit code 2) instead of
+ * aborting the grid. With --sweep-journal every finished point is
+ * journaled durably, and a killed sweep resumes where it left off:
+ *
+ *   # crash-safe sweep; kill -9 it at any time...
+ *   ./examples/experiment_runner --sweep "..." \
+ *       --sweep-journal sweep.jsonl --sweep-out sweep.csv
+ *
+ *   # ...then pick it up again; completed points are not re-run and
+ *   # sweep.csv comes out byte-identical to an uninterrupted run
+ *   ./examples/experiment_runner --sweep "..." \
+ *       --sweep-journal sweep.jsonl --sweep-resume \
+ *       --sweep-out sweep.csv
  */
 
 #include <algorithm>
@@ -57,6 +72,7 @@
 #include "core/sweep_engine.h"
 #include "util/args.h"
 #include "util/error.h"
+#include "util/fs.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -118,14 +134,31 @@ parseSweepSpec(const std::string &spec)
     return dims;
 }
 
+/** Everything --sweep-* collects from the command line. */
+struct SweepCliOptions
+{
+    size_t workers = 0;
+    std::string out_path;
+    std::string journal_path;
+    bool resume = false;
+    double point_deadline_s = 0.0;
+    bool quiet = false;
+};
+
 /**
  * Run the --sweep grid: the cross product of every dimension's
  * values (x the policy list), batched on core::SweepEngine.
+ *
+ * With --sweep-journal the run is crash-safe: each finished point is
+ * recorded durably before its result is delivered, and --sweep-resume
+ * picks an interrupted sweep back up, re-running only the missing
+ * points. The summary CSV is buffered and written atomically at the
+ * end, so a resumed sweep produces a byte-identical file.
  */
 int
 runSweep(const h2p::sim::Config &base_ini, const std::string &spec,
          const std::vector<h2p::sched::Policy> &policies,
-         size_t workers, const std::string &out_path, bool quiet)
+         const SweepCliOptions &cli)
 {
     using namespace h2p;
     std::vector<SweepDimension> dims = parseSweepSpec(spec);
@@ -183,50 +216,78 @@ runSweep(const h2p::sim::Config &base_ini, const std::string &spec,
         }
     }
 
-    std::ofstream out;
-    if (!out_path.empty()) {
-        out.open(out_path);
-        expect(out.good(), "cannot open `", out_path, "'");
-        out << "index,label,policy,teg_avg_w,teg_peak_w,pre,"
-               "t_in_avg_c,safe_fraction\n";
-    }
+    // Summary rows are buffered and written atomically at the end:
+    // a crashed sweep leaves no half-written CSV, and a resumed one
+    // reproduces the clean run's file byte for byte.
+    std::ostringstream csv;
+    csv << "index,label,policy,teg_avg_w,teg_peak_w,pre,"
+           "t_in_avg_c,safe_fraction,status,fail_kind,fail_step,"
+           "fail_stage\n";
 
     TablePrinter table("sweep results");
     table.setHeader({"point", "TEG avg[W]", "PRE[%]", "avg T_in[C]",
                      "safe[%]"});
     core::SweepOptions options;
-    options.workers = workers;
+    options.workers = cli.workers;
     options.keep_recorders = false; // summaries only; O(1) memory
+    options.journal_path = cli.journal_path;
+    options.point_deadline_s = cli.point_deadline_s;
     core::SweepEngine engine(options);
-    core::SweepResult result = engine.run(
-        grid, [&](const core::SweepPointResult &r) {
+    auto on_result = [&](const core::SweepPointResult &r) {
+        if (r.status == core::PointStatus::Completed)
             table.addRow(r.label + " " + toString(r.policy),
                          {r.summary.avg_teg_w, 100.0 * r.summary.pre,
                           r.summary.avg_t_in_c,
                           100.0 * r.summary.safe_fraction},
                          2);
-            if (out.is_open())
-                out << r.index << "," << r.label << ","
-                    << toString(r.policy) << ","
-                    << strings::fixed(r.summary.avg_teg_w, 6) << ","
-                    << strings::fixed(r.summary.peak_teg_w, 6) << ","
-                    << strings::fixed(r.summary.pre, 8) << ","
-                    << strings::fixed(r.summary.avg_t_in_c, 6) << ","
-                    << strings::fixed(r.summary.safe_fraction, 6)
-                    << "\n";
-        });
+        csv << r.index << "," << r.label << ","
+            << toString(r.policy) << ",";
+        if (r.status == core::PointStatus::Completed)
+            csv << strings::fixed(r.summary.avg_teg_w, 6) << ","
+                << strings::fixed(r.summary.peak_teg_w, 6) << ","
+                << strings::fixed(r.summary.pre, 8) << ","
+                << strings::fixed(r.summary.avg_t_in_c, 6) << ","
+                << strings::fixed(r.summary.safe_fraction, 6) << ","
+                << toString(r.status) << ",,,\n";
+        else
+            csv << ",,,,," << toString(r.status) << ","
+                << toString(r.failure.kind) << ","
+                << (r.failure.step == RunFailure::kNoStep
+                        ? std::string()
+                        : std::to_string(r.failure.step))
+                << "," << r.failure.stage << "\n";
+    };
+    core::SweepResult result = cli.resume
+                                   ? engine.resume(grid, on_result)
+                                   : engine.run(grid, on_result);
 
     table.print(std::cout);
-    if (!quiet)
+    if (result.quarantined > 0) {
+        for (const core::SweepPointResult &r : result.points)
+            if (r.status == core::PointStatus::Quarantined)
+                std::cout << "quarantined: point " << r.index << " ("
+                          << r.label << " " << toString(r.policy)
+                          << "): " << r.failure.describe() << "\n";
+    }
+    if (!cli.quiet) {
         std::cout << "\nsweep: " << result.runs_completed << " runs, "
                   << result.workers << " worker(s), "
                   << result.threads_per_run << " thread(s)/run, "
                   << result.lookup_spaces_built
                   << " look-up table(s) built, "
                   << strings::fixed(result.wall_s, 2) << " s\n";
-    if (out.is_open())
-        std::cout << "summaries -> " << out_path << "\n";
-    return 0;
+        if (result.quarantined || result.retries ||
+            result.points_restored)
+            std::cout << "supervision: " << result.quarantined
+                      << " quarantined, " << result.retries
+                      << " retrie(s), " << result.points_restored
+                      << " restored from journal\n";
+    }
+    if (!cli.out_path.empty()) {
+        util::atomicWriteFile(cli.out_path, csv.str());
+        std::cout << "summaries -> " << cli.out_path << "\n";
+    }
+    return result.quarantined > 0 ? 2 : 0;
 }
 
 } // namespace
@@ -265,6 +326,17 @@ main(int argc, char **argv)
                      "thread)");
         args.addString("sweep-out", "",
                        "per-point summary CSV path for --sweep");
+        args.addString("sweep-journal", "",
+                       "crash-safe sweep journal (JSONL); each "
+                       "finished point is recorded durably");
+        args.addFlag("sweep-resume",
+                     "resume an interrupted sweep from "
+                     "--sweep-journal, re-running only missing "
+                     "points");
+        args.addDouble("point-deadline", 0.0,
+                       "wall-clock budget per sweep point in "
+                       "seconds (0 = none); overruns are retried "
+                       "once, then quarantined");
         if (!args.parse(argc, argv))
             return 0;
 
@@ -275,12 +347,20 @@ main(int argc, char **argv)
         if (!args.getString("sweep").empty()) {
             expect(args.getString("checkpoint").empty(),
                    "--sweep and checkpointing do not mix");
-            return runSweep(
-                ini, args.getString("sweep"),
-                parsePolicies(args.getString("policy")),
-                static_cast<size_t>(
-                    std::max(0L, args.getLong("sweep-workers"))),
-                args.getString("sweep-out"), args.getFlag("quiet"));
+            expect(!args.getFlag("sweep-resume") ||
+                       !args.getString("sweep-journal").empty(),
+                   "--sweep-resume needs --sweep-journal PATH");
+            SweepCliOptions cli;
+            cli.workers = static_cast<size_t>(
+                std::max(0L, args.getLong("sweep-workers")));
+            cli.out_path = args.getString("sweep-out");
+            cli.journal_path = args.getString("sweep-journal");
+            cli.resume = args.getFlag("sweep-resume");
+            cli.point_deadline_s = args.getDouble("point-deadline");
+            cli.quiet = args.getFlag("quiet");
+            return runSweep(ini, args.getString("sweep"),
+                            parsePolicies(args.getString("policy")),
+                            cli);
         }
 
         core::H2PConfig cfg = core::configFromIni(ini);

@@ -9,6 +9,7 @@
 
 #include "sim/channels.h"
 #include "util/error.h"
+#include "util/fs.h"
 #include "util/hash.h"
 #include "util/units.h"
 
@@ -17,12 +18,27 @@ namespace core {
 
 namespace {
 
+[[noreturn]] void
+throwDiverged(size_t step, const char *stage, const std::string &what)
+{
+    RunFailure f;
+    f.kind = FailureKind::NumericDivergence;
+    f.step = step;
+    f.stage = stage;
+    f.message = what;
+    throw RunError(std::move(f));
+}
+
 void
 checkFinite(double v, const char *field)
 {
-    expect(std::isfinite(v), "run summary field `", field,
-           "' is not finite (", v,
-           "); the model diverged or a parameter is out of range");
+    if (!std::isfinite(v))
+        throwDiverged(RunFailure::kNoStep, "summary",
+                      detail::concat(
+                          "run summary field `", field,
+                          "' is not finite (", v,
+                          "); the model diverged or a parameter is "
+                          "out of range"));
 }
 
 /**
@@ -235,6 +251,14 @@ void
 SimSession::setController(Controller controller)
 {
     controller_ = std::move(controller);
+}
+
+void
+SimSession::setGuard(const RunGuard &guard)
+{
+    guard_ = guard;
+    guard_start_ = std::chrono::steady_clock::now();
+    guard_start_cursor_ = cursor_;
 }
 
 const cluster::DatacenterState &
@@ -482,20 +506,18 @@ SimEngine::finishObsRun(const SimSession::ObsRun &orun,
 
     const obs::ObsParams &p = orun.obs->params();
     if (!p.jsonl_path.empty()) {
-        std::ofstream os(p.jsonl_path);
-        expect(os.good(), "cannot open obs jsonl output `",
-               p.jsonl_path, "'");
-        os << "{\"type\":\"run\",\"policy\":\""
-           << obs::jsonEscape(sched::toString(summary.policy))
-           << "\",\"dt_s\":" << rec.dt() << "}\n";
-        rec.writeJsonl(os);
-        orun.obs->writeJsonl(os);
+        util::atomicWriteFile(p.jsonl_path, [&](std::ostream &os) {
+            os << "{\"type\":\"run\",\"policy\":\""
+               << obs::jsonEscape(sched::toString(summary.policy))
+               << "\",\"dt_s\":" << rec.dt() << "}\n";
+            rec.writeJsonl(os);
+            orun.obs->writeJsonl(os);
+        });
     }
     if (!p.csv_path.empty()) {
-        std::ofstream os(p.csv_path);
-        expect(os.good(), "cannot open obs csv output `", p.csv_path,
-               "'");
-        orun.obs->writeMetricsCsv(os);
+        util::atomicWriteFile(p.csv_path, [&](std::ostream &os) {
+            orun.obs->writeMetricsCsv(os);
+        });
     }
     if (p.print_summary)
         orun.obs->writeSummary(std::cout);
@@ -512,6 +534,41 @@ SimEngine::stepOnce(SimSession &s) const
     const sched::SafeModeParams &sm = w_.config->safe_mode;
     const size_t num_circ = w_.dc->numCirculations();
     const double now_s = static_cast<double>(step) * dt;
+
+    // Stage 0: cooperative supervision. A violated guard stops the
+    // run *between* steps, so every completed step's state is exactly
+    // the deterministic state and a supervisor can still checkpoint.
+    if (s.guard_.active()) {
+        RunFailure f;
+        f.step = step;
+        if (s.guard_.cancel != nullptr &&
+            s.guard_.cancel->cancelRequested()) {
+            f.kind = FailureKind::Cancelled;
+            f.stage = "guard";
+            f.message = "cancellation requested";
+            throw RunError(std::move(f));
+        }
+        if (s.guard_.step_budget > 0 &&
+            step - s.guard_start_cursor_ >= s.guard_.step_budget) {
+            f.kind = FailureKind::Timeout;
+            f.stage = "step_budget";
+            f.message = detail::concat("step budget of ",
+                                       s.guard_.step_budget,
+                                       " steps exhausted");
+            throw RunError(std::move(f));
+        }
+        if (s.guard_.deadline_s > 0.0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - s.guard_start_)
+                    .count() > s.guard_.deadline_s) {
+            f.kind = FailureKind::Timeout;
+            f.stage = "deadline";
+            f.message = detail::concat("wall-clock deadline of ",
+                                       s.guard_.deadline_s,
+                                       " s exceeded");
+            throw RunError(std::move(f));
+        }
+    }
 
     obs::SpanRegistry *spans =
         s.orun_.obs != nullptr ? &s.orun_.obs->spans() : nullptr;
@@ -593,10 +650,37 @@ SimEngine::stepOnce(SimSession &s) const
                                             s.decision_);
     }
 
+    // The scheduling decision must be numerically sound before it
+    // drives the datacenter: a NaN/inf setpoint (diverged optimizer
+    // input, buggy controller) is caught here with its step and stage
+    // instead of poisoning the summary averages silently.
+    for (size_t c = 0; c < s.decision_.settings.size(); ++c) {
+        const cluster::CoolingSetting &cs = s.decision_.settings[c];
+        if (!std::isfinite(cs.t_in_c) || !std::isfinite(cs.flow_lph))
+            throwDiverged(
+                step, "decide",
+                detail::concat("circulation ", c,
+                               " cooling setting is not finite (t_in=",
+                               cs.t_in_c, " C, flow=", cs.flow_lph,
+                               " lph)"));
+    }
+
     // Stage 5: datacenter evaluation.
     w_.dc->evaluateInto(s.decision_.utils, s.decision_.settings,
                         s.resilient_ ? &s.injector_->health() : nullptr,
                         s.state_);
+    if (!std::isfinite(s.state_.teg_power_w) ||
+        !std::isfinite(s.state_.cpu_power_w) ||
+        !std::isfinite(s.state_.plant_power_w) ||
+        !std::isfinite(s.state_.pump_power_w))
+        throwDiverged(
+            step, "evaluate",
+            detail::concat("datacenter state is not finite (teg=",
+                           s.state_.teg_power_w,
+                           " W, cpu=", s.state_.cpu_power_w,
+                           " W, plant=", s.state_.plant_power_w,
+                           " W, pump=", s.state_.pump_power_w,
+                           " W); the model diverged"));
 
     // Stage 6: sensor feedback. Feed the true die temperatures to the
     // watchdog (the CPU's own on-die sensor) and the possibly-
@@ -854,22 +938,21 @@ SimEngine::saveCheckpoint(const SimSession &s,
             w.u32(static_cast<uint32_t>(a));
     }
 
+    // Atomic temp + rename (util::atomicWriteFile): process death can
+    // never leave a truncated checkpoint for resume() to trip over.
     const std::string &payload = w.data();
-    std::ofstream os(path, std::ios::binary);
-    expect(os.good(), "cannot open checkpoint output `", path, "'");
-    os.write(kMagic, sizeof(kMagic));
+    std::string file;
+    file.reserve(sizeof(kMagic) + 12 + payload.size() + 8);
+    file.append(kMagic, sizeof(kMagic));
     ByteWriter header;
     header.u32(kCheckpointVersion);
     header.u64(payload.size());
-    os.write(header.data().data(),
-             static_cast<std::streamsize>(header.data().size()));
-    os.write(payload.data(),
-             static_cast<std::streamsize>(payload.size()));
+    file.append(header.data());
+    file.append(payload);
     ByteWriter footer;
     footer.u64(payloadChecksum(payload));
-    os.write(footer.data().data(),
-             static_cast<std::streamsize>(footer.data().size()));
-    expect(os.good(), "failed writing checkpoint `", path, "'");
+    file.append(footer.data());
+    util::atomicWriteFile(path, file);
 
     if (w_.obs != nullptr) {
         obs::Event e;

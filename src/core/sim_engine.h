@@ -23,6 +23,7 @@
 #ifndef H2P_CORE_SIM_ENGINE_H_
 #define H2P_CORE_SIM_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -38,6 +39,7 @@
 #include "sched/safe_mode.h"
 #include "sched/scheduler.h"
 #include "sim/recorder.h"
+#include "util/cancellation.h"
 #include "util/thread_pool.h"
 #include "workload/trace.h"
 
@@ -45,6 +47,35 @@ namespace h2p {
 namespace core {
 
 class SimEngine;
+
+/**
+ * Cooperative execution budget of one session, checked at every step
+ * boundary. A violated guard stops the run by throwing RunError with
+ * the matching FailureKind (Cancelled for the token, Timeout for the
+ * deadline and the step budget) and the offending step attached —
+ * nothing is interrupted mid-step, so all state produced before the
+ * stop is the deterministic state.
+ */
+struct RunGuard
+{
+    /** Cancellation latch to honor; null = none. Borrowed. */
+    const util::CancelToken *cancel = nullptr;
+    /**
+     * Wall-clock budget in seconds, counted from the moment the guard
+     * is installed (setGuard); 0 = unlimited.
+     */
+    double deadline_s = 0.0;
+    /**
+     * Maximum steps this session may evaluate after the guard is
+     * installed; 0 = unlimited.
+     */
+    size_t step_budget = 0;
+
+    bool active() const
+    {
+        return cancel != nullptr || deadline_s > 0.0 || step_budget > 0;
+    }
+};
 
 /**
  * Running sums a step loop maintains and the summary is derived from.
@@ -137,6 +168,16 @@ class SimSession
     /** Install (or clear, with nullptr) a custom scheduling stage. */
     void setController(Controller controller);
 
+    /**
+     * Install a cooperative execution budget: the deadline clock and
+     * the step budget start now, and every subsequent step() first
+     * checks the guard, throwing RunError (Cancelled/Timeout) with
+     * step context when violated. Replaces any prior guard; a
+     * default-constructed RunGuard clears it. The token, when set,
+     * must outlive the session.
+     */
+    void setGuard(const RunGuard &guard);
+
     /** Datacenter state of the last evaluated step. */
     const cluster::DatacenterState &lastState() const;
 
@@ -211,6 +252,11 @@ class SimSession
     size_t seen_trips_ = 0;
 
     Controller controller_;
+
+    // Cooperative supervision (setGuard); inactive by default.
+    RunGuard guard_;
+    std::chrono::steady_clock::time_point guard_start_{};
+    size_t guard_start_cursor_ = 0;
 };
 
 /**

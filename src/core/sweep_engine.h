@@ -1,7 +1,7 @@
 /**
  * @file
- * Batched sweep execution: run-level parallelism over independent
- * simulations.
+ * Batched sweep execution: supervised run-level parallelism over
+ * independent simulations.
  *
  * Ablations and design-space studies run the same simulation dozens
  * of times with small configuration deltas. Each run is serial-ish
@@ -12,21 +12,37 @@
  * instead of rebuilt — traces by reference, look-up tables through
  * sched::LookupSpaceCache.
  *
+ * Supervision contract: every point runs under a classified failure
+ * taxonomy (util/error.h FailureKind). A failing point is retried
+ * (bounded, retryable kinds only) and then *quarantined* — its result
+ * slot carries the structured failure while the rest of the sweep
+ * runs to completion; SweepOptions::abort_on_failure restores the old
+ * first-failure-aborts contract. Per-point wall-clock deadlines and
+ * step budgets are enforced cooperatively at step boundaries, and a
+ * cancellation request stops in-flight runs at their next step, not
+ * just pending ones.
+ *
  * Determinism contract: every run executes exactly the code path of a
  * standalone serial H2PSystem::run(), results land in per-index slots
  * and the streaming callback fires in grid order (held back until the
  * contiguous prefix is complete), so a sweep's output is bit-identical
  * at any worker count — including 1.
+ *
+ * Crash safety: with SweepOptions::journal_path set, finished points
+ * are durably journaled (see core/sweep_journal.h) before their
+ * results are delivered, and resume() continues an interrupted sweep
+ * by restoring journaled points verbatim — the resumed sweep's
+ * delivered output is byte-identical to an uninterrupted one.
  */
 
 #ifndef H2P_CORE_SWEEP_ENGINE_H_
 #define H2P_CORE_SWEEP_ENGINE_H_
 
-#include <atomic>
 #include <functional>
 #include <vector>
 
 #include "core/sweep_types.h"
+#include "util/cancellation.h"
 
 namespace h2p {
 namespace core {
@@ -42,10 +58,16 @@ class SweepEngine
 {
   public:
     /**
-     * Streaming result sink: invoked once per completed point, in
-     * grid order, serialized (never concurrently). Point i's callback
-     * fires as soon as points 0..i have all completed, independent of
-     * the order the workers finish them in.
+     * Streaming result sink: invoked once per finished point
+     * (Completed or Quarantined — check SweepPointResult::status;
+     * Skipped points are not delivered), in grid order, serialized
+     * (never concurrently). Point i's callback fires as soon as
+     * points 0..i have all finished, independent of the order the
+     * workers finish them in. Under a journal, the point's record is
+     * durable before the callback sees it. Under cancellation the
+     * delivered stream stays a contiguous grid prefix: nothing past
+     * the first skipped point is streamed, even if later in-flight
+     * points finished.
      */
     using ResultCallback =
         std::function<void(const SweepPointResult &)>;
@@ -61,10 +83,17 @@ class SweepEngine
      * optimizer's decision cache is not thread-safe, so systems are
      * never shared across workers) built from shared immutable parts.
      *
-     * A point whose run throws stops the sweep: no new points start,
-     * in-flight ones finish, and the error is rethrown annotated with
-     * the failing point's index and label (the lowest failing index
-     * when several fail, for determinism).
+     * A failing point is retried per SweepOptions::max_attempts
+     * (retryable kinds only) and then quarantined: its slot carries
+     * the classified RunFailure, the sweep runs on. With
+     * SweepOptions::abort_on_failure the first failing point (lowest
+     * grid index, for determinism) instead aborts the sweep with the
+     * legacy "sweep point N (...) failed" error after in-flight
+     * points drain.
+     *
+     * With SweepOptions::journal_path set, starts a fresh journal
+     * (truncating any previous file) and appends each finished
+     * point's record durably before delivering it.
      *
      * @param on_result Optional streaming sink; see ResultCallback.
      */
@@ -72,13 +101,28 @@ class SweepEngine
                     const ResultCallback &on_result = nullptr) const;
 
     /**
-     * Ask a run() in progress to stop early: points not yet started
-     * are skipped (completed = false in their result slots),
-     * in-flight ones finish normally, and run() returns the partial
-     * result with SweepResult::cancelled set. Callable from the
-     * result callback or any thread; resets on the next run().
+     * Continue an interrupted journaled sweep: load the journal at
+     * SweepOptions::journal_path (which must be set and exist),
+     * verify it matches @p grid (size + fingerprint), restore every
+     * journaled point's result verbatim — bit-identical summaries,
+     * no recomputation, recorder left null, `restored` flagged — and
+     * compute only the missing points, appending their records to the
+     * same journal. The callback still fires for every finished
+     * point in grid order (restored ones replay), so downstream
+     * output is byte-identical to an uninterrupted run().
      */
-    void requestCancel() const { cancel_.store(true); }
+    SweepResult resume(const std::vector<SweepPoint> &grid,
+                       const ResultCallback &on_result = nullptr) const;
+
+    /**
+     * Ask a run() in progress to stop early: points not yet started
+     * are skipped, in-flight ones stop at their next step boundary
+     * (status Skipped in both cases — partial state is discarded),
+     * and run() returns the partial result with
+     * SweepResult::cancelled set. Callable from the result callback
+     * or any thread; resets on the next run()/resume().
+     */
+    void requestCancel() const { cancel_.requestCancel(); }
 
     /**
      * Deterministic ordered parallel map, the primitive under run():
@@ -102,8 +146,12 @@ class SweepEngine
     const SweepOptions &options() const { return options_; }
 
   private:
+    SweepResult runSupervised(const std::vector<SweepPoint> &grid,
+                              const ResultCallback &on_result,
+                              bool resuming) const;
+
     SweepOptions options_;
-    mutable std::atomic<bool> cancel_{false};
+    mutable util::CancelToken cancel_;
 };
 
 } // namespace core

@@ -14,14 +14,17 @@
 #ifndef H2P_CORE_SWEEP_TYPES_H_
 #define H2P_CORE_SWEEP_TYPES_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/run_types.h"
+#include "core/sim_engine.h"
 #include "obs/observability.h"
 #include "sched/scheduler.h"
 #include "sim/recorder.h"
+#include "util/error.h"
 #include "workload/trace.h"
 
 namespace h2p {
@@ -46,6 +49,26 @@ struct SweepPoint
      * themselves.
      */
     std::string label;
+    /**
+     * Optional custom scheduling stage: called once per run *attempt*
+     * to produce a fresh controller, installed on the point's session
+     * (SimSession::setController). A factory — not a controller —
+     * because retries re-run the point on a brand-new session and
+     * stale controller state would break retry determinism. Not part
+     * of the journal fingerprint; callers resuming a journaled sweep
+     * must pass the same factories again.
+     */
+    std::function<SimSession::Controller()> make_controller;
+    /**
+     * Per-point wall-clock deadline, seconds; overrides
+     * SweepOptions::point_deadline_s when > 0.
+     */
+    double deadline_s = 0.0;
+    /**
+     * Per-point step budget; overrides
+     * SweepOptions::point_step_budget when > 0.
+     */
+    size_t step_budget = 0;
 };
 
 /** Knobs of a sweep execution; results are identical under all. */
@@ -70,11 +93,70 @@ struct SweepOptions
     /**
      * Optional sweep-level observability sink (null = none): records
      * the "sweep" span, the "sweep.runs" counter and the
-     * "sweep.run_ms" duration histogram. Independent of any per-point
-     * [obs] configuration, which each run honors as usual.
+     * "sweep.run_ms" duration histogram, plus — under supervision —
+     * the "sweep.retries", "sweep.quarantined" and "sweep.timeouts"
+     * counters and one "sweep.quarantine" event per quarantined
+     * point. Independent of any per-point [obs] configuration, which
+     * each run honors as usual.
      */
     obs::Observability *obs = nullptr;
+    /**
+     * Default wall-clock deadline per point, seconds (0 = unlimited);
+     * SweepPoint::deadline_s overrides it per point. A point past its
+     * deadline stops at the next step boundary with a Timeout failure.
+     */
+    double point_deadline_s = 0.0;
+    /**
+     * Default step budget per point attempt (0 = unlimited);
+     * SweepPoint::step_budget overrides it per point. Unlike the
+     * wall-clock deadline, the budget is deterministic: the run always
+     * fails at exactly the same step.
+     */
+    size_t point_step_budget = 0;
+    /**
+     * Run attempts per point before it is quarantined. Only retryable
+     * failures (h2p::isRetryable: Timeout, Internal) are retried;
+     * ConfigError and NumericDivergence are deterministic and
+     * quarantine on the first attempt. Minimum 1.
+     */
+    size_t max_attempts = 2;
+    /**
+     * Restore the pre-supervision contract: the first failing point
+     * (lowest grid index) aborts the whole sweep with the legacy
+     * "sweep point N (...) failed: ..." error instead of being
+     * quarantined.
+     */
+    bool abort_on_failure = false;
+    /**
+     * Crash-safe journal path (empty = no journal): the sweep appends
+     * a manifest line plus one completion record per finished point to
+     * this JSONL file, each record flushed and fsync'd before the
+     * point's result is delivered. SweepEngine::resume() replays the
+     * journal to skip completed work after a crash.
+     */
+    std::string journal_path;
 };
+
+/** Terminal state of one grid point under supervised execution. */
+enum class PointStatus
+{
+    /** Ran to the end; summary (and recorder, if kept) are valid. */
+    Completed,
+    /**
+     * Every attempt failed; SweepPointResult::failure holds the last
+     * attempt's classified failure and the summary is empty. The rest
+     * of the sweep ran on.
+     */
+    Quarantined,
+    /**
+     * Never ran: the sweep was cancelled before this point started.
+     * Skipped points are not journaled and re-run on resume.
+     */
+    Skipped,
+};
+
+/** Human-readable status name ("completed", "quarantined", ...). */
+const char *toString(PointStatus status);
 
 /** Result of one grid point. */
 struct SweepPointResult
@@ -85,18 +167,28 @@ struct SweepPointResult
     std::string label;
     /** Policy the run executed under. */
     sched::Policy policy = sched::Policy::TegOriginal;
+    /** How the point ended. */
+    PointStatus status = PointStatus::Skipped;
     /**
-     * True once the run finished. False only for points skipped after
-     * a cancellation request (SweepResult::cancelled tells which).
+     * True once the run finished; kept in lockstep with
+     * status == Completed for pre-supervision callers.
      */
     bool completed = false;
     /** Run summary; bit-identical to a serial H2PSystem::run(). */
     RunSummary summary;
+    /** Classified failure of the last attempt (Quarantined only). */
+    RunFailure failure;
+    /** Run attempts consumed (1 = first try; 0 = never started). */
+    size_t attempts = 0;
     /** Per-step channels, or null when SweepOptions::keep_recorders
-     * is off (or the point was skipped). */
+     * is off (or the point was skipped/quarantined/restored from a
+     * journal). */
     std::shared_ptr<sim::Recorder> recorder;
     /** Wall time of this run, seconds. */
     double duration_s = 0.0;
+    /** True when this result was restored from a journal by
+     * SweepEngine::resume() rather than computed in this process. */
+    bool restored = false;
 };
 
 /** Result of a whole sweep. */
@@ -124,6 +216,13 @@ struct SweepResult
     uint64_t lookup_spaces_built = 0;
     /** True when SweepEngine::requestCancel() cut the sweep short. */
     bool cancelled = false;
+    /** Points that exhausted their attempts and were set aside. */
+    size_t quarantined = 0;
+    /** Extra attempts consumed by retryable failures, sweep-wide. */
+    size_t retries = 0;
+    /** Points restored from the journal by SweepEngine::resume()
+     * instead of being recomputed. */
+    size_t points_restored = 0;
 };
 
 } // namespace core

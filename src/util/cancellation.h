@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cooperative cancellation.
+ *
+ * A CancelToken is the handshake between a supervisor and a run in
+ * progress: the supervisor requests, the run checks at its step
+ * boundaries and stops by throwing RunError{Cancelled}. Purely
+ * cooperative — nothing is interrupted mid-step, so every observable
+ * result produced before the stop is exactly the deterministic one.
+ */
+
+#ifndef H2P_UTIL_CANCELLATION_H_
+#define H2P_UTIL_CANCELLATION_H_
+
+#include <atomic>
+
+namespace h2p {
+namespace util {
+
+/**
+ * A one-way latch asking cooperating code to stop. Thread-safe;
+ * request and check may race freely (the run stops at the next check
+ * after the request lands).
+ */
+class CancelToken
+{
+  public:
+    /** Ask cooperating runs to stop at their next check. */
+    void requestCancel()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    /** True once requestCancel() has been called. */
+    bool cancelRequested() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm the token for reuse (only between runs). */
+    void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace util
+} // namespace h2p
+
+#endif // H2P_UTIL_CANCELLATION_H_

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/fs.h"
 #include "util/strings.h"
 
 namespace h2p {
@@ -90,10 +91,10 @@ CsvTable::write(std::ostream &os) const
 void
 CsvTable::save(const std::string &path) const
 {
-    std::ofstream os(path);
-    expect(os.good(), "cannot open `", path, "' for writing");
-    write(os);
-    expect(os.good(), "I/O error while writing `", path, "'");
+    // Atomic temp + rename: a crash mid-save can never leave a
+    // truncated CSV behind (util::atomicWriteFile).
+    util::atomicWriteFile(path,
+                          [this](std::ostream &os) { write(os); });
 }
 
 CsvTable

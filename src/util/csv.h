@@ -55,7 +55,10 @@ class CsvTable
     /** Serialize to a stream in CSV form. */
     void write(std::ostream &os) const;
 
-    /** Write to @p path, throwing h2p::Error on I/O failure. */
+    /**
+     * Write to @p path atomically (temp + fsync + rename: crashes
+     * never leave a truncated file), throwing h2p::Error on failure.
+     */
     void save(const std::string &path) const;
 
     /** Parse from a stream. @p has_header reads the first row as names. */

@@ -19,4 +19,57 @@ panicImpl(const char *file, int line, const char *expr,
 }
 
 } // namespace detail
+
+const char *
+toString(FailureKind kind)
+{
+    switch (kind) {
+    case FailureKind::ConfigError:
+        return "config_error";
+    case FailureKind::NumericDivergence:
+        return "numeric_divergence";
+    case FailureKind::Timeout:
+        return "timeout";
+    case FailureKind::Cancelled:
+        return "cancelled";
+    case FailureKind::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+FailureKind
+failureKindFromString(const std::string &name)
+{
+    for (FailureKind kind :
+         {FailureKind::ConfigError, FailureKind::NumericDivergence,
+          FailureKind::Timeout, FailureKind::Cancelled,
+          FailureKind::Internal}) {
+        if (name == toString(kind))
+            return kind;
+    }
+    fatal("unknown failure kind `", name, "'");
+}
+
+bool
+isRetryable(FailureKind kind)
+{
+    return kind == FailureKind::Timeout ||
+           kind == FailureKind::Internal;
+}
+
+std::string
+RunFailure::describe() const
+{
+    std::ostringstream os;
+    os << "[" << toString(kind) << "]";
+    if (step != kNoStep)
+        os << " step " << step;
+    if (!stage.empty())
+        os << (step != kNoStep ? ", " : " ") << "stage " << stage;
+    if (!message.empty())
+        os << ": " << message;
+    return os.str();
+}
+
 } // namespace h2p

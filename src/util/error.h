@@ -15,6 +15,7 @@
 #ifndef H2P_UTIL_ERROR_H_
 #define H2P_UTIL_ERROR_H_
 
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -28,6 +29,81 @@ class Error : public std::runtime_error
 {
   public:
     explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+/**
+ * Why a supervised run failed. The taxonomy drives the supervision
+ * policy (SweepEngine): retryable kinds get bounded deterministic
+ * retries, non-retryable ones are quarantined immediately, and
+ * Cancelled is not a failure at all — the point is simply skipped.
+ */
+enum class FailureKind
+{
+    /** Bad configuration or input; re-running cannot help. */
+    ConfigError,
+    /** The model produced NaN/inf; deterministic, never retried. */
+    NumericDivergence,
+    /** A wall-clock deadline or step budget was exceeded. */
+    Timeout,
+    /** A cooperative cancellation request stopped the run. */
+    Cancelled,
+    /** Resource exhaustion or an unclassified exception. */
+    Internal,
+};
+
+/** Stable lower-case name of @p kind ("config_error", ...). */
+const char *toString(FailureKind kind);
+
+/** Parse a toString(FailureKind) name back; throws h2p::Error. */
+FailureKind failureKindFromString(const std::string &name);
+
+/**
+ * True when re-running the identical computation may succeed: the
+ * failure depends on wall-clock or transient resources (Timeout,
+ * Internal), not on the deterministic inputs.
+ */
+bool isRetryable(FailureKind kind);
+
+/**
+ * Structured description of one failed run: what kind of failure,
+ * where in the step loop (step index, pipeline stage) and the
+ * human-readable message. Attached to RunError so supervisors can
+ * classify without parsing what() strings.
+ */
+struct RunFailure
+{
+    /** Sentinel for `step` when no step context applies. */
+    static constexpr size_t kNoStep = static_cast<size_t>(-1);
+
+    FailureKind kind = FailureKind::Internal;
+    /** Human-readable cause (exception text). */
+    std::string message;
+    /** Step index the failure surfaced at, or kNoStep. */
+    size_t step = kNoStep;
+    /** Pipeline stage ("decide", "evaluate", "deadline", ...). */
+    std::string stage;
+
+    /** One-line rendering: "[kind] step 12, stage evaluate: msg". */
+    std::string describe() const;
+};
+
+/**
+ * An h2p::Error carrying a structured RunFailure. Thrown by the
+ * SimEngine step loop (divergence at stage boundaries, guard
+ * violations) and consumed by SweepEngine's per-point supervision.
+ */
+class RunError : public Error
+{
+  public:
+    explicit RunError(RunFailure failure)
+        : Error(failure.describe()), failure_(std::move(failure))
+    {
+    }
+
+    const RunFailure &failure() const { return failure_; }
+
+  private:
+    RunFailure failure_;
 };
 
 namespace detail {

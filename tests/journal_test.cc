@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Crash-safe sweep journal tests: bit-exact record round trips,
+ * resume-skips-completed-work, byte-identical delivery after an
+ * interrupted sweep, torn-tail tolerance, corruption and mismatch
+ * rejection, and quarantined-record restoration.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/h2p_system.h"
+#include "core/sweep_engine.h"
+#include "core/sweep_journal.h"
+#include "util/error.h"
+#include "workload/trace_gen.h"
+
+namespace h2p {
+namespace {
+
+bool
+sameBits(double a, double b)
+{
+    uint64_t x, y;
+    std::memcpy(&x, &a, sizeof(x));
+    std::memcpy(&y, &b, sizeof(y));
+    return x == y;
+}
+
+core::H2PConfig
+smallConfig()
+{
+    core::H2PConfig cfg;
+    cfg.datacenter.num_servers = 40;
+    cfg.datacenter.servers_per_circulation = 20;
+    return cfg;
+}
+
+workload::UtilizationTrace
+makeTrace(uint64_t seed = 21, size_t servers = 40,
+          double duration_s = 1.0 * 3600.0)
+{
+    workload::TraceGenerator gen(seed);
+    return gen.generate(workload::TraceGenParams::forProfile(
+                            workload::TraceProfile::Drastic),
+                        servers, duration_s);
+}
+
+std::vector<core::SweepPoint>
+makeGrid(const workload::UtilizationTrace &trace, size_t n)
+{
+    std::vector<core::SweepPoint> grid;
+    for (size_t i = 0; i < n; ++i) {
+        core::SweepPoint pt;
+        pt.config = smallConfig();
+        pt.config.optimizer.t_safe_c = 58.0 + 2.0 * double(i);
+        pt.trace = &trace;
+        pt.policy = i % 2 == 0 ? sched::Policy::TegOriginal
+                               : sched::Policy::TegLoadBalance;
+        pt.label = "pt" + std::to_string(i);
+        grid.push_back(pt);
+    }
+    return grid;
+}
+
+/** RAII temp-file path cleaned up on scope exit. */
+struct TempPath
+{
+    explicit TempPath(const std::string &name) : path(name) {}
+    ~TempPath() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** One digest line per delivered point, for byte-identity checks. */
+std::string
+renderDelivered(const std::vector<core::SweepPointResult> &delivered)
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const core::SweepPointResult &r : delivered) {
+        os << r.index << ',' << r.label << ','
+           << core::toString(r.status) << ',' << r.summary.pre << ','
+           << r.summary.avg_teg_w << ',' << r.summary.teg_energy_kwh
+           << ',' << toString(r.failure.kind) << ','
+           << r.failure.stage << '\n';
+    }
+    return os.str();
+}
+
+// ------------------------------------------------ record round trip
+
+TEST(JournalTest, RecordsRoundTripBitExactly)
+{
+    TempPath jp("journal_test_roundtrip.jsonl");
+
+    core::JournalPointRecord done;
+    done.index = 3;
+    done.status = core::PointStatus::Completed;
+    done.attempts = 2;
+    done.label = "t_safe=61, \"quoted\"\nline";
+    done.policy = sched::Policy::TegLoadBalance;
+    done.duration_s = 0.12345678901234567;
+    done.summary.policy = sched::Policy::TegLoadBalance;
+    done.summary.avg_teg_w = 1.0 / 3.0;
+    done.summary.peak_teg_w = 2.0000000000000004;
+    done.summary.avg_cpu_w = 77.7;
+    done.summary.pre = 0.031415926535897931;
+    done.summary.teg_energy_kwh = 1e-300;
+    done.summary.cpu_energy_kwh = 12.0;
+    done.summary.plant_energy_kwh = 0.0;
+    done.summary.pump_energy_kwh = -0.0;
+    done.summary.safe_fraction = 0.99999999999999989;
+    done.summary.avg_t_in_c = 45.100000000000001;
+    done.summary.fault_events = 7;
+    done.summary.throttle_events = 2;
+    done.summary.throttled_work_server_hours = 0.25;
+    done.summary.teg_energy_lost_kwh = 1e-17;
+    done.summary.safe_mode_steps = 11;
+    done.summary.max_faulted_servers = 4;
+    done.summary.circulation_safe_fraction = {1.0, 1.0 / 7.0, 0.5};
+
+    core::JournalPointRecord bad;
+    bad.index = 5;
+    bad.status = core::PointStatus::Quarantined;
+    bad.attempts = 3;
+    bad.label = "diverging";
+    bad.policy = sched::Policy::TegOriginal;
+    bad.duration_s = 0.001;
+    bad.failure.kind = FailureKind::NumericDivergence;
+    bad.failure.step = 17;
+    bad.failure.stage = "evaluate";
+    bad.failure.message = "teg=inf W\ttab and \"quotes\"";
+
+    {
+        auto j = core::SweepJournal::create(jp.path, 8, 0xabcdef0011223344u);
+        j.append(done);
+        j.append(bad);
+        j.close();
+    }
+
+    auto loaded = core::SweepJournal::load(jp.path);
+    EXPECT_EQ(loaded.num_points, 8u);
+    EXPECT_EQ(loaded.fingerprint, 0xabcdef0011223344u);
+    ASSERT_EQ(loaded.records.size(), 2u);
+
+    const core::JournalPointRecord &d = loaded.records.at(3);
+    EXPECT_EQ(d.status, core::PointStatus::Completed);
+    EXPECT_EQ(d.attempts, 2u);
+    EXPECT_EQ(d.label, done.label);
+    EXPECT_EQ(d.policy, sched::Policy::TegLoadBalance);
+    EXPECT_TRUE(sameBits(d.duration_s, done.duration_s));
+    EXPECT_EQ(d.summary.policy, sched::Policy::TegLoadBalance);
+    EXPECT_TRUE(sameBits(d.summary.avg_teg_w, done.summary.avg_teg_w));
+    EXPECT_TRUE(
+        sameBits(d.summary.peak_teg_w, done.summary.peak_teg_w));
+    EXPECT_TRUE(sameBits(d.summary.pre, done.summary.pre));
+    EXPECT_TRUE(sameBits(d.summary.teg_energy_kwh,
+                         done.summary.teg_energy_kwh));
+    EXPECT_TRUE(sameBits(d.summary.pump_energy_kwh, -0.0));
+    EXPECT_TRUE(sameBits(d.summary.safe_fraction,
+                         done.summary.safe_fraction));
+    EXPECT_EQ(d.summary.fault_events, 7u);
+    EXPECT_EQ(d.summary.safe_mode_steps, 11u);
+    EXPECT_EQ(d.summary.max_faulted_servers, 4u);
+    ASSERT_EQ(d.summary.circulation_safe_fraction.size(), 3u);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_TRUE(
+            sameBits(d.summary.circulation_safe_fraction[i],
+                     done.summary.circulation_safe_fraction[i]));
+
+    const core::JournalPointRecord &q = loaded.records.at(5);
+    EXPECT_EQ(q.status, core::PointStatus::Quarantined);
+    EXPECT_EQ(q.failure.kind, FailureKind::NumericDivergence);
+    EXPECT_EQ(q.failure.step, 17u);
+    EXPECT_EQ(q.failure.stage, "evaluate");
+    EXPECT_EQ(q.failure.message, bad.failure.message);
+}
+
+// --------------------------------------------------- load rejection
+
+TEST(JournalTest, LoadToleratesTornTailOnly)
+{
+    TempPath jp("journal_test_torn.jsonl");
+    {
+        auto j = core::SweepJournal::create(jp.path, 4, 99);
+        core::JournalPointRecord rec;
+        rec.index = 0;
+        rec.status = core::PointStatus::Completed;
+        rec.attempts = 1;
+        j.append(rec);
+        rec.index = 1;
+        j.append(rec);
+        j.close();
+    }
+    const std::string intact = readFile(jp.path);
+
+    // Torn final line (SIGKILL mid-append): dropped silently, the
+    // rest of the journal survives.
+    writeFile(jp.path, intact.substr(0, intact.size() - 25));
+    auto loaded = core::SweepJournal::load(jp.path);
+    EXPECT_EQ(loaded.num_points, 4u);
+    EXPECT_EQ(loaded.records.size(), 1u);
+    EXPECT_TRUE(loaded.records.count(0));
+
+    // The same damage in the *middle* is corruption, not a torn tail.
+    size_t first_nl = intact.find('\n');
+    size_t second_nl = intact.find('\n', first_nl + 1);
+    std::string corrupt = intact.substr(0, second_nl - 25) +
+                          intact.substr(second_nl);
+    writeFile(jp.path, corrupt);
+    EXPECT_THROW(core::SweepJournal::load(jp.path), Error);
+}
+
+TEST(JournalTest, LoadRejectsMissingOrBrokenManifest)
+{
+    TempPath jp("journal_test_manifest.jsonl");
+
+    writeFile(jp.path, "");
+    EXPECT_THROW(core::SweepJournal::load(jp.path), Error);
+
+    writeFile(jp.path, "{\"type\":\"point\",\"index\":0}\n");
+    EXPECT_THROW(core::SweepJournal::load(jp.path), Error);
+
+    writeFile(jp.path, "{\"type\":\"manifest\",\"version\":7,"
+                       "\"points\":1,\"fingerprint\":"
+                       "\"0x0000000000000001\"}\n");
+    EXPECT_THROW(core::SweepJournal::load(jp.path), Error);
+
+    EXPECT_THROW(core::SweepJournal::load("no_such_journal.jsonl"),
+                 Error);
+}
+
+// ------------------------------------------------- sweep integration
+
+TEST(JournalTest, ResumeSkipsCompletedPointsAndMatchesByteForByte)
+{
+    TempPath jp("journal_test_resume.jsonl");
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, 5);
+    grid[3].step_budget = 2; // one quarantined point in the mix
+
+    core::SweepOptions options;
+    options.keep_recorders = false;
+    options.max_attempts = 1;
+    options.journal_path = jp.path;
+
+    // Uninterrupted reference sweep.
+    std::vector<core::SweepPointResult> ref_delivered;
+    core::SweepEngine engine(options);
+    core::SweepResult reference =
+        engine.run(grid, [&](const core::SweepPointResult &r) {
+            ref_delivered.push_back(r);
+        });
+    const std::string ref_bytes = renderDelivered(ref_delivered);
+    EXPECT_EQ(reference.quarantined, 1u);
+
+    // Interrupted sweep: cancel after two delivered points. The
+    // journal now holds a prefix of the work.
+    std::vector<core::SweepPointResult> partial;
+    core::SweepResult interrupted =
+        engine.run(grid, [&](const core::SweepPointResult &r) {
+            partial.push_back(r);
+            if (partial.size() == 2)
+                engine.requestCancel();
+        });
+    EXPECT_TRUE(interrupted.cancelled);
+    EXPECT_LT(interrupted.runs_completed, grid.size());
+
+    // Resume: completed work restores from the journal, the rest
+    // computes, and the delivered stream is byte-identical to the
+    // uninterrupted sweep.
+    std::vector<core::SweepPointResult> resumed_delivered;
+    core::SweepResult resumed =
+        engine.resume(grid, [&](const core::SweepPointResult &r) {
+            resumed_delivered.push_back(r);
+        });
+    EXPECT_FALSE(resumed.cancelled);
+    EXPECT_EQ(resumed.points_restored, 2u);
+    EXPECT_EQ(resumed.quarantined, 1u);
+    EXPECT_EQ(renderDelivered(resumed_delivered), ref_bytes);
+
+    // Restored points carry bit-exact summaries but no recorder.
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_TRUE(resumed_delivered[i].restored);
+        EXPECT_EQ(resumed_delivered[i].recorder, nullptr);
+        EXPECT_TRUE(sameBits(resumed_delivered[i].summary.pre,
+                             ref_delivered[i].summary.pre));
+    }
+
+    // A second resume over the now-complete journal restores
+    // everything and recomputes nothing.
+    std::vector<core::SweepPointResult> again_delivered;
+    core::SweepResult again =
+        engine.resume(grid, [&](const core::SweepPointResult &r) {
+            again_delivered.push_back(r);
+        });
+    EXPECT_EQ(again.points_restored, grid.size());
+    EXPECT_EQ(renderDelivered(again_delivered), ref_bytes);
+}
+
+TEST(JournalTest, ResumeRestoresQuarantinedRecord)
+{
+    TempPath jp("journal_test_quarantine.jsonl");
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, 3);
+    grid[0].config.datacenter.server.power.scale = 1e308;
+
+    core::SweepOptions options;
+    options.keep_recorders = false;
+    options.journal_path = jp.path;
+    core::SweepEngine engine(options);
+    core::SweepResult first = engine.run(grid);
+    EXPECT_EQ(first.quarantined, 1u);
+
+    core::SweepResult resumed = engine.resume(grid);
+    EXPECT_EQ(resumed.points_restored, 3u);
+    EXPECT_EQ(resumed.quarantined, 1u);
+    const core::SweepPointResult &bad = resumed.points[0];
+    EXPECT_TRUE(bad.restored);
+    EXPECT_EQ(bad.status, core::PointStatus::Quarantined);
+    EXPECT_EQ(bad.failure.kind, FailureKind::NumericDivergence);
+    EXPECT_EQ(bad.failure.step, 0u);
+    EXPECT_EQ(bad.failure.stage, "evaluate");
+}
+
+TEST(JournalTest, ResumeRejectsMismatchedGrid)
+{
+    TempPath jp("journal_test_mismatch.jsonl");
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, 3);
+
+    core::SweepOptions options;
+    options.keep_recorders = false;
+    options.journal_path = jp.path;
+    core::SweepEngine engine(options);
+    engine.run(grid);
+
+    // Different grid size.
+    auto bigger = makeGrid(trace, 4);
+    EXPECT_THROW(engine.resume(bigger), Error);
+
+    // Same size, different content (fingerprint mismatch).
+    auto tweaked = makeGrid(trace, 3);
+    tweaked[1].config.optimizer.t_safe_c += 1.0;
+    EXPECT_THROW(engine.resume(tweaked), Error);
+
+    // Resume without a journal configured / without a file.
+    core::SweepEngine plain;
+    EXPECT_THROW(plain.resume(grid), Error);
+    core::SweepOptions missing = options;
+    missing.journal_path = "never_written.jsonl";
+    core::SweepEngine missing_engine(missing);
+    EXPECT_THROW(missing_engine.resume(grid), Error);
+}
+
+TEST(JournalTest, FreshRunTruncatesOldJournal)
+{
+    TempPath jp("journal_test_truncate.jsonl");
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, 2);
+
+    core::SweepOptions options;
+    options.keep_recorders = false;
+    options.journal_path = jp.path;
+    core::SweepEngine engine(options);
+    engine.run(grid);
+    auto first = core::SweepJournal::load(jp.path);
+    EXPECT_EQ(first.records.size(), 2u);
+
+    // run() (not resume()) starts over: the journal is re-created.
+    engine.run(grid);
+    auto second = core::SweepJournal::load(jp.path);
+    EXPECT_EQ(second.records.size(), 2u);
+    EXPECT_EQ(second.num_points, 2u);
+}
+
+} // namespace
+} // namespace h2p

@@ -311,6 +311,80 @@ TEST(SessionTest, CheckpointRejectsCorruption)
     EXPECT_NO_THROW(sys.resumeSession(ck.path, trace));
 }
 
+TEST(SessionTest, CheckpointTruncationFuzzAlwaysFailsCleanly)
+{
+    // A crash (or a torn copy) can truncate a checkpoint at any byte.
+    // Every truncation point must surface as a clean h2p::Error from
+    // resumeSession — never a crash, hang or silent partial restore.
+    TempPath ck("session_test_truncfuzz.ckpt");
+    auto trace = makeTrace();
+    core::H2PSystem sys(faultedConfig());
+
+    auto session = sys.startSession(trace, sched::Policy::TegOriginal);
+    for (size_t i = 0; i < 6; ++i)
+        session.step();
+    session.saveCheckpoint(ck.path);
+
+    std::string bytes;
+    {
+        std::ifstream is(ck.path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(bytes.size(), 128u);
+
+    // Sample cut points densely through the header and sparsely
+    // through the payload, plus the exact section boundaries.
+    std::vector<size_t> cuts;
+    for (size_t i = 0; i < 32 && i < bytes.size(); ++i)
+        cuts.push_back(i);
+    for (size_t i = 32; i < bytes.size(); i += bytes.size() / 61 + 1)
+        cuts.push_back(i);
+    cuts.push_back(bytes.size() - 1);
+    cuts.push_back(bytes.size() - 8); // into the checksum footer
+
+    for (size_t cut : cuts) {
+        {
+            std::ofstream os(ck.path, std::ios::binary);
+            os.write(bytes.data(), static_cast<std::streamsize>(cut));
+        }
+        EXPECT_THROW(sys.resumeSession(ck.path, trace), Error)
+            << "truncation at byte " << cut << " of " << bytes.size()
+            << " was accepted";
+    }
+
+    // Whole file restored: still resumable after all that abuse.
+    {
+        std::ofstream os(ck.path, std::ios::binary);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_NO_THROW(sys.resumeSession(ck.path, trace));
+}
+
+TEST(SessionTest, CheckpointSaveToBadDirectoryThrowsAndLeavesNoTrash)
+{
+    auto trace = makeTrace();
+    core::H2PSystem sys(smallConfig());
+    auto session = sys.startSession(trace, sched::Policy::TegOriginal);
+    session.step();
+
+    const std::string bad =
+        "no_such_dir_session_test/sub/file.ckpt";
+    try {
+        session.saveCheckpoint(bad);
+        FAIL() << "checkpoint into a missing directory was accepted";
+    } catch (const Error &e) {
+        // The error names the destination so the operator can act.
+        EXPECT_NE(std::string(e.what()).find("no_such_dir_session_test"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Atomic write: no final file and no temp sibling left behind.
+    std::ifstream is(bad);
+    EXPECT_FALSE(is.good());
+}
+
 TEST(SessionTest, CheckpointRejectsMismatchedConfig)
 {
     TempPath ck("session_test_mismatch.ckpt");

@@ -255,19 +255,21 @@ TEST(SweepTest, MissingTraceIsRejected)
 
 // --------------------------------------------- errors and cancel
 
-TEST(SweepTest, FailingPointSurfacesItsConfigDeterministically)
+TEST(SweepTest, AbortOnFailureSurfacesItsConfigDeterministically)
 {
     auto trace = makeTrace(40);
     auto grid = makeGrid(trace, false);
     // Point 3 asks for more servers than the trace covers; its run
-    // throws inside a worker and the sweep must rethrow with the
-    // point's identity attached, not hang or die.
+    // throws inside a worker and — under the legacy abort contract —
+    // the sweep must rethrow with the point's identity attached, not
+    // hang or die.
     grid[3].config.datacenter.num_servers = 500;
     grid[3].label = "bad-point";
 
     for (size_t workers : {size_t{1}, size_t{4}}) {
         core::SweepOptions options;
         options.workers = workers;
+        options.abort_on_failure = true;
         core::SweepEngine engine(options);
         try {
             engine.run(grid);
@@ -280,6 +282,38 @@ TEST(SweepTest, FailingPointSurfacesItsConfigDeterministically)
                 << what;
             EXPECT_NE(what.find("500 servers"), std::string::npos)
                 << what;
+        }
+    }
+}
+
+TEST(SweepTest, FailingPointIsQuarantinedByDefault)
+{
+    auto trace = makeTrace(40);
+    auto grid = makeGrid(trace, false);
+    grid[3].config.datacenter.num_servers = 500;
+    grid[3].label = "bad-point";
+
+    for (size_t workers : {size_t{1}, size_t{4}}) {
+        core::SweepOptions options;
+        options.workers = workers;
+        options.keep_recorders = false;
+        core::SweepEngine engine(options);
+        core::SweepResult result = engine.run(grid);
+
+        ASSERT_EQ(result.points.size(), grid.size());
+        EXPECT_EQ(result.quarantined, 1u);
+        EXPECT_EQ(result.runs_completed, grid.size() - 1);
+        const core::SweepPointResult &bad = result.points[3];
+        EXPECT_EQ(bad.status, core::PointStatus::Quarantined);
+        EXPECT_FALSE(bad.completed);
+        EXPECT_EQ(bad.failure.kind, FailureKind::ConfigError);
+        EXPECT_EQ(bad.attempts, 1u); // deterministic: never retried
+        for (size_t i = 0; i < result.points.size(); ++i) {
+            if (i == 3)
+                continue;
+            EXPECT_EQ(result.points[i].status,
+                      core::PointStatus::Completed)
+                << "point " << i;
         }
     }
 }
@@ -306,13 +340,88 @@ TEST(SweepTest, CancelFromCallbackStopsLaunchingRuns)
     ASSERT_EQ(result.points.size(), grid.size());
     EXPECT_TRUE(result.points[0].completed);
     EXPECT_TRUE(result.points[1].completed);
-    for (size_t i = 2; i < result.points.size(); ++i)
+    for (size_t i = 2; i < result.points.size(); ++i) {
         EXPECT_FALSE(result.points[i].completed);
+        EXPECT_EQ(result.points[i].status, core::PointStatus::Skipped);
+    }
 
     // The engine resets the flag: the next run completes fully.
     core::SweepResult again = engine.run(grid);
     EXPECT_FALSE(again.cancelled);
     EXPECT_EQ(again.runs_completed, grid.size());
+}
+
+TEST(SweepTest, CancelDeliversContiguousPrefixAtAnyWorkerCount)
+{
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, false);
+
+    for (size_t workers : {size_t{1}, size_t{4}}) {
+        core::SweepOptions options;
+        options.workers = workers;
+        options.keep_recorders = false;
+        core::SweepEngine engine(options);
+        std::vector<size_t> seen;
+        core::SweepResult result =
+            engine.run(grid, [&](const core::SweepPointResult &r) {
+                seen.push_back(r.index);
+                if (seen.size() == 3)
+                    engine.requestCancel();
+            });
+
+        EXPECT_TRUE(result.cancelled);
+        // Delivered indices form a contiguous prefix 0..k even when
+        // in-flight higher-index points finished after the cancel.
+        ASSERT_GE(seen.size(), 3u);
+        for (size_t i = 0; i < seen.size(); ++i)
+            EXPECT_EQ(seen[i], i) << "workers=" << workers;
+        // Everything delivered actually completed.
+        for (size_t i : seen)
+            EXPECT_TRUE(result.points[i].completed);
+    }
+}
+
+TEST(SweepTest, CancelBeforeStartIsClearedByRun)
+{
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, false);
+    std::vector<core::SweepPoint> three(grid.begin(),
+                                        grid.begin() + 3);
+
+    core::SweepOptions options;
+    options.keep_recorders = false;
+    core::SweepEngine engine(options);
+    // A stale cancel request from before the sweep starts must not
+    // leak into it: run() re-arms the token at entry.
+    engine.requestCancel();
+    core::SweepResult result = engine.run(three);
+    EXPECT_FALSE(result.cancelled);
+    EXPECT_EQ(result.runs_completed, three.size());
+}
+
+TEST(SweepTest, EngineIsReusableAfterCancelledSweep)
+{
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, false);
+
+    core::SweepOptions options;
+    options.workers = 4;
+    options.keep_recorders = false;
+    core::SweepEngine engine(options);
+    core::SweepResult first =
+        engine.run(grid, [&](const core::SweepPointResult &r) {
+            if (r.index == 0)
+                engine.requestCancel();
+        });
+    EXPECT_TRUE(first.cancelled);
+    EXPECT_LT(first.runs_completed, grid.size());
+
+    // Same engine, fresh sweep: full completion, results intact.
+    core::SweepResult second = engine.run(grid);
+    EXPECT_FALSE(second.cancelled);
+    EXPECT_EQ(second.runs_completed, grid.size());
+    for (const core::SweepPointResult &p : second.points)
+        EXPECT_TRUE(p.completed);
 }
 
 // --------------------------------------------- shared lookup space

@@ -7,10 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
+#include "util/cancellation.h"
 #include "util/csv.h"
 #include "util/error.h"
+#include "util/fs.h"
 #include "util/interpolate.h"
 #include "util/random.h"
 #include "util/strings.h"
@@ -418,6 +423,61 @@ TEST(UnitsTest, StreamCapacitanceRateAt20Lph)
 {
     // 20 L/H of water: 20/3600 kg/s * 4200 J/(kg K) = 23.33 W/K.
     EXPECT_NEAR(units::streamCapacitanceRate(20.0), 23.333, 0.01);
+}
+
+// ------------------------------------------------------ atomic writes
+
+TEST(FsTest, AtomicWriteFileWritesAndReplaces)
+{
+    const std::string path = "util_test_atomic.txt";
+    util::atomicWriteFile(path, "first\n");
+    {
+        std::ifstream is(path);
+        std::string all((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+        EXPECT_EQ(all, "first\n");
+    }
+
+    // Replacing an existing file goes through the same temp+rename:
+    // readers never observe a truncated intermediate.
+    util::atomicWriteFile(path, [](std::ostream &os) {
+        os << "second, via stream writer";
+    });
+    {
+        std::ifstream is(path);
+        std::string all((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+        EXPECT_EQ(all, "second, via stream writer");
+    }
+    std::remove(path.c_str());
+}
+
+TEST(FsTest, AtomicWriteFileFailsLoudlyOnBadDestination)
+{
+    const std::string bad = "util_test_no_dir/sub/file.txt";
+    try {
+        util::atomicWriteFile(bad, "payload");
+        FAIL() << "write into a missing directory was accepted";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("util_test_no_dir"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(util::atomicWriteFile("", "x"), Error);
+}
+
+// ------------------------------------------------------ cancel token
+
+TEST(CancelTokenTest, LatchesAndResets)
+{
+    util::CancelToken token;
+    EXPECT_FALSE(token.cancelRequested());
+    token.requestCancel();
+    EXPECT_TRUE(token.cancelRequested());
+    token.requestCancel(); // idempotent
+    EXPECT_TRUE(token.cancelRequested());
+    token.reset();
+    EXPECT_FALSE(token.cancelRequested());
 }
 
 } // namespace
