@@ -9,10 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include "cluster/datacenter.h"
+#include "cluster/server_block.h"
 #include "core/h2p_system.h"
 #include "sched/cooling_optimizer.h"
 #include "sched/lookup_space.h"
 #include "stats/order_stats.h"
+#include "thermal/cpu.h"
+#include "thermal/teg.h"
+#include "workload/cpu_power.h"
 #include "workload/trace_gen.h"
 
 namespace {
@@ -31,6 +35,123 @@ BM_ServerEvaluate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ServerEvaluate);
+
+// ---- Per-kernel rows: the arithmetic stages the SoA step kernel is
+// ---- built from, so a regression can be pinned to one pass.
+
+/** Utilization -> package power (Eq. 20): one log per server. */
+void
+BM_KernelPowerPoly(benchmark::State &state)
+{
+    workload::CpuPowerModel power;
+    double u = 0.1;
+    for (auto _ : state) {
+        u = u > 0.9 ? 0.1 : u + 0.013;
+        benchmark::DoNotOptimize(power.power(u));
+    }
+}
+BENCHMARK(BM_KernelPowerPoly);
+
+/** Die-temperature pass: T_die = k * T_in + P * r over a block. */
+void
+BM_KernelDieTempFma(benchmark::State &state)
+{
+    thermal::CpuThermalModel thermal;
+    thermal::CpuStepCoefficients c = thermal.stepCoefficients(50.0);
+    const size_t n = 1024;
+    std::vector<double> cpu_w(n), die_c(n);
+    for (size_t i = 0; i < n; ++i)
+        cpu_w[i] = 40.0 + 0.05 * static_cast<double>(i);
+    const double kt = c.slope_k * 45.0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < n; ++i)
+            die_c[i] = kt + cpu_w[i] * c.plate_r_kpw;
+        benchmark::DoNotOptimize(die_c.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelDieTempFma);
+
+/** TEG harvest fit (Eq. 2 + 6/7 with the Fig. 7 coupling). */
+void
+BM_KernelTegFit(benchmark::State &state)
+{
+    thermal::TegModule teg(12);
+    double t_out = 46.0;
+    for (auto _ : state) {
+        t_out = t_out > 55.0 ? 46.0 : t_out + 0.017;
+        benchmark::DoNotOptimize(
+            teg.powerFromTemps(t_out, 20.0, 50.0));
+    }
+}
+BENCHMARK(BM_KernelTegFit);
+
+/**
+ * Deriving the flow-dependent coefficients — the work the SoA kernel
+ * hoists to once per circulation per step. Compare against
+ * BM_KernelDieTempFma's per-server cost to see why.
+ */
+void
+BM_KernelCoefficientHoist(benchmark::State &state)
+{
+    thermal::CpuThermalModel thermal;
+    thermal::TegModule teg(12);
+    double flow = 20.0;
+    for (auto _ : state) {
+        flow = flow > 110.0 ? 20.0 : flow + 0.13;
+        benchmark::DoNotOptimize(thermal.stepCoefficients(flow));
+        benchmark::DoNotOptimize(teg.stepCoefficients(flow));
+    }
+}
+BENCHMARK(BM_KernelCoefficientHoist);
+
+/**
+ * Unhoisted whole-server evaluation (per-call coefficient re-derive)
+ * vs the hoisted SoA block below; same physics, same results.
+ */
+void
+BM_KernelServerScalarUnhoisted(benchmark::State &state)
+{
+    cluster::Server server;
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::vector<double> utils(n);
+    for (size_t i = 0; i < n; ++i)
+        utils[i] = 0.05 + 0.9 * static_cast<double>(i) /
+                              static_cast<double>(n);
+    for (auto _ : state) {
+        for (size_t i = 0; i < n; ++i)
+            benchmark::DoNotOptimize(
+                server.evaluate(utils[i], 50.0, 45.0, 20.0));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelServerScalarUnhoisted)->Arg(1024);
+
+/** Hoisted SoA block: coefficients once, then vectorizable passes. */
+void
+BM_KernelServerBlockHoisted(benchmark::State &state)
+{
+    cluster::ServerBlock block{cluster::ServerParams{}};
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::vector<double> utils(n);
+    for (size_t i = 0; i < n; ++i)
+        utils[i] = 0.05 + 0.9 * static_cast<double>(i) /
+                              static_cast<double>(n);
+    cluster::ServerStateBlock out;
+    for (auto _ : state) {
+        cluster::ServerBlock::Coeffs c =
+            block.coefficients(50.0, 45.0, 20.0);
+        block.evaluateClean(utils.data(), n, c, out);
+        benchmark::DoNotOptimize(
+            cluster::ServerBlock::reduce(out));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelServerBlockHoisted)->Arg(1024);
 
 void
 BM_LookupSpaceBuild(benchmark::State &state)

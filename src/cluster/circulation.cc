@@ -9,7 +9,8 @@ namespace cluster {
 
 Circulation::Circulation(size_t count, const ServerParams &server_params,
                          const hydraulic::PumpParams &pump_params)
-    : count_(count), server_(server_params), pump_(pump_params)
+    : count_(count), server_(server_params), block_(server_params),
+      pump_(pump_params)
 {
     expect(count >= 1, "a circulation needs at least one server");
 }
@@ -46,35 +47,24 @@ Circulation::evaluateInto(const double *utils, size_t n,
 
     const bool clean = health == nullptr || health->clean();
 
-    // Reset the aggregate, reusing the servers storage.
     out.setting = setting;
-    out.servers.resize(count_);
-    out.cpu_power_w = 0.0;
-    out.teg_power_w = 0.0;
-    out.heat_w = 0.0;
-    out.return_c = 0.0;
-    out.pump_power_w = 0.0;
-    out.max_die_c = 0.0;
-    out.faulted_servers = 0;
-    out.teg_power_lost_w = 0.0;
-    out.all_safe = true;
 
     if (clean) {
         out.delivered_flow_lph = setting.flow_lph;
 
-        double sum_return = 0.0;
-        for (size_t i = 0; i < count_; ++i) {
-            ServerState &s = out.servers[i];
-            s = server_.evaluate(utils[i], setting.flow_lph,
-                                 setting.t_in_c, t_cold_c);
-            out.cpu_power_w += s.cpu_power_w;
-            out.teg_power_w += s.teg_power_w;
-            out.heat_w += s.heat_w;
-            out.max_die_c = std::max(out.max_die_c, s.die_temp_c);
-            out.all_safe = out.all_safe && s.safe;
-            sum_return += s.outlet_c;
-        }
-        out.return_c = sum_return / static_cast<double>(count_);
+        ServerBlock::Coeffs c = block_.coefficients(
+            setting.flow_lph, setting.t_in_c, t_cold_c);
+        block_.evaluateClean(utils, n, c, out.servers);
+
+        ServerBlock::Totals t = ServerBlock::reduce(out.servers);
+        out.cpu_power_w = t.cpu_power_w;
+        out.teg_power_w = t.teg_power_w;
+        out.teg_power_lost_w = 0.0;
+        out.heat_w = t.heat_w;
+        out.max_die_c = t.max_die_c;
+        out.all_safe = t.all_safe;
+        out.faulted_servers = 0;
+        out.return_c = t.sum_outlet_c / static_cast<double>(count_);
         // The centralized pump's head scales with the per-branch flow
         // (branches are parallel), so model it as one pump-equivalent
         // per branch: total power = count * affinity-law power at
@@ -87,9 +77,10 @@ Circulation::evaluateInto(const double *utils, size_t n,
     expect(health->pump_flow_factor >= 0.0 &&
                health->pump_flow_factor <= 1.0,
            "pump flow factor must be in [0, 1]");
-    expect(health->servers.empty() || health->servers.size() == count_,
+    expect(!health->hasServerLanes() ||
+               health->numServers() == count_,
            "expected ", count_, " server healths, got ",
-           health->servers.size());
+           health->numServers());
 
     // The pump delivers only a fraction of the command; the thermal
     // model sees at least the stagnant trickle so it stays finite.
@@ -98,26 +89,23 @@ Circulation::evaluateInto(const double *utils, size_t n,
 
     out.delivered_flow_lph = hydraulic_flow;
 
-    static const ServerHealth healthy_server;
-    double sum_return = 0.0;
-    for (size_t i = 0; i < count_; ++i) {
-        const ServerHealth &sh = health->servers.empty()
-                                     ? healthy_server
-                                     : health->servers[i];
-        ServerState &s = out.servers[i];
-        s = server_.evaluate(utils[i], thermal_flow, setting.t_in_c,
-                             t_cold_c, sh);
-        out.cpu_power_w += s.cpu_power_w;
-        out.teg_power_w += s.teg_power_w;
-        out.teg_power_lost_w += s.teg_power_lost_w;
-        out.heat_w += s.heat_w;
-        out.max_die_c = std::max(out.max_die_c, s.die_temp_c);
-        out.all_safe = out.all_safe && s.safe;
-        if (s.faulted || health->pump_flow_factor < 1.0)
-            ++out.faulted_servers;
-        sum_return += s.outlet_c;
-    }
-    out.return_c = sum_return / static_cast<double>(count_);
+    ServerBlock::Coeffs c =
+        block_.coefficients(thermal_flow, setting.t_in_c, t_cold_c);
+    block_.evaluateFaulted(utils, n, c, health->lanes(), out.servers);
+
+    ServerBlock::Totals t = ServerBlock::reduce(out.servers);
+    out.cpu_power_w = t.cpu_power_w;
+    out.teg_power_w = t.teg_power_w;
+    out.teg_power_lost_w = t.teg_power_lost_w;
+    out.heat_w = t.heat_w;
+    out.max_die_c = t.max_die_c;
+    out.all_safe = t.all_safe;
+    // A degraded pump affects every server in the loop; otherwise
+    // only the lanes with their own fault count.
+    out.faulted_servers = health->pump_flow_factor < 1.0
+                              ? count_
+                              : t.faulted_servers;
+    out.return_c = t.sum_outlet_c / static_cast<double>(count_);
     // The degraded pump still runs its electronics but moves only the
     // delivered flow (a dead pump idles).
     out.pump_power_w =

@@ -13,9 +13,11 @@
 #define H2P_CLUSTER_CIRCULATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "cluster/server.h"
+#include "cluster/server_block.h"
 #include "hydraulic/pump.h"
 
 namespace h2p {
@@ -33,6 +35,13 @@ struct CoolingSetting
 /**
  * Degradation of one circulation (fault model). A default-constructed
  * health is a clean loop.
+ *
+ * Per-server faults are stored as flat arrays — one lane per fault
+ * dimension — which is exactly the form the SoA step kernel consumes
+ * (ServerHealthLanes). All three arrays are either empty (every
+ * server healthy) or numServers() long; the AoS server()/setServer()
+ * accessors materialize a ServerHealth view for callers that think in
+ * whole servers.
  */
 struct CirculationHealth
 {
@@ -41,15 +50,77 @@ struct CirculationHealth
      * healthy, (0, 1) = degraded (worn impeller, scale), 0 = failed.
      */
     double pump_flow_factor = 1.0;
-    /** Per-server health; empty means every server is healthy. */
-    std::vector<ServerHealth> servers;
+    /** Per-server: one series TEG went open-circuit (string dead). */
+    std::vector<uint8_t> teg_open;
+    /** Per-server: short-circuited TEGs dropped from the string. */
+    std::vector<size_t> tegs_shorted;
+    /** Per-server: cold-plate fouling resistance, K/W. */
+    std::vector<double> fouling_kpw;
+
+    /** Servers the fault arrays cover (0 = all healthy). */
+    size_t numServers() const { return fouling_kpw.size(); }
+
+    /** True when the per-server fault arrays are materialized. */
+    bool hasServerLanes() const { return !fouling_kpw.empty(); }
+
+    /** Size (or clear to healthy, for n = current) all fault lanes. */
+    void resizeServers(size_t n)
+    {
+        teg_open.assign(n, 0);
+        tegs_shorted.assign(n, 0);
+        fouling_kpw.assign(n, 0.0);
+    }
+
+    /** Fill every lane with @p h (e.g. fleet-wide fouling). */
+    void assignServers(size_t n, const ServerHealth &h)
+    {
+        teg_open.assign(n, h.teg_open ? 1 : 0);
+        tegs_shorted.assign(n, h.tegs_shorted);
+        fouling_kpw.assign(n, h.fouling_kpw);
+    }
+
+    /** Materialize the AoS health of server @p i. */
+    ServerHealth server(size_t i) const
+    {
+        ServerHealth h;
+        h.teg_open = teg_open[i] != 0;
+        h.tegs_shorted = tegs_shorted[i];
+        h.fouling_kpw = fouling_kpw[i];
+        return h;
+    }
+
+    /** Scatter @p h into server @p i's lanes. */
+    void setServer(size_t i, const ServerHealth &h)
+    {
+        teg_open[i] = h.teg_open ? 1 : 0;
+        tegs_shorted[i] = h.tegs_shorted;
+        fouling_kpw[i] = h.fouling_kpw;
+    }
+
+    /** The raw lane view the step kernel consumes. */
+    ServerHealthLanes lanes() const
+    {
+        ServerHealthLanes l;
+        if (hasServerLanes()) {
+            l.fouling_kpw = fouling_kpw.data();
+            l.teg_open = teg_open.data();
+            l.tegs_shorted = tegs_shorted.data();
+        }
+        return l;
+    }
 
     bool clean() const
     {
         if (pump_flow_factor < 1.0)
             return false;
-        for (const ServerHealth &s : servers)
-            if (!s.clean())
+        for (size_t i = 0; i < teg_open.size(); ++i)
+            if (teg_open[i] != 0)
+                return false;
+        for (size_t i = 0; i < tegs_shorted.size(); ++i)
+            if (tegs_shorted[i] != 0)
+                return false;
+        for (size_t i = 0; i < fouling_kpw.size(); ++i)
+            if (fouling_kpw[i] > 0.0)
                 return false;
         return true;
     }
@@ -59,8 +130,12 @@ struct CirculationHealth
 struct CirculationState
 {
     CoolingSetting setting;
-    /** Per-server states. */
-    std::vector<ServerState> servers;
+    /**
+     * Per-server states in SoA layout (the step kernel writes these
+     * arrays directly). AoS consumers materialize through
+     * servers.server(i) / servers[i].
+     */
+    ServerStateBlock servers;
     /** Total CPU power, W. */
     double cpu_power_w = 0.0;
     /** Total TEG output, W. */
@@ -143,9 +218,13 @@ class Circulation
 
     const Server &server() const { return server_; }
 
+    /** The SoA step kernel evaluating this loop's servers. */
+    const ServerBlock &block() const { return block_; }
+
   private:
     size_t count_;
     Server server_;
+    ServerBlock block_;
     hydraulic::Pump pump_;
 };
 

@@ -42,13 +42,10 @@ void
 Datacenter::setObservability(obs::Observability *obs)
 {
     obs_ = obs;
-    if (obs_ != nullptr) {
+    if (obs_ != nullptr)
         span_evaluate_ = obs_->spans().id("dc.evaluate");
-        span_circulation_ = obs_->spans().id("dc.circulation");
-    } else {
+    else
         span_evaluate_ = obs::SpanRegistry::SpanId{};
-        span_circulation_ = obs::SpanRegistry::SpanId{};
-    }
 }
 
 uint64_t
@@ -135,7 +132,6 @@ Datacenter::evaluateInto(const std::vector<double> &utils,
     // Evaluate one circulation into its own slot; safe to run for
     // distinct i from distinct threads.
     auto eval_one = [&](size_t i) {
-        obs::TraceSpan circ_span(spans, span_circulation_);
         const size_t n = circulation_sizes_[i];
         const double *u = utils.data() + circulation_offsets_[i];
         const Circulation &model =

@@ -173,9 +173,11 @@ class Datacenter
     /**
      * Attach an observability sink (not owned; may be null, the
      * default, for zero-cost evaluation). When attached,
-     * evaluateInto() times itself and each per-circulation evaluation
-     * as the "dc.evaluate" / "dc.circulation" spans. Observation
-     * never changes the computed state.
+     * evaluateInto() times itself as the "dc.evaluate" span. Spans are
+     * kept at whole-evaluation granularity: a per-circulation span
+     * would cost two clock reads per loop per step, which dominates
+     * the vectorized step kernel. Observation never changes the
+     * computed state.
      */
     void setObservability(obs::Observability *obs);
 
@@ -197,9 +199,8 @@ class Datacenter
     hydraulic::FacilityPlant plant_;
     util::ThreadPool *pool_ = nullptr;
     obs::Observability *obs_ = nullptr;
-    // Span ids resolved once at attach time, not per evaluation.
+    // Span id resolved once at attach time, not per evaluation.
     obs::SpanRegistry::SpanId span_evaluate_;
-    obs::SpanRegistry::SpanId span_circulation_;
 };
 
 } // namespace cluster

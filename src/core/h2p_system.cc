@@ -69,7 +69,10 @@ H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
 
     if (config.obs.enabled) {
         obs_ = std::make_unique<obs::Observability>(config.obs);
-        dc_->setObservability(obs_.get());
+        // The SimEngine records the "dc.evaluate" span itself (sharing
+        // a clock read with the sched.decide span), so the datacenter
+        // is deliberately left unattached — attaching it here would
+        // double-record every evaluation.
         if (pool_)
             pool_->enableStats(true);
         // Record the parallelism the guard actually granted, so a

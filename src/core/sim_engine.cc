@@ -458,6 +458,7 @@ SimEngine::beginObsRun(sched::Policy policy, double dt,
     obs::SpanRegistry &spans = r.obs->spans();
     r.span_step = spans.id("step");
     r.span_decide = spans.id("sched.decide");
+    r.span_evaluate = spans.id("dc.evaluate");
 
     obs::MetricsRegistry &m = r.obs->metrics();
     r.steps = m.counter("run.steps");
@@ -570,9 +571,16 @@ SimEngine::stepOnce(SimSession &s) const
         }
     }
 
-    obs::SpanRegistry *spans =
-        s.orun_.obs != nullptr ? &s.orun_.obs->spans() : nullptr;
-    obs::TraceSpan step_span(spans, s.orun_.span_step);
+    // Span timing is done with explicit timestamps instead of nested
+    // TraceSpans so adjacent stage boundaries share one clock read:
+    // the decide span's end doubles as the evaluate span's start. At
+    // SoA-kernel step times the clock reads *are* the obs cost, so
+    // each saved read matters for the [obs] overhead budget.
+    using ObsClock = std::chrono::steady_clock;
+    const bool timed = s.orun_.obs != nullptr;
+    ObsClock::time_point t_step0;
+    if (timed)
+        t_step0 = ObsClock::now();
 
     // Stage 1: fault-timeline advance.
     if (s.resilient_) {
@@ -630,7 +638,10 @@ SimEngine::stepOnce(SimSession &s) const
     }
 
     // Stage 4: scheduling decision (built-in policy or a custom
-    // controller installed through setController()).
+    // controller installed through setController()). The timestamp
+    // after this stage closes the sched.decide span and opens the
+    // dc.evaluate one.
+    ObsClock::time_point t_decide1;
     if (s.controller_) {
         s.controller_(step, s.utils_, s.decision_);
         expect(s.decision_.utils.size() == servers,
@@ -640,14 +651,27 @@ SimEngine::stepOnce(SimSession &s) const
                "controller produced ", s.decision_.settings.size(),
                " cooling settings; datacenter has ", num_circ,
                " circulations");
+        if (timed)
+            t_decide1 = ObsClock::now();
     } else {
-        obs::TraceSpan decide_span(spans, s.orun_.span_decide);
+        ObsClock::time_point t_decide0;
+        if (timed)
+            t_decide0 = ObsClock::now();
         if (s.resilient_)
             scheduler(s.policy_).decideInto(s.utils_, s.actions_,
                                             sm.margin_c, s.decision_);
         else
             scheduler(s.policy_).decideInto(s.utils_, {}, 0.0,
                                             s.decision_);
+        if (timed) {
+            t_decide1 = ObsClock::now();
+            obs::SpanRegistry::record(
+                s.orun_.span_decide,
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        t_decide1 - t_decide0)
+                        .count()));
+        }
     }
 
     // The scheduling decision must be numerically sound before it
@@ -669,6 +693,13 @@ SimEngine::stepOnce(SimSession &s) const
     w_.dc->evaluateInto(s.decision_.utils, s.decision_.settings,
                         s.resilient_ ? &s.injector_->health() : nullptr,
                         s.state_);
+    if (timed)
+        obs::SpanRegistry::record(
+            s.orun_.span_evaluate,
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    ObsClock::now() - t_decide1)
+                    .count()));
     if (!std::isfinite(s.state_.teg_power_w) ||
         !std::isfinite(s.state_.cpu_power_w) ||
         !std::isfinite(s.state_.plant_power_w) ||
@@ -691,8 +722,8 @@ SimEngine::stepOnce(SimSession &s) const
         for (size_t c = 0; c < s.state_.circulations.size(); ++c) {
             const cluster::CirculationState &cs =
                 s.state_.circulations[c];
-            for (const cluster::ServerState &sv : cs.servers)
-                s.die_temps_[server_idx++] = sv.die_temp_c;
+            for (double die_c : cs.servers.die_temp_c)
+                s.die_temps_[server_idx++] = die_c;
             s.die_read_[c] = s.injector_->readDie(c, cs.max_die_c);
             s.flow_read_[c] =
                 s.injector_->readFlow(c, cs.delivered_flow_lph);
@@ -793,6 +824,14 @@ SimEngine::stepOnce(SimSession &s) const
             }
         }
     }
+
+    if (timed)
+        obs::SpanRegistry::record(
+            s.orun_.span_step,
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    ObsClock::now() - t_step0)
+                    .count()));
 
     ++s.cursor_;
 }

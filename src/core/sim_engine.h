@@ -209,6 +209,7 @@ class SimSession
         obs::Observability *obs = nullptr;
         obs::SpanRegistry::SpanId span_step;
         obs::SpanRegistry::SpanId span_decide;
+        obs::SpanRegistry::SpanId span_evaluate;
         obs::Counter steps;
         obs::HistogramMetric max_die_hist;
         obs::HistogramMetric teg_hist;

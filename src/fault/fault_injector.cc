@@ -296,7 +296,7 @@ FaultInjector::rebuildHealth()
         for (size_t c = 0; c < num_circ; ++c) {
             cluster::ServerHealth s;
             s.fouling_kpw = fouling;
-            health_.circulations[c].servers.assign(
+            health_.circulations[c].assignServers(
                 circulation_sizes_[c], s);
         }
     }
@@ -320,17 +320,17 @@ FaultInjector::rebuildHealth()
           case FaultKind::TegOpenCircuit: {
             cluster::CirculationHealth &ch =
                 health_.circulations[e.circulation];
-            if (ch.servers.empty())
-                ch.servers.resize(circulation_sizes_[e.circulation]);
-            ch.servers[e.server].teg_open = true;
+            if (!ch.hasServerLanes())
+                ch.resizeServers(circulation_sizes_[e.circulation]);
+            ch.teg_open[e.server] = 1;
             break;
           }
           case FaultKind::TegShortCircuit: {
             cluster::CirculationHealth &ch =
                 health_.circulations[e.circulation];
-            if (ch.servers.empty())
-                ch.servers.resize(circulation_sizes_[e.circulation]);
-            ch.servers[e.server].tegs_shorted +=
+            if (!ch.hasServerLanes())
+                ch.resizeServers(circulation_sizes_[e.circulation]);
+            ch.tegs_shorted[e.server] +=
                 std::max<size_t>(1, static_cast<size_t>(e.magnitude));
             break;
           }

@@ -31,6 +31,16 @@ CpuThermalModel::coolantSlope(double flow_lph, double fouling_kpw) const
            params_.gamma_slope * plateResistance(flow_lph, fouling_kpw);
 }
 
+CpuStepCoefficients
+CpuThermalModel::stepCoefficients(double flow_lph) const
+{
+    CpuStepCoefficients c;
+    c.plate_r_kpw = plateResistance(flow_lph);
+    c.slope_k = coolantSlope(flow_lph);
+    c.cap_rate_w_per_k = units::streamCapacitanceRate(flow_lph);
+    return c;
+}
+
 double
 CpuThermalModel::dieTemperature(double p_dyn_w, double flow_lph,
                                 double t_in_c, double fouling_kpw) const

@@ -49,6 +49,25 @@ struct CpuThermalParams
 };
 
 /**
+ * Flow-dependent coefficients of the CPU thermal model, hoisted once
+ * per (cooling setting, step) instead of re-derived per server. The
+ * values are exactly what the per-call accessors compute for the same
+ * flow and a pristine plate, so a kernel that consumes them produces
+ * bit-identical results to the per-server path (the fouling term is
+ * added per server on top of plate_r_kpw, mirroring
+ * plateResistance(flow, fouling)).
+ */
+struct CpuStepCoefficients
+{
+    /** plateResistance(flow, 0): die-to-coolant resistance, K/W. */
+    double plate_r_kpw = 0.0;
+    /** coolantSlope(flow, 0): k(f) of the linear die model. */
+    double slope_k = 1.0;
+    /** units::streamCapacitanceRate(flow): stream mdot*c, W/K. */
+    double cap_rate_w_per_k = 0.0;
+};
+
+/**
  * Maps (dynamic CPU power, flow rate, inlet coolant temperature) to the
  * steady-state die temperature and the heat deposited into the coolant.
  */
@@ -93,6 +112,13 @@ class CpuThermalModel
 
     /** Slope k(f) of T_CPU vs coolant temperature (Fig. 11). */
     double coolantSlope(double flow_lph, double fouling_kpw = 0.0) const;
+
+    /**
+     * Hoist the flow-dependent coefficients for one cooling setting so
+     * a block kernel can evaluate many servers without re-deriving
+     * them (see cluster::ServerBlock).
+     */
+    CpuStepCoefficients stepCoefficients(double flow_lph) const;
 
     /** Die-to-coolant thermal resistance at @p flow_lph, K/W. */
     double plateResistance(double flow_lph,

@@ -79,6 +79,18 @@ TegModule::flowCoupling(double flow_lph) const
     return raw(flow_lph) / raw(device_.params().reference_flow_lph);
 }
 
+TegStepCoefficients
+TegModule::stepCoefficients(double flow_lph) const
+{
+    TegStepCoefficients c;
+    c.coupling = flowCoupling(flow_lph);
+    c.devices = static_cast<double>(count_);
+    c.pfit_a = device_.params().pfit_a;
+    c.pfit_b = device_.params().pfit_b;
+    c.pfit_c = device_.params().pfit_c;
+    return c;
+}
+
 double
 TegModule::openCircuitVoltage(double coolant_dt, double flow_lph) const
 {

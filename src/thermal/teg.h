@@ -102,6 +102,26 @@ class TegDevice
 };
 
 /**
+ * Flow-dependent coefficients of the TEG module's Eq. 3-7 fits,
+ * hoisted once per (cooling setting, step). powerFromTemps for a
+ * coolant dT > 0 is exactly
+ * `devices * max(0, (pfit_a * dt_eff + pfit_b) * dt_eff + pfit_c)`
+ * with `dt_eff = dt * coupling` (and 0 when dt_eff <= 0), so a kernel
+ * consuming these reproduces the per-call path bit for bit.
+ */
+struct TegStepCoefficients
+{
+    /** flowCoupling(flow): junction dT fraction, 1 at reference. */
+    double coupling = 1.0;
+    /** Series device count as a double (the Eq. 7 multiplier). */
+    double devices = 0.0;
+    /** Per-device quadratic power-fit coefficients (Eq. 6). */
+    double pfit_a = 0.0;
+    double pfit_b = 0.0;
+    double pfit_c = 0.0;
+};
+
+/**
  * A series string of identical TEGs sandwiched between two cold plates
  * (Fig. 5). Voltages add; internal resistances add; at matched load
  * the module power is n times the single-device power (Eq. 4/7).
@@ -169,6 +189,13 @@ class TegModule
      * @p flow_lph, normalized to 1 at the reference flow.
      */
     double flowCoupling(double flow_lph) const;
+
+    /**
+     * Hoist the flow-dependent fit coefficients for one cooling
+     * setting so a block kernel can evaluate many servers without
+     * re-deriving them (see cluster::ServerBlock).
+     */
+    TegStepCoefficients stepCoefficients(double flow_lph) const;
 
     const TegDevice &device() const { return device_; }
 

@@ -67,7 +67,8 @@ TEST(CirculationTest, AggregatesAreSums)
         circ.evaluate({0.1, 0.5, 0.9}, setting, 20.0);
     ASSERT_EQ(cs.servers.size(), 3u);
     double cpu = 0, teg = 0, heat = 0;
-    for (const auto &s : cs.servers) {
+    for (size_t i = 0; i < cs.servers.size(); ++i) {
+        ServerState s = cs.servers[i];
         cpu += s.cpu_power_w;
         teg += s.teg_power_w;
         heat += s.heat_w;

@@ -405,9 +405,9 @@ TEST(FaultInjectorTest, ScriptedPumpAndTegFaultsTargetTheirLoop)
     const cluster::DatacenterHealth &h = inj.health();
     EXPECT_DOUBLE_EQ(h.circulations[1].pump_flow_factor, 0.4);
     EXPECT_DOUBLE_EQ(h.circulations[0].pump_flow_factor, 1.0);
-    ASSERT_EQ(h.circulations[0].servers.size(), 20u);
-    EXPECT_TRUE(h.circulations[0].servers[3].teg_open);
-    EXPECT_FALSE(h.circulations[0].servers[2].teg_open);
+    ASSERT_EQ(h.circulations[0].numServers(), 20u);
+    EXPECT_TRUE(h.circulations[0].server(3).teg_open);
+    EXPECT_FALSE(h.circulations[0].server(2).teg_open);
 }
 
 TEST(FaultInjectorTest, FoulingGrowsLinearlyWithTime)
@@ -422,8 +422,8 @@ TEST(FaultInjectorTest, FoulingGrowsLinearlyWithTime)
                              fault::FaultInjector::kSecondsPerYear);
     EXPECT_TRUE(p.enabled());
     inj.advanceTo(fault::FaultInjector::kSecondsPerYear / 2.0);
-    ASSERT_EQ(inj.health().circulations[0].servers.size(), 20u);
-    EXPECT_NEAR(inj.health().circulations[0].servers[0].fouling_kpw,
+    ASSERT_EQ(inj.health().circulations[0].numServers(), 20u);
+    EXPECT_NEAR(inj.health().circulations[0].fouling_kpw[0],
                 0.05, 1e-12);
 }
 
