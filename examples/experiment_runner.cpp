@@ -73,6 +73,7 @@
 #include "util/args.h"
 #include "util/error.h"
 #include "util/fs.h"
+#include "util/signal.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -232,6 +233,9 @@ runSweep(const h2p::sim::Config &base_ini, const std::string &spec,
     options.keep_recorders = false; // summaries only; O(1) memory
     options.journal_path = cli.journal_path;
     options.point_deadline_s = cli.point_deadline_s;
+    // Ctrl-C / SIGTERM stop the sweep at the next step boundary:
+    // pending points are skipped and the journal stays resumable.
+    options.cancel = &util::signalCancelToken();
     core::SweepEngine engine(options);
     auto on_result = [&](const core::SweepPointResult &r) {
         if (r.status == core::PointStatus::Completed)
@@ -282,6 +286,21 @@ runSweep(const h2p::sim::Config &base_ini, const std::string &spec,
                       << " quarantined, " << result.retries
                       << " retrie(s), " << result.points_restored
                       << " restored from journal\n";
+    }
+    if (result.cancelled && util::lastCancelSignal() != 0) {
+        // Interrupted by a signal: leave any previous summary CSV
+        // untouched (the partial grid would silently replace it) and
+        // exit with the conventional 128+N code. The journal has
+        // every finished point.
+        std::cout << "\ninterrupted by signal "
+                  << util::lastCancelSignal() << " after "
+                  << result.runs_completed << " of " << grid.size()
+                  << " points";
+        if (!cli.journal_path.empty())
+            std::cout << "; resume with --sweep-resume --sweep-journal "
+                      << cli.journal_path;
+        std::cout << "\n";
+        return 128 + util::lastCancelSignal();
     }
     if (!cli.out_path.empty()) {
         util::atomicWriteFile(cli.out_path, csv.str());
@@ -339,6 +358,10 @@ main(int argc, char **argv)
                        "once, then quarantined");
         if (!args.parse(argc, argv))
             return 0;
+
+        // From here on Ctrl-C / SIGTERM cancel cooperatively instead
+        // of killing mid-write; a second signal kills immediately.
+        util::installSignalCancel();
 
         sim::Config ini;
         if (!args.getString("config").empty())
@@ -403,6 +426,9 @@ main(int argc, char **argv)
             core::SimSession session =
                 resume ? sys.resumeSession(ckpt, trace)
                        : sys.startSession(trace, policy);
+            core::RunGuard guard;
+            guard.cancel = &util::signalCancelToken();
+            session.setGuard(guard);
 
             if (!resume && ckpt_at >= 0) {
                 while (!session.done() &&
@@ -417,7 +443,19 @@ main(int argc, char **argv)
                     continue;
             }
 
-            session.runToCompletion();
+            try {
+                session.runToCompletion();
+            } catch (const RunError &e) {
+                if (e.failure().kind != FailureKind::Cancelled)
+                    throw;
+                std::cout << "interrupted by signal "
+                          << util::lastCancelSignal() << " at step "
+                          << session.cursor()
+                          << "; re-run with --checkpoint PATH "
+                             "--checkpoint-at N to make a run "
+                             "resumable\n";
+                return 128 + util::lastCancelSignal();
+            }
             auto r = session.finish();
             any_finished = true;
             table.addRow(toString(r.summary.policy),

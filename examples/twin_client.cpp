@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Console client of the digital-twin service daemon.
+ *
+ * One invocation sends one verb (plus an optional body file) and
+ * prints the response(s) — args on the first line, body verbatim
+ * after it — so shell scripts and CI smoke tests can drive a daemon
+ * without speaking the binary framing themselves:
+ *
+ *   ./examples/twin_client --socket /tmp/h2p.sock \
+ *       --verb open --args original --body config.ini
+ *   ./examples/twin_client --socket /tmp/h2p.sock \
+ *       --verb step --args "s1 100"
+ *   ./examples/twin_client --socket /tmp/h2p.sock \
+ *       --verb query --args "s1 jsonl" --out run.jsonl
+ *
+ * Streamed responses (sweep) are printed one per line as they
+ * arrive; --out captures only the final response's body. Exits 0 on
+ * an ok response, 2 on an error response, 1 on transport failure.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "service/protocol.h"
+#include "util/args.h"
+#include "util/error.h"
+#include "util/socket.h"
+
+namespace {
+
+std::vector<std::string>
+splitWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::istringstream is(text);
+    std::string word;
+    while (is >> word)
+        words.push_back(word);
+    return words;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace h2p;
+
+    ArgParser args("twin_client", "digital-twin service client");
+    args.addString("socket", "/tmp/h2p_serviced.sock",
+                   "daemon socket path");
+    args.addString("verb", "ping", "request verb");
+    args.addString("args", "", "space-separated request arguments");
+    args.addString("body", "", "file whose contents become the body");
+    args.addString("out", "",
+                   "write the final response body here instead of "
+                   "stdout");
+    try {
+        if (!args.parse(argc, argv))
+            return 0;
+
+        service::Request request;
+        request.verb = args.getString("verb");
+        request.args = splitWords(args.getString("args"));
+        const std::string body_path = args.getString("body");
+        if (!body_path.empty()) {
+            std::ifstream is(body_path);
+            expect(is.good(), "cannot read body file `", body_path,
+                   "'");
+            std::ostringstream buf;
+            buf << is.rdbuf();
+            request.body = buf.str();
+        }
+
+        util::Fd fd = util::unixConnect(args.getString("socket"));
+        service::writeFrame(fd, request.serialize());
+
+        // Most verbs answer with exactly one frame; sweep streams
+        // until its final "done" response. Read until the terminal
+        // response of the verb we sent.
+        const bool streaming = request.verb == "sweep";
+        std::string payload;
+        service::Response last;
+        for (;;) {
+            expect(service::readFrame(fd, payload),
+                   "daemon closed the connection mid-response");
+            last = service::Response::parse(payload);
+            if (!last.ok) {
+                std::cerr << "error: " << last.message << "\n";
+                return 2;
+            }
+            std::cout << "ok";
+            for (const std::string &arg : last.args)
+                std::cout << ' ' << arg;
+            std::cout << "\n";
+            const bool terminal =
+                !streaming ||
+                (!last.args.empty() && last.args[0] == "done");
+            if (terminal)
+                break;
+            // Streamed intermediate bodies go to stdout inline.
+            if (!last.body.empty())
+                std::cout << last.body;
+        }
+
+        const std::string out_path = args.getString("out");
+        if (!out_path.empty()) {
+            std::ofstream os(out_path, std::ios::binary);
+            expect(os.good(), "cannot write `", out_path, "'");
+            os << last.body;
+        } else if (!last.body.empty()) {
+            std::cout << last.body;
+        }
+        return 0;
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -542,8 +542,10 @@ SimEngine::stepOnce(SimSession &s) const
     if (s.guard_.active()) {
         RunFailure f;
         f.step = step;
-        if (s.guard_.cancel != nullptr &&
-            s.guard_.cancel->cancelRequested()) {
+        if ((s.guard_.cancel != nullptr &&
+             s.guard_.cancel->cancelRequested()) ||
+            (s.guard_.cancel_alt != nullptr &&
+             s.guard_.cancel_alt->cancelRequested())) {
             f.kind = FailureKind::Cancelled;
             f.stage = "guard";
             f.message = "cancellation requested";

@@ -61,6 +61,14 @@ struct RunGuard
     /** Cancellation latch to honor; null = none. Borrowed. */
     const util::CancelToken *cancel = nullptr;
     /**
+     * Optional second latch, checked alongside `cancel`; either one
+     * stops the run. Typically the process-wide signal token
+     * (util::signalCancelToken()) riding next to a supervisor's own
+     * token, so both Ctrl-C and programmatic cancellation reach an
+     * in-flight run at its next step boundary. Borrowed.
+     */
+    const util::CancelToken *cancel_alt = nullptr;
+    /**
      * Wall-clock budget in seconds, counted from the moment the guard
      * is installed (setGuard); 0 = unlimited.
      */
@@ -73,7 +81,8 @@ struct RunGuard
 
     bool active() const
     {
-        return cancel != nullptr || deadline_s > 0.0 || step_budget > 0;
+        return cancel != nullptr || cancel_alt != nullptr ||
+               deadline_s > 0.0 || step_budget > 0;
     }
 };
 

@@ -131,6 +131,14 @@ SweepEngine::runSupervised(const std::vector<SweepPoint> &grid,
                            bool resuming) const
 {
     cancel_.reset();
+    // Either latch stops the sweep: the engine's own token
+    // (requestCancel) or the caller-provided external one (typically
+    // the process signal token).
+    auto cancel_requested = [this] {
+        return cancel_.cancelRequested() ||
+               (options_.cancel != nullptr &&
+                options_.cancel->cancelRequested());
+    };
 
     SweepResult result;
     const size_t n = grid.size();
@@ -158,17 +166,18 @@ SweepEngine::runSupervised(const std::vector<SweepPoint> &grid,
     std::unique_ptr<SweepJournal> journal;
     std::map<size_t, JournalPointRecord> restored;
     if (!options_.journal_path.empty()) {
-        const uint64_t fp = SweepJournal::gridFingerprint(grid);
+        const SweepJournal::GridFingerprints fp =
+            SweepJournal::gridFingerprints(grid);
         if (resuming) {
             SweepJournal::Loaded loaded =
                 SweepJournal::load(options_.journal_path);
             expect(loaded.num_points == n, "sweep journal `",
                    options_.journal_path, "' records ",
                    loaded.num_points, " points but the grid has ", n);
-            expect(loaded.fingerprint == fp, "sweep journal `",
+            expect(loaded.fingerprint == fp.combined, "sweep journal `",
                    options_.journal_path,
-                   "' was written by a different sweep "
-                   "(grid fingerprint mismatch)");
+                   "' was written by a different sweep: ",
+                   SweepJournal::describeMismatch(loaded, fp));
             restored = std::move(loaded.records);
             journal = std::make_unique<SweepJournal>(
                 SweepJournal::openAppend(options_.journal_path));
@@ -237,7 +246,7 @@ SweepEngine::runSupervised(const std::vector<SweepPoint> &grid,
             return;
         }
 
-        if (cancel_.cancelRequested() ||
+        if (cancel_requested() ||
             (options_.abort_on_failure &&
              failed.load(std::memory_order_relaxed)))
             return; // Stays Skipped.
@@ -259,6 +268,7 @@ SweepEngine::runSupervised(const std::vector<SweepPoint> &grid,
                     session.setController(grid[i].make_controller());
                 RunGuard guard;
                 guard.cancel = &cancel_;
+                guard.cancel_alt = options_.cancel;
                 guard.deadline_s = grid[i].deadline_s > 0.0
                                        ? grid[i].deadline_s
                                        : options_.point_deadline_s;
@@ -370,7 +380,7 @@ SweepEngine::runSupervised(const std::vector<SweepPoint> &grid,
     result.wall_s = secondsSince(sweep_t0);
     result.lookup_spaces_built =
         sched::LookupSpaceCache::instance().builds() - builds_before;
-    result.cancelled = cancel_.cancelRequested();
+    result.cancelled = cancel_requested();
     for (const SweepPointResult &p : result.points) {
         if (p.completed)
             ++result.runs_completed;

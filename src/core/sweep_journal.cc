@@ -425,28 +425,70 @@ SweepJournal::~SweepJournal()
         std::fclose(file_);
 }
 
+namespace {
+
+std::string
+hexU64(uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+uint64_t
+parseHexU64(const std::string &s)
+{
+    expect(s.size() == 18 && s[0] == '0' && s[1] == 'x',
+           "journal: malformed fingerprint `", s, "'");
+    return static_cast<uint64_t>(std::strtoull(s.c_str() + 2, nullptr, 16));
+}
+
+} // namespace
+
 SweepJournal
-SweepJournal::create(const std::string &path, size_t num_points,
-                     uint64_t fingerprint)
+SweepJournal::createWithManifest(const std::string &path,
+                                 const std::string &manifest)
 {
     SweepJournal j;
     j.path_ = path;
     j.file_ = std::fopen(path.c_str(), "wb");
     expect(j.file_ != nullptr, "cannot create sweep journal `", path,
            "': ", std::strerror(errno));
-    std::ostringstream os;
-    os << "{\"type\":\"manifest\",\"version\":1,\"points\":"
-       << num_points << ",\"fingerprint\":\"";
-    char buf[19];
-    std::snprintf(buf, sizeof(buf), "0x%016llx",
-                  static_cast<unsigned long long>(fingerprint));
-    os << buf << "\"}\n";
-    const std::string line = os.str();
-    expect(std::fwrite(line.data(), 1, line.size(), j.file_) ==
-               line.size(),
+    expect(std::fwrite(manifest.data(), 1, manifest.size(), j.file_) ==
+               manifest.size(),
            "journal `", path, "': write failed: ", std::strerror(errno));
     syncFile(j.file_, path);
     return j;
+}
+
+SweepJournal
+SweepJournal::create(const std::string &path, size_t num_points,
+                     uint64_t fingerprint)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"manifest\",\"version\":1,\"points\":"
+       << num_points << ",\"fingerprint\":\"" << hexU64(fingerprint)
+       << "\"}\n";
+    return createWithManifest(path, os.str());
+}
+
+SweepJournal
+SweepJournal::create(const std::string &path, size_t num_points,
+                     const GridFingerprints &fingerprints)
+{
+    // Still version 1: the component keys are additive, readers that
+    // predate them ignore unknown keys and old journals without them
+    // load with has_components == false.
+    std::ostringstream os;
+    os << "{\"type\":\"manifest\",\"version\":1,\"points\":"
+       << num_points << ",\"fingerprint\":\""
+       << hexU64(fingerprints.combined) << "\",\"fp_shape\":\""
+       << hexU64(fingerprints.shape) << "\",\"fp_config\":\""
+       << hexU64(fingerprints.config) << "\",\"fp_trace\":\""
+       << hexU64(fingerprints.trace) << "\",\"fp_guard\":\""
+       << hexU64(fingerprints.guard) << "\"}\n";
+    return createWithManifest(path, os.str());
 }
 
 SweepJournal
@@ -561,11 +603,20 @@ SweepJournal::load(const std::string &path)
                        v.at("version").asNumber());
                 loaded.num_points =
                     static_cast<size_t>(v.at("points").asNumber());
-                std::string fp = v.at("fingerprint").asString();
-                expect(fp.size() == 18 && fp[0] == '0' && fp[1] == 'x',
-                       "journal: malformed fingerprint `", fp, "'");
-                loaded.fingerprint = static_cast<uint64_t>(
-                    std::strtoull(fp.c_str() + 2, nullptr, 16));
+                loaded.fingerprint =
+                    parseHexU64(v.at("fingerprint").asString());
+                loaded.fingerprints.combined = loaded.fingerprint;
+                if (v.has("fp_shape")) {
+                    loaded.fingerprints.shape =
+                        parseHexU64(v.at("fp_shape").asString());
+                    loaded.fingerprints.config =
+                        parseHexU64(v.at("fp_config").asString());
+                    loaded.fingerprints.trace =
+                        parseHexU64(v.at("fp_trace").asString());
+                    loaded.fingerprints.guard =
+                        parseHexU64(v.at("fp_guard").asString());
+                    loaded.has_components = true;
+                }
                 have_manifest = true;
                 continue;
             }
@@ -618,23 +669,89 @@ SweepJournal::load(const std::string &path)
 uint64_t
 SweepJournal::gridFingerprint(const std::vector<SweepPoint> &grid)
 {
-    util::Fnv1a h;
-    h.size(grid.size());
+    return gridFingerprints(grid).combined;
+}
+
+SweepJournal::GridFingerprints
+SweepJournal::gridFingerprints(const std::vector<SweepPoint> &grid)
+{
+    // `combined` interleaves every field exactly as the original
+    // single-hash gridFingerprint() did — journals written before the
+    // component digests existed must keep matching.
+    util::Fnv1a combined, shape, config, trace, guard;
+    combined.size(grid.size());
+    shape.size(grid.size());
     for (const SweepPoint &p : grid) {
-        h.str(p.label);
-        h.u64(static_cast<uint64_t>(p.policy));
-        h.u64(p.trace != nullptr ? p.trace->fingerprint() : 0);
-        h.size(p.config.datacenter.num_servers);
-        h.size(p.config.datacenter.servers_per_circulation);
-        h.f64(p.config.datacenter.cold_source_c);
-        h.f64(p.config.optimizer.t_safe_c);
-        h.f64(p.config.optimizer.band_c);
-        h.u64(p.config.faults.seed);
-        h.boolean(p.config.safe_mode.enabled);
-        h.f64(p.deadline_s);
-        h.size(p.step_budget);
+        combined.str(p.label);
+        combined.u64(static_cast<uint64_t>(p.policy));
+        combined.u64(p.trace != nullptr ? p.trace->fingerprint() : 0);
+        combined.size(p.config.datacenter.num_servers);
+        combined.size(p.config.datacenter.servers_per_circulation);
+        combined.f64(p.config.datacenter.cold_source_c);
+        combined.f64(p.config.optimizer.t_safe_c);
+        combined.f64(p.config.optimizer.band_c);
+        combined.u64(p.config.faults.seed);
+        combined.boolean(p.config.safe_mode.enabled);
+        combined.f64(p.deadline_s);
+        combined.size(p.step_budget);
+
+        shape.str(p.label);
+        shape.u64(static_cast<uint64_t>(p.policy));
+        trace.u64(p.trace != nullptr ? p.trace->fingerprint() : 0);
+        config.size(p.config.datacenter.num_servers);
+        config.size(p.config.datacenter.servers_per_circulation);
+        config.f64(p.config.datacenter.cold_source_c);
+        config.f64(p.config.optimizer.t_safe_c);
+        config.f64(p.config.optimizer.band_c);
+        config.u64(p.config.faults.seed);
+        config.boolean(p.config.safe_mode.enabled);
+        guard.f64(p.deadline_s);
+        guard.size(p.step_budget);
     }
-    return h.digest();
+    GridFingerprints fps;
+    fps.combined = combined.digest();
+    fps.shape = shape.digest();
+    fps.config = config.digest();
+    fps.trace = trace.digest();
+    fps.guard = guard.digest();
+    return fps;
+}
+
+std::string
+SweepJournal::describeMismatch(const Loaded &loaded,
+                               const GridFingerprints &expected)
+{
+    if (!loaded.has_components) {
+        return "grid fingerprint mismatch (the journal predates "
+               "component digests, so the diverging input cannot be "
+               "named — the grid differs in its shape, configuration, "
+               "traces or supervision overrides)";
+    }
+    std::vector<std::string> diverged;
+    if (loaded.fingerprints.shape != expected.shape)
+        diverged.push_back("grid shape (size, labels or policies)");
+    if (loaded.fingerprints.config != expected.config)
+        diverged.push_back("configuration (topology, thermal targets, "
+                           "fault seed or safe mode)");
+    if (loaded.fingerprints.trace != expected.trace)
+        diverged.push_back("traces");
+    if (loaded.fingerprints.guard != expected.guard)
+        diverged.push_back("supervision overrides (per-point deadline "
+                           "or step budget)");
+    if (diverged.empty()) {
+        // Components match but the combined digest does not — only
+        // possible via hash collision in a component. Stay honest.
+        return "grid fingerprint mismatch (component digests all "
+               "match; the grids differ in a way the component hashes "
+               "collide on)";
+    }
+    std::string msg = "these sweep inputs diverge from the journal: ";
+    for (size_t i = 0; i < diverged.size(); ++i) {
+        if (i > 0)
+            msg += i + 1 == diverged.size() ? " and " : ", ";
+        msg += diverged[i];
+    }
+    return msg;
 }
 
 } // namespace core

@@ -60,6 +60,26 @@ struct JournalPointRecord
 class SweepJournal
 {
   public:
+    /**
+     * Per-input component digests behind gridFingerprint(), stored in
+     * the manifest alongside the combined digest so a resume against
+     * the wrong inputs can say *which* of them diverged instead of
+     * just "fingerprint mismatch".
+     */
+    struct GridFingerprints
+    {
+        /** The combined whole-grid digest (== gridFingerprint()). */
+        uint64_t combined = 0;
+        /** Grid shape: size, point labels and policies. */
+        uint64_t shape = 0;
+        /** Result-relevant configuration knobs of every point. */
+        uint64_t config = 0;
+        /** Driving traces (workload::UtilizationTrace fingerprints). */
+        uint64_t trace = 0;
+        /** Per-point supervision overrides (deadline, step budget). */
+        uint64_t guard = 0;
+    };
+
     /** Journal contents as loaded from disk. */
     struct Loaded
     {
@@ -67,6 +87,15 @@ class SweepJournal
         size_t num_points = 0;
         /** Grid fingerprint recorded in the manifest. */
         uint64_t fingerprint = 0;
+        /**
+         * Component digests from the manifest; `combined` equals
+         * `fingerprint`. All-zero components with a non-zero combined
+         * digest mean an old-format journal that never recorded them
+         * (see has_components).
+         */
+        GridFingerprints fingerprints;
+        /** True when the manifest carried the component digests. */
+        bool has_components = false;
         /** Finished points by grid index (duplicates: last wins). */
         std::map<size_t, JournalPointRecord> records;
     };
@@ -79,10 +108,14 @@ class SweepJournal
 
     /**
      * Start a fresh journal at @p path (truncating any previous one)
-     * and durably write its manifest line.
+     * and durably write its manifest line. The combined-only overload
+     * writes a manifest without component digests (as old journals
+     * had); resume then falls back to the generic mismatch message.
      */
     static SweepJournal create(const std::string &path,
                                size_t num_points, uint64_t fingerprint);
+    static SweepJournal create(const std::string &path, size_t num_points,
+                               const GridFingerprints &fingerprints);
 
     /**
      * Re-open an existing journal for appending (resume). The caller
@@ -117,8 +150,30 @@ class SweepJournal
      */
     static uint64_t gridFingerprint(const std::vector<SweepPoint> &grid);
 
+    /**
+     * gridFingerprint() plus its per-input component digests, computed
+     * in one pass. `combined` is bit-identical to gridFingerprint(),
+     * so journals written with either create() overload interoperate.
+     */
+    static GridFingerprints
+    gridFingerprints(const std::vector<SweepPoint> &grid);
+
+    /**
+     * Human-readable diagnosis of a manifest fingerprint mismatch:
+     * names which sweep inputs diverged (grid shape, configuration,
+     * traces, supervision overrides) when @p loaded carries component
+     * digests, or falls back to a generic message for old journals.
+     * Precondition: loaded.fingerprint != expected.combined.
+     */
+    static std::string describeMismatch(const Loaded &loaded,
+                                        const GridFingerprints &expected);
+
   private:
     SweepJournal() = default;
+
+    /** Open @p path truncating and durably write @p manifest. */
+    static SweepJournal createWithManifest(const std::string &path,
+                                           const std::string &manifest);
 
     std::FILE *file_ = nullptr;
     std::string path_;

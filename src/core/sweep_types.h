@@ -24,6 +24,7 @@
 #include "obs/observability.h"
 #include "sched/scheduler.h"
 #include "sim/recorder.h"
+#include "util/cancellation.h"
 #include "util/error.h"
 #include "workload/trace.h"
 
@@ -127,6 +128,17 @@ struct SweepOptions
      * quarantined.
      */
     bool abort_on_failure = false;
+    /**
+     * External cancellation latch observed *in addition to*
+     * SweepEngine::requestCancel() (null = none; borrowed, must
+     * outlive the engine). Typically util::signalCancelToken(), so a
+     * SIGINT/SIGTERM stops pending points and interrupts in-flight
+     * runs at their next step boundary — same graceful Skipped +
+     * journal-flush path as a programmatic cancel. Unlike
+     * requestCancel() it is not reset between runs; a tripped
+     * external token stops every subsequent sweep immediately.
+     */
+    const util::CancelToken *cancel = nullptr;
     /**
      * Crash-safe journal path (empty = no journal): the sweep appends
      * a manifest line plus one completion record per finished point to

@@ -109,6 +109,13 @@ Observability::writeJsonl(std::ostream &os) const
     for (const auto &c : metrics_.counters())
         os << "{\"type\":\"counter\",\"name\":\"" << jsonEscape(c.name)
            << "\",\"value\":" << c.value << "}\n";
+    // Overflow is surfaced as a uniform counter too, so metric-only
+    // consumers (and the CSV export) see the loss without having to
+    // scan for the event_overflow record.
+    if (events_.dropped() > 0)
+        os << "{\"type\":\"counter\",\"name\":\"dropped_events\","
+              "\"value\":"
+           << events_.dropped() << "}\n";
 
     for (const auto &g : metrics_.gauges()) {
         os << "{\"type\":\"gauge\",\"name\":\"" << jsonEscape(g.name)
@@ -151,6 +158,9 @@ Observability::writeMetricsCsv(std::ostream &os) const
     os << "metric,kind,count,value,sum,min,max\n";
     for (const auto &c : metrics_.counters())
         os << c.name << ",counter,," << c.value << ",,,\n";
+    if (events_.dropped() > 0)
+        os << "dropped_events,counter,," << events_.dropped()
+           << ",,,\n";
     for (const auto &g : metrics_.gauges())
         os << g.name << ",gauge,," << g.value << ",,,\n";
     for (const auto &h : metrics_.histograms())

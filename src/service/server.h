@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The socket front of the digital-twin service: a Unix-domain
+ * listener multiplexing concurrent client connections onto one
+ * SessionBroker.
+ *
+ * Threading: one accept-loop thread (polling the listener so it can
+ * notice a stop request within ~100 ms) plus one thread per live
+ * connection. Each connection thread reads frames, parses Requests
+ * and forwards them to the broker; broker responses — including
+ * streamed sweep frames — are written back in order. A malformed or
+ * oversized frame terminates only that connection.
+ *
+ * Shutdown: stop() (idempotent; also triggered by the shutdown verb
+ * and, in the daemon, by SIGTERM through the broker's cancel token)
+ * closes the listener, shuts down every live connection socket —
+ * unblocking reads mid-wait — and joins all threads. In-flight
+ * simulation work stops at the next step boundary through the
+ * broker's RunGuard wiring.
+ */
+
+#ifndef H2P_SERVICE_SERVER_H_
+#define H2P_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/session_broker.h"
+#include "util/socket.h"
+
+namespace h2p {
+namespace service {
+
+/** See the file comment. */
+class Server
+{
+  public:
+    /**
+     * Bind @p socket_path and start accepting. @p broker is borrowed
+     * and must outlive the server.
+     */
+    Server(std::string socket_path, SessionBroker *broker);
+
+    /** Stops and joins everything. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Flag the server to stop and unblock the accept loop. Safe from
+     * any thread — including a connection thread handling the
+     * shutdown verb and a signal-watching daemon loop. Does not join;
+     * the thread blocked in waitForStop() (or the destructor) calls
+     * stop() for the teardown proper.
+     */
+    void requestStop();
+
+    /**
+     * Stop accepting, unblock and join every connection thread, and
+     * remove the socket file. Idempotent; must NOT be called from a
+     * connection thread (it joins them) — that is what requestStop()
+     * is for.
+     */
+    void stop();
+
+    /** Block until requestStop() (daemon main loop parks here). */
+    void waitForStop();
+
+    /** Path the server is listening on. */
+    const std::string &socketPath() const { return socket_path_; }
+
+  private:
+    struct Connection
+    {
+        util::Fd fd;
+        std::thread thread;
+        /** Set by the connection thread on exit; reaped by the
+         * accept loop's housekeeping. */
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void serveConnection(Connection *conn);
+    /** Join (or salvage) finished connections; all = live ones too. */
+    void reapConnections(bool all);
+
+    std::string socket_path_;
+    SessionBroker *broker_;
+    util::Fd listener_;
+    std::atomic<bool> stopping_{false};
+    std::thread accept_thread_;
+    std::mutex connections_mutex_;
+    std::map<uint64_t, std::shared_ptr<Connection>> connections_;
+    uint64_t next_connection_ = 1;
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+};
+
+} // namespace service
+} // namespace h2p
+
+#endif // H2P_SERVICE_SERVER_H_

@@ -1,0 +1,494 @@
+#include "service/session_broker.h"
+
+#include <atomic>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/config_io.h"
+#include "core/sweep_engine.h"
+#include "sim/config.h"
+#include "util/error.h"
+
+namespace h2p {
+namespace service {
+
+namespace {
+
+sched::Policy
+policyFromName(const std::string &name)
+{
+    if (name == "original" ||
+        name == sched::toString(sched::Policy::TegOriginal))
+        return sched::Policy::TegOriginal;
+    if (name == "balance" ||
+        name == sched::toString(sched::Policy::TegLoadBalance))
+        return sched::Policy::TegLoadBalance;
+    fatal("unknown policy `", name,
+          "' (expected original or balance)");
+}
+
+size_t
+parseCount(const std::string &token, const char *what)
+{
+    expect(!token.empty(), what, " is empty");
+    size_t value = 0;
+    for (char c : token) {
+        expect(c >= '0' && c <= '9', what, " `", token,
+               "' is not a number");
+        expect(value <= (std::numeric_limits<size_t>::max() - 9) / 10,
+               what, " `", token, "' is out of range");
+        value = value * 10 + static_cast<size_t>(c - '0');
+    }
+    return value;
+}
+
+void
+jsonNum(std::ostream &os, double v)
+{
+    const auto precision = os.precision();
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    os.precision(precision);
+}
+
+std::string
+stateJson(const cluster::DatacenterState &state, size_t num_servers)
+{
+    std::ostringstream os;
+    os << "{\"cpu_power_w\":";
+    jsonNum(os, state.cpu_power_w);
+    os << ",\"teg_power_w\":";
+    jsonNum(os, state.teg_power_w);
+    os << ",\"teg_w_per_server\":";
+    jsonNum(os, state.tegPowerPerServer(num_servers));
+    os << ",\"heat_w\":";
+    jsonNum(os, state.heat_w);
+    os << ",\"pump_power_w\":";
+    jsonNum(os, state.pump_power_w);
+    os << ",\"plant_power_w\":";
+    jsonNum(os, state.plant_power_w);
+    os << ",\"faulted_servers\":" << state.faulted_servers
+       << ",\"teg_power_lost_w\":";
+    jsonNum(os, state.teg_power_lost_w);
+    os << ",\"plant_degraded\":"
+       << (state.plant_degraded ? "true" : "false")
+       << ",\"all_safe\":" << (state.all_safe ? "true" : "false")
+       << "}\n";
+    return os.str();
+}
+
+std::string
+decisionJson(const sched::ScheduleDecision &decision)
+{
+    std::ostringstream os;
+    double umean = 0.0, umax = 0.0;
+    for (double u : decision.utils) {
+        umean += u;
+        if (u > umax)
+            umax = u;
+    }
+    if (!decision.utils.empty())
+        umean /= static_cast<double>(decision.utils.size());
+    os << "{\"util_mean\":";
+    jsonNum(os, umean);
+    os << ",\"util_max\":";
+    jsonNum(os, umax);
+    os << ",\"settings\":[";
+    for (size_t i = 0; i < decision.settings.size(); ++i) {
+        os << (i ? "," : "") << "{\"t_in_c\":";
+        jsonNum(os, decision.settings[i].t_in_c);
+        os << ",\"flow_lph\":";
+        jsonNum(os, decision.settings[i].flow_lph);
+        os << "}";
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+std::string
+summaryJson(const core::RunSummary &s)
+{
+    std::ostringstream os;
+    os << "{\"policy\":\"" << sched::toString(s.policy)
+       << "\",\"avg_teg_w\":";
+    jsonNum(os, s.avg_teg_w);
+    os << ",\"peak_teg_w\":";
+    jsonNum(os, s.peak_teg_w);
+    os << ",\"avg_cpu_w\":";
+    jsonNum(os, s.avg_cpu_w);
+    os << ",\"pre\":";
+    jsonNum(os, s.pre);
+    os << ",\"teg_energy_kwh\":";
+    jsonNum(os, s.teg_energy_kwh);
+    os << ",\"cpu_energy_kwh\":";
+    jsonNum(os, s.cpu_energy_kwh);
+    os << ",\"plant_energy_kwh\":";
+    jsonNum(os, s.plant_energy_kwh);
+    os << ",\"pump_energy_kwh\":";
+    jsonNum(os, s.pump_energy_kwh);
+    os << ",\"safe_fraction\":";
+    jsonNum(os, s.safe_fraction);
+    os << ",\"avg_t_in_c\":";
+    jsonNum(os, s.avg_t_in_c);
+    os << ",\"fault_events\":" << s.fault_events
+       << ",\"throttle_events\":" << s.throttle_events
+       << ",\"safe_mode_steps\":" << s.safe_mode_steps
+       << ",\"max_faulted_servers\":" << s.max_faulted_servers
+       << "}\n";
+    return os.str();
+}
+
+/// Split a sweep body into its "---"-separated INI documents.
+std::vector<std::string>
+splitDocuments(const std::string &body)
+{
+    std::vector<std::string> docs;
+    std::string current;
+    std::istringstream is(body);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line == "---") {
+            docs.push_back(current);
+            current.clear();
+        } else {
+            current += line;
+            current += '\n';
+        }
+    }
+    docs.push_back(current);
+    return docs;
+}
+
+} // namespace
+
+/**
+ * One live twin. Declaration order is destruction order in reverse:
+ * the SimSession borrows the system and the trace, so it must be
+ * declared last and die first.
+ */
+struct SessionBroker::TwinSession
+{
+    std::string id;
+    std::mutex mutex;
+    core::H2PConfig config;
+    std::optional<workload::UtilizationTrace> trace;
+    std::unique_ptr<core::H2PSystem> system;
+    std::optional<core::SimSession> session;
+};
+
+SessionBroker::SessionBroker(BrokerOptions options)
+    : options_(std::move(options))
+{
+    if (options_.obs != nullptr) {
+        requests_ = options_.obs->metrics().counter("service.requests");
+        sessions_total_ =
+            options_.obs->metrics().counter("service.sessions");
+        sessions_open_ =
+            options_.obs->metrics().gauge("service.sessions_open");
+    }
+}
+
+SessionBroker::~SessionBroker() = default;
+
+size_t
+SessionBroker::numSessions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+}
+
+std::shared_ptr<SessionBroker::TwinSession>
+SessionBroker::find(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    expect(it != sessions_.end(), "unknown session `", id, "'");
+    return it->second;
+}
+
+void
+SessionBroker::evict(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(id);
+    sessions_open_.set(static_cast<double>(sessions_.size()));
+}
+
+void
+SessionBroker::installGuard(TwinSession &twin)
+{
+    core::RunGuard guard;
+    guard.cancel = options_.cancel;
+    guard.step_budget = options_.step_budget;
+    if (guard.active())
+        twin.session->setGuard(guard);
+}
+
+std::shared_ptr<SessionBroker::TwinSession>
+SessionBroker::admit(const std::string &ini_text)
+{
+    auto twin = std::make_shared<TwinSession>();
+    std::istringstream is(ini_text);
+    const sim::Config ini = sim::Config::parse(is);
+    twin->config = core::configFromIni(ini);
+    twin->trace.emplace(core::makeTrace(core::traceRequestFromIni(ini)));
+    twin->system = std::make_unique<core::H2PSystem>(twin->config);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    expect(sessions_.size() < options_.max_sessions,
+           "session limit reached (", options_.max_sessions,
+           " open sessions)");
+    twin->id = "s" + std::to_string(next_id_++);
+    sessions_[twin->id] = twin;
+    sessions_total_.add(1);
+    sessions_open_.set(static_cast<double>(sessions_.size()));
+    return twin;
+}
+
+Response
+SessionBroker::doOpen(const Request &request)
+{
+    expect(request.args.size() == 1,
+           "usage: open <policy> (body: INI configuration)");
+    const sched::Policy policy = policyFromName(request.args[0]);
+    std::shared_ptr<TwinSession> twin = admit(request.body);
+    try {
+        std::lock_guard<std::mutex> lock(twin->mutex);
+        twin->session.emplace(
+            twin->system->startSession(*twin->trace, policy));
+        installGuard(*twin);
+        return Response::okay(
+            {twin->id, std::to_string(twin->session->numSteps())});
+    } catch (...) {
+        evict(twin->id);
+        throw;
+    }
+}
+
+Response
+SessionBroker::doResume(const Request &request)
+{
+    expect(request.args.size() == 1,
+           "usage: resume <checkpoint-path> (body: INI configuration)");
+    std::shared_ptr<TwinSession> twin = admit(request.body);
+    try {
+        std::lock_guard<std::mutex> lock(twin->mutex);
+        twin->session.emplace(twin->system->resumeSession(
+            request.args[0], *twin->trace));
+        installGuard(*twin);
+        return Response::okay(
+            {twin->id, std::to_string(twin->session->cursor()),
+             std::to_string(twin->session->numSteps())});
+    } catch (...) {
+        evict(twin->id);
+        throw;
+    }
+}
+
+Response
+SessionBroker::doStep(const Request &request)
+{
+    expect(request.args.size() == 2, "usage: step <id> <n>");
+    std::shared_ptr<TwinSession> twin = find(request.args[0]);
+    const size_t n = parseCount(request.args[1], "step count");
+    std::lock_guard<std::mutex> lock(twin->mutex);
+    expect(twin->session.has_value(), "session `", twin->id,
+           "' is not ready");
+    for (size_t i = 0; i < n && !twin->session->done(); ++i)
+        twin->session->step();
+    return Response::okay(
+        {std::to_string(twin->session->cursor()),
+         twin->session->done() ? "1" : "0"});
+}
+
+Response
+SessionBroker::doQuery(const Request &request)
+{
+    expect(request.args.size() == 2,
+           "usage: query <id> state|decision|summary|jsonl");
+    std::shared_ptr<TwinSession> twin = find(request.args[0]);
+    const std::string &what = request.args[1];
+    std::lock_guard<std::mutex> lock(twin->mutex);
+    expect(twin->session.has_value(), "session `", twin->id,
+           "' is not ready");
+    core::SimSession &session = *twin->session;
+    if (what == "state")
+        return Response::okay(
+            {}, stateJson(session.lastState(),
+                          twin->config.datacenter.num_servers));
+    if (what == "decision")
+        return Response::okay({}, decisionJson(session.lastDecision()));
+    if (what == "summary") {
+        // Progress metadata, available mid-run; the run's final
+        // metrics come back from close once the session is done.
+        std::ostringstream os;
+        os << "{\"policy\":\"" << sched::toString(session.policy())
+           << "\",\"cursor\":" << session.cursor()
+           << ",\"steps\":" << session.numSteps()
+           << ",\"done\":" << (session.done() ? "true" : "false")
+           << "}\n";
+        return Response::okay({}, os.str());
+    }
+    if (what == "jsonl") {
+        // The exact writer experiment_runner uses for its per-step
+        // dump — the byte-for-byte comparison channel.
+        std::ostringstream os;
+        session.recorder().writeJsonl(os);
+        return Response::okay({}, os.str());
+    }
+    fatal("unknown query channel `", what,
+          "' (expected state, decision, summary or jsonl)");
+}
+
+Response
+SessionBroker::doCheckpoint(const Request &request)
+{
+    expect(request.args.size() == 2, "usage: checkpoint <id> <path>");
+    std::shared_ptr<TwinSession> twin = find(request.args[0]);
+    std::lock_guard<std::mutex> lock(twin->mutex);
+    expect(twin->session.has_value(), "session `", twin->id,
+           "' is not ready");
+    twin->session->saveCheckpoint(request.args[1]);
+    return Response::okay();
+}
+
+Response
+SessionBroker::doClose(const Request &request)
+{
+    expect(request.args.size() == 1, "usage: close <id>");
+    std::shared_ptr<TwinSession> twin;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sessions_.find(request.args[0]);
+        expect(it != sessions_.end(), "unknown session `",
+               request.args[0], "'");
+        twin = std::move(it->second);
+        sessions_.erase(it);
+        sessions_open_.set(static_cast<double>(sessions_.size()));
+    }
+    std::lock_guard<std::mutex> lock(twin->mutex);
+    if (twin->session.has_value() && twin->session->done()) {
+        core::RunResult result = twin->session->finish();
+        return Response::okay({"finished"},
+                              summaryJson(result.summary));
+    }
+    return Response::okay({"discarded"});
+}
+
+void
+SessionBroker::doSweep(const Request &request, const Emit &emit)
+{
+    expect(request.args.size() >= 1 && request.args.size() <= 2,
+           "usage: sweep <policy> [workers] (body: INI documents "
+           "separated by `---' lines)");
+    const sched::Policy policy = policyFromName(request.args[0]);
+    core::SweepOptions options;
+    options.workers = request.args.size() == 2
+                          ? parseCount(request.args[1], "worker count")
+                          : 1;
+    options.keep_recorders = false;
+    options.cancel = options_.cancel;
+    options.obs = options_.obs;
+
+    const std::vector<std::string> docs = splitDocuments(request.body);
+    expect(!docs.empty(), "sweep body has no INI documents");
+    // Traces live here for the duration of the sweep; points borrow.
+    std::deque<workload::UtilizationTrace> traces;
+    std::vector<core::SweepPoint> grid;
+    for (size_t i = 0; i < docs.size(); ++i) {
+        std::istringstream is(docs[i]);
+        const sim::Config ini = sim::Config::parse(is);
+        core::SweepPoint point;
+        point.config = core::configFromIni(ini);
+        traces.push_back(core::makeTrace(core::traceRequestFromIni(ini)));
+        point.trace = &traces.back();
+        point.policy = policy;
+        point.label = "point" + std::to_string(i);
+        grid.push_back(std::move(point));
+    }
+
+    core::SweepEngine engine(options);
+    core::SweepResult result = engine.run(
+        grid, [&emit](const core::SweepPointResult &point) {
+            Response r = Response::okay(
+                {"point", std::to_string(point.index), point.label,
+                 core::toString(point.status)},
+                point.status == core::PointStatus::Completed
+                    ? summaryJson(point.summary)
+                    : std::string());
+            emit(r);
+        });
+    size_t completed = 0;
+    for (const core::SweepPointResult &point : result.points)
+        if (point.status == core::PointStatus::Completed)
+            ++completed;
+    emit(Response::okay({"done", std::to_string(completed),
+                         std::to_string(result.quarantined),
+                         result.cancelled ? "1" : "0"}));
+}
+
+Response
+SessionBroker::doStats(const Request &request)
+{
+    expect(request.args.empty(), "usage: stats");
+    const uint64_t handled = handled_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Response::okay({std::to_string(sessions_.size()),
+                           std::to_string(handled)});
+}
+
+void
+SessionBroker::handle(const Request &request, const Emit &emit)
+{
+    handled_.fetch_add(1, std::memory_order_relaxed);
+    requests_.add(1);
+    obs::TraceSpan span(
+        options_.obs != nullptr ? &options_.obs->spans() : nullptr,
+        options_.obs != nullptr
+            ? options_.obs->spans().id("service." + request.verb)
+            : obs::SpanRegistry::SpanId{});
+    try {
+        if (request.verb == "ping") {
+            emit(Response::okay({"pong"}));
+        } else if (request.verb == "open") {
+            emit(doOpen(request));
+        } else if (request.verb == "resume") {
+            emit(doResume(request));
+        } else if (request.verb == "step") {
+            emit(doStep(request));
+        } else if (request.verb == "query") {
+            emit(doQuery(request));
+        } else if (request.verb == "checkpoint") {
+            emit(doCheckpoint(request));
+        } else if (request.verb == "close") {
+            emit(doClose(request));
+        } else if (request.verb == "sweep") {
+            doSweep(request, emit);
+        } else if (request.verb == "stats") {
+            emit(doStats(request));
+        } else if (request.verb == "shutdown") {
+            emit(Response::okay());
+            if (options_.on_shutdown)
+                options_.on_shutdown();
+        } else {
+            emit(Response::error("unknown verb `" + request.verb + "'"));
+        }
+    } catch (const Error &e) {
+        emit(Response::error(e.what()));
+    }
+}
+
+Response
+SessionBroker::handleOne(const Request &request)
+{
+    Response last = Response::error("no response emitted");
+    handle(request, [&last](const Response &r) { last = r; });
+    return last;
+}
+
+} // namespace service
+} // namespace h2p

@@ -1,0 +1,57 @@
+#include "util/signal.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace h2p {
+namespace util {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+extern "C" void
+cancelSignalHandler(int sig)
+{
+    // One async-signal-safe action: latch the request. Restore the
+    // default disposition first so a second signal kills for real —
+    // the escape hatch when the run ignores the cooperative stop.
+    std::signal(sig, SIG_DFL);
+    g_signal.store(sig, std::memory_order_relaxed);
+    signalCancelToken().requestCancel();
+}
+
+} // namespace
+
+CancelToken &
+signalCancelToken()
+{
+    static CancelToken token;
+    return token;
+}
+
+void
+installSignalCancel()
+{
+    // Touch the token before any signal can arrive: function-local
+    // static construction is not async-signal-safe.
+    signalCancelToken();
+    std::signal(SIGINT, cancelSignalHandler);
+    std::signal(SIGTERM, cancelSignalHandler);
+}
+
+int
+lastCancelSignal()
+{
+    return g_signal.load(std::memory_order_relaxed);
+}
+
+void
+resetSignalCancelForTest()
+{
+    g_signal.store(0, std::memory_order_relaxed);
+    signalCancelToken().reset();
+}
+
+} // namespace util
+} // namespace h2p

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Signal-safe cooperative cancellation.
+ *
+ * A Ctrl-C (SIGINT) or a service-manager stop (SIGTERM) used to kill
+ * the process wherever it happened to be — including inside a sweep
+ * journal append or a CSV export. Installing the handlers here turns
+ * those signals into a trip of a process-global CancelToken instead:
+ * supervised runs notice at their next step boundary, stop with the
+ * usual Cancelled classification, flush their journals and exit
+ * cleanly, leaving resumable state.
+ *
+ * The handler does exactly one async-signal-safe thing: a relaxed
+ * store into a lock-free std::atomic (the token latch plus the signal
+ * number). A *second* signal restores the default disposition first,
+ * so a stuck run can still be killed the traditional way with another
+ * Ctrl-C.
+ */
+
+#ifndef H2P_UTIL_SIGNAL_H_
+#define H2P_UTIL_SIGNAL_H_
+
+#include "util/cancellation.h"
+
+namespace h2p {
+namespace util {
+
+/**
+ * The process-global latch the installed handlers trip. Everything
+ * that wants to stop on SIGINT/SIGTERM — sweep engines, session
+ * guards, daemon accept loops — borrows this one token.
+ */
+CancelToken &signalCancelToken();
+
+/**
+ * Install SIGINT and SIGTERM handlers that trip signalCancelToken().
+ * Idempotent; the first delivered signal also re-arms the default
+ * disposition so a second signal terminates immediately.
+ */
+void installSignalCancel();
+
+/**
+ * Signal number that tripped the token, or 0 when none has been
+ * delivered (yet). Lets CLIs exit with the conventional 128+N code.
+ */
+int lastCancelSignal();
+
+/** Testing hook: clear the token and the recorded signal number. */
+void resetSignalCancelForTest();
+
+} // namespace util
+} // namespace h2p
+
+#endif // H2P_UTIL_SIGNAL_H_

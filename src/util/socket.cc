@@ -1,0 +1,167 @@
+#include "util/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace util {
+
+namespace {
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    expect(path.size() < sizeof(addr.sun_path),
+           "unix socket path `", path, "' exceeds the ",
+           sizeof(addr.sun_path) - 1, "-byte limit");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+Fd &
+Fd::operator=(Fd &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Fd::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Fd::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+Fd
+unixListen(const std::string &path, int backlog)
+{
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    expect(fd.valid(), "cannot create unix socket: ",
+           std::strerror(errno));
+    sockaddr_un addr = unixAddress(path);
+    ::unlink(path.c_str());
+    expect(::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) == 0,
+           "cannot bind unix socket `", path,
+           "': ", std::strerror(errno));
+    expect(::listen(fd.get(), backlog) == 0, "cannot listen on `", path,
+           "': ", std::strerror(errno));
+    return fd;
+}
+
+Fd
+unixConnect(const std::string &path)
+{
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    expect(fd.valid(), "cannot create unix socket: ",
+           std::strerror(errno));
+    sockaddr_un addr = unixAddress(path);
+    expect(::connect(fd.get(),
+                     reinterpret_cast<const sockaddr *>(&addr),
+                     sizeof(addr)) == 0,
+           "cannot connect to `", path, "': ", std::strerror(errno));
+    return fd;
+}
+
+Fd
+acceptConnection(const Fd &listener)
+{
+    for (;;) {
+        int fd = ::accept(listener.get(), nullptr, nullptr);
+        if (fd >= 0)
+            return Fd(fd);
+        if (errno == EINTR)
+            continue;
+        // Listener torn down (shutdown/close during stop) — not an
+        // error worth throwing from the accept loop.
+        return Fd();
+    }
+}
+
+bool
+waitReadable(const Fd &fd, int timeout_ms)
+{
+    pollfd p{};
+    p.fd = fd.get();
+    p.events = POLLIN;
+    for (;;) {
+        int rc = ::poll(&p, 1, timeout_ms);
+        if (rc > 0)
+            return true;
+        if (rc == 0)
+            return false;
+        if (errno == EINTR)
+            continue;
+        fatal("poll failed: ", std::strerror(errno));
+    }
+}
+
+bool
+readExact(const Fd &fd, void *buf, size_t n)
+{
+    char *p = static_cast<char *>(buf);
+    size_t got = 0;
+    while (got < n) {
+        ssize_t rc = ::read(fd.get(), p + got, n - got);
+        if (rc > 0) {
+            got += static_cast<size_t>(rc);
+            continue;
+        }
+        if (rc < 0 && errno == EINTR)
+            continue;
+        if (rc == 0 && got == 0)
+            return false; // Clean EOF between messages.
+        if (rc == 0)
+            fatal("connection truncated: expected ", n,
+                  " bytes, got ", got);
+        fatal("socket read failed: ", std::strerror(errno));
+    }
+    return true;
+}
+
+void
+writeAll(const Fd &fd, const void *buf, size_t n)
+{
+    const char *p = static_cast<const char *>(buf);
+    size_t sent = 0;
+    while (sent < n) {
+        // send + MSG_NOSIGNAL instead of write: a peer that hung up
+        // must surface as EPIPE here, not as a process-wide SIGPIPE.
+        ssize_t rc =
+            ::send(fd.get(), p + sent, n - sent, MSG_NOSIGNAL);
+        if (rc >= 0) {
+            sent += static_cast<size_t>(rc);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        fatal("socket write failed: ", std::strerror(errno));
+    }
+}
+
+} // namespace util
+} // namespace h2p

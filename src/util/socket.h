@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal Unix-domain socket and fd-I/O helpers for the service layer.
+ *
+ * The service daemon speaks its wire protocol over SOCK_STREAM
+ * AF_UNIX sockets; these wrappers cover exactly what it needs —
+ * RAII ownership of a descriptor, listen/accept/connect on a
+ * filesystem path, poll-with-timeout so accept loops can notice a
+ * shutdown request, and EINTR-safe full-buffer read/write. All
+ * failures raise h2p::Error naming the operation and errno text.
+ *
+ * POSIX-only (like the rest of the daemon); the library core never
+ * includes this header.
+ */
+
+#ifndef H2P_UTIL_SOCKET_H_
+#define H2P_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+namespace h2p {
+namespace util {
+
+/**
+ * Owning wrapper of a file descriptor: closes on destruction,
+ * move-only. A default-made Fd is empty (valid() == false).
+ */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { close(); }
+
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &operator=(Fd &&other) noexcept;
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int get() const { return fd_; }
+
+    /** Close now (idempotent). */
+    void close();
+
+    /**
+     * shutdown(2) both directions, leaving the descriptor open: a
+     * blocked read in another thread returns 0 (EOF) immediately.
+     * The idiomatic way to unblock a connection thread on shutdown —
+     * close() alone would race with the concurrent read.
+     */
+    void shutdownBoth();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create, bind and listen a Unix-domain stream socket at @p path. An
+ * existing socket file at the path is unlinked first (stale from a
+ * crashed daemon); a live daemon on the same path loses its listener
+ * — callers are expected to pick per-instance paths.
+ */
+Fd unixListen(const std::string &path, int backlog = 16);
+
+/** Connect to the Unix-domain socket at @p path. */
+Fd unixConnect(const std::string &path);
+
+/**
+ * Accept one connection on @p listener (blocking). Returns an empty
+ * Fd when the listener was shut down / closed under us instead of
+ * throwing, so accept loops can exit quietly.
+ */
+Fd acceptConnection(const Fd &listener);
+
+/**
+ * Wait until @p fd is readable or @p timeout_ms elapses. Returns
+ * true when readable (or in error/hangup state — the subsequent read
+ * reports it), false on timeout.
+ */
+bool waitReadable(const Fd &fd, int timeout_ms);
+
+/**
+ * Read exactly @p n bytes into @p buf, retrying on EINTR and short
+ * reads. Returns false on clean EOF at byte 0 (the peer closed
+ * between messages); EOF mid-buffer is a truncation and throws.
+ */
+bool readExact(const Fd &fd, void *buf, size_t n);
+
+/** Write all @p n bytes of @p buf, retrying on EINTR/short writes. */
+void writeAll(const Fd &fd, const void *buf, size_t n);
+
+} // namespace util
+} // namespace h2p
+
+#endif // H2P_UTIL_SOCKET_H_

@@ -375,6 +375,133 @@ TEST(JournalTest, ResumeRejectsMismatchedGrid)
     EXPECT_THROW(missing_engine.resume(grid), Error);
 }
 
+TEST(JournalTest, MismatchMessageNamesTheDivergedInput)
+{
+    TempPath jp("journal_test_mismatch_named.jsonl");
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, 3);
+
+    core::SweepOptions options;
+    options.keep_recorders = false;
+    options.journal_path = jp.path;
+    core::SweepEngine engine(options);
+    engine.run(grid);
+
+    auto mismatchMessage = [&engine](
+                               std::vector<core::SweepPoint> &bad) {
+        try {
+            engine.resume(bad);
+        } catch (const Error &e) {
+            return std::string(e.what());
+        }
+        ADD_FAILURE() << "resume accepted a diverging grid";
+        return std::string();
+    };
+
+    // Configuration knob tweaked: named, and nothing else blamed.
+    auto tweaked = makeGrid(trace, 3);
+    tweaked[1].config.optimizer.t_safe_c += 1.0;
+    std::string msg = mismatchMessage(tweaked);
+    EXPECT_NE(msg.find("configuration"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("traces"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("grid shape"), std::string::npos) << msg;
+
+    // Different driving trace: only the traces are blamed.
+    auto other_trace = makeTrace(/*seed=*/22);
+    auto retraced = makeGrid(other_trace, 3);
+    msg = mismatchMessage(retraced);
+    EXPECT_NE(msg.find("traces"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("configuration"), std::string::npos) << msg;
+
+    // Same size but different labels: the grid shape is blamed.
+    auto relabeled = makeGrid(trace, 3);
+    relabeled[2].label = "renamed";
+    msg = mismatchMessage(relabeled);
+    EXPECT_NE(msg.find("grid shape"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("traces"), std::string::npos) << msg;
+
+    // Per-point supervision override: named as such.
+    auto guarded = makeGrid(trace, 3);
+    guarded[0].step_budget = 5;
+    msg = mismatchMessage(guarded);
+    EXPECT_NE(msg.find("supervision overrides"), std::string::npos)
+        << msg;
+    EXPECT_EQ(msg.find("configuration"), std::string::npos) << msg;
+
+    // Several inputs at once: all of them are listed.
+    auto multi = makeGrid(other_trace, 3);
+    multi[0].config.optimizer.t_safe_c += 1.0;
+    msg = mismatchMessage(multi);
+    EXPECT_NE(msg.find("configuration"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("traces"), std::string::npos) << msg;
+}
+
+TEST(JournalTest, OldFormatJournalFallsBackToGenericMismatch)
+{
+    TempPath jp("journal_test_mismatch_legacy.jsonl");
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, 3);
+
+    // A combined-only manifest, as journals wrote before component
+    // digests existed.
+    {
+        auto journal = core::SweepJournal::create(
+            jp.path, grid.size(),
+            core::SweepJournal::gridFingerprint(grid));
+    }
+    auto loaded = core::SweepJournal::load(jp.path);
+    EXPECT_FALSE(loaded.has_components);
+    EXPECT_EQ(loaded.fingerprint,
+              core::SweepJournal::gridFingerprint(grid));
+
+    // A matching grid still resumes against the old format...
+    core::SweepOptions options;
+    options.keep_recorders = false;
+    options.journal_path = jp.path;
+    core::SweepEngine engine(options);
+    auto result = engine.resume(grid);
+    EXPECT_EQ(result.points.size(), 3u);
+
+    // ...but a diverging one gets the generic, honest message.
+    {
+        auto journal = core::SweepJournal::create(
+            jp.path, grid.size(),
+            core::SweepJournal::gridFingerprint(grid));
+    }
+    auto tweaked = makeGrid(trace, 3);
+    tweaked[0].config.optimizer.t_safe_c += 1.0;
+    try {
+        engine.resume(tweaked);
+        ADD_FAILURE() << "resume accepted a diverging grid";
+    } catch (const Error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("predates component digests"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(JournalTest, ComponentDigestsRoundTripThroughTheManifest)
+{
+    TempPath jp("journal_test_components.jsonl");
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, 3);
+    const auto fp = core::SweepJournal::gridFingerprints(grid);
+    // The combined component digest is the legacy fingerprint.
+    EXPECT_EQ(fp.combined, core::SweepJournal::gridFingerprint(grid));
+    {
+        auto journal =
+            core::SweepJournal::create(jp.path, grid.size(), fp);
+    }
+    auto loaded = core::SweepJournal::load(jp.path);
+    EXPECT_TRUE(loaded.has_components);
+    EXPECT_EQ(loaded.fingerprint, fp.combined);
+    EXPECT_EQ(loaded.fingerprints.shape, fp.shape);
+    EXPECT_EQ(loaded.fingerprints.config, fp.config);
+    EXPECT_EQ(loaded.fingerprints.trace, fp.trace);
+    EXPECT_EQ(loaded.fingerprints.guard, fp.guard);
+}
+
 TEST(JournalTest, FreshRunTruncatesOldJournal)
 {
     TempPath jp("journal_test_truncate.jsonl");

@@ -285,6 +285,47 @@ TEST(ExporterTest, MetricsCsvHasHeaderAndRows)
     EXPECT_NE(out.find("b,gauge"), std::string::npos);
 }
 
+TEST(ExporterTest, OverflowSurfacesDroppedEventsInBothExports)
+{
+    ObsParams p;
+    p.enabled = true;
+    p.max_events = 2;
+    Observability obs(p);
+    for (int i = 0; i < 5; ++i)
+        obs.events().append(double(i), i, "fault", "circ1", "pump");
+    EXPECT_EQ(obs.events().dropped(), 3u);
+
+    std::ostringstream js;
+    obs.writeJsonl(js);
+    const std::string jsonl = js.str();
+    EXPECT_NE(jsonl.find("\"type\":\"event_overflow\",\"dropped\":3"),
+              std::string::npos);
+    // The loss also travels as a uniform counter, so metric-only
+    // consumers see it without scanning for the overflow record.
+    EXPECT_NE(jsonl.find("\"type\":\"counter\",\"name\":"
+                         "\"dropped_events\",\"value\":3"),
+              std::string::npos);
+
+    std::ostringstream cs;
+    obs.writeMetricsCsv(cs);
+    EXPECT_NE(cs.str().find("dropped_events,counter"),
+              std::string::npos);
+}
+
+TEST(ExporterTest, NoDroppedEventsCounterWithoutOverflow)
+{
+    ObsParams p;
+    p.enabled = true;
+    Observability obs(p);
+    obs.events().append(1.0, 1, "fault", "circ1", "pump");
+    std::ostringstream js, cs;
+    obs.writeJsonl(js);
+    obs.writeMetricsCsv(cs);
+    EXPECT_EQ(js.str().find("dropped_events"), std::string::npos);
+    EXPECT_EQ(js.str().find("event_overflow"), std::string::npos);
+    EXPECT_EQ(cs.str().find("dropped_events"), std::string::npos);
+}
+
 TEST(ExporterTest, SummaryMentionsEverySection)
 {
     ObsParams p;

@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Digital-twin service tests: wire-protocol framing and robustness
+ * (malformed, truncated and oversized frames, unknown verbs,
+ * double-close), broker session lifecycle with byte-identical
+ * recorder output against a direct SimSession run — including
+ * through a checkpoint/resume cycle — admission control, step
+ * budgets, streamed sweeps, concurrent clients hammering one broker,
+ * and socket-level serving with clean shutdown.
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include "core/config_io.h"
+#include "core/h2p_system.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/session_broker.h"
+#include "util/cancellation.h"
+#include "util/error.h"
+#include "util/socket.h"
+
+namespace h2p {
+namespace {
+
+/** The INI every twin in these tests runs from (144-step trace). */
+const char *const kIni =
+    "[datacenter]\n"
+    "num_servers = 40\n"
+    "servers_per_circulation = 20\n"
+    "[trace]\n"
+    "profile = drastic\n"
+    "seed = 21\n"
+    "servers = 40\n";
+
+/** RAII temp-file path cleaned up on scope exit. */
+struct TempPath
+{
+    explicit TempPath(const std::string &name) : path(name) {}
+    ~TempPath() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+service::Request
+makeRequest(const std::string &verb,
+            std::vector<std::string> args = {},
+            std::string body = std::string())
+{
+    service::Request req;
+    req.verb = verb;
+    req.args = std::move(args);
+    req.body = std::move(body);
+    return req;
+}
+
+/** Both ends of a connected AF_UNIX stream pair. */
+struct SocketPair
+{
+    util::Fd a, b;
+    SocketPair()
+    {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = util::Fd(fds[0]);
+        b = util::Fd(fds[1]);
+    }
+};
+
+// ---------------------------------------------------------------------
+// Protocol framing and parsing.
+
+TEST(ServiceProtocol, RequestRoundTripsThroughPayload)
+{
+    service::Request req =
+        makeRequest("open", {"original"}, "[trace]\nseed = 7\n");
+    service::Request back = service::Request::parse(req.serialize());
+    EXPECT_EQ(back.verb, "open");
+    ASSERT_EQ(back.args.size(), 1u);
+    EXPECT_EQ(back.args[0], "original");
+    EXPECT_EQ(back.body, "[trace]\nseed = 7\n");
+}
+
+TEST(ServiceProtocol, ResponseRoundTripsOkAndError)
+{
+    service::Response ok =
+        service::Response::okay({"s1", "144"}, "{\"x\":1}\n");
+    service::Response back = service::Response::parse(ok.serialize());
+    EXPECT_TRUE(back.ok);
+    ASSERT_EQ(back.args.size(), 2u);
+    EXPECT_EQ(back.args[1], "144");
+    EXPECT_EQ(back.body, "{\"x\":1}\n");
+
+    service::Response err =
+        service::Response::error("went wrong\nbadly");
+    service::Response eback =
+        service::Response::parse(err.serialize());
+    EXPECT_FALSE(eback.ok);
+    // Newlines are folded so the message survives the one-line form.
+    EXPECT_EQ(eback.message, "went wrong badly");
+}
+
+TEST(ServiceProtocol, MalformedHeadersThrow)
+{
+    EXPECT_THROW(service::Request::parse(""), Error);
+    EXPECT_THROW(service::Request::parse("step  s1\n"), Error);
+    EXPECT_THROW(service::Request::parse("step s1 \n"), Error);
+    EXPECT_THROW(service::Response::parse("okey\n"), Error);
+    EXPECT_THROW(service::Response::parse("\n"), Error);
+}
+
+TEST(ServiceProtocol, FramesRoundTripOverSocket)
+{
+    SocketPair pair;
+    service::writeFrame(pair.a, "hello\nworld");
+    service::writeFrame(pair.a, "");
+    std::string payload;
+    ASSERT_TRUE(service::readFrame(pair.b, payload));
+    EXPECT_EQ(payload, "hello\nworld");
+    ASSERT_TRUE(service::readFrame(pair.b, payload));
+    EXPECT_EQ(payload, "");
+    pair.a.close();
+    EXPECT_FALSE(service::readFrame(pair.b, payload)); // clean EOF
+}
+
+TEST(ServiceProtocol, OversizedFrameIsRejectedWithoutAllocating)
+{
+    SocketPair pair;
+    // Forged length prefix far past the cap; no payload follows.
+    const uint8_t prefix[4] = {0xff, 0xff, 0xff, 0x7f};
+    util::writeAll(pair.a, prefix, sizeof(prefix));
+    std::string payload;
+    EXPECT_THROW(service::readFrame(pair.b, payload), Error);
+}
+
+TEST(ServiceProtocol, TruncatedFrameThrows)
+{
+    SocketPair pair;
+    const uint8_t prefix[4] = {100, 0, 0, 0}; // promises 100 bytes
+    util::writeAll(pair.a, prefix, sizeof(prefix));
+    util::writeAll(pair.a, "short", 5);
+    pair.a.close();
+    std::string payload;
+    EXPECT_THROW(service::readFrame(pair.b, payload), Error);
+}
+
+// ---------------------------------------------------------------------
+// Broker lifecycle, driven in-process.
+
+TEST(SessionBroker, UnknownVerbAndUnknownSessionAreErrorResponses)
+{
+    service::SessionBroker broker;
+    service::Response r = broker.handleOne(makeRequest("frobnicate"));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("unknown verb"), std::string::npos);
+
+    r = broker.handleOne(makeRequest("step", {"s99", "1"}));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("unknown session"), std::string::npos);
+}
+
+TEST(SessionBroker, OpenStepQueryCloseLifecycle)
+{
+    service::SessionBroker broker;
+    service::Response open =
+        broker.handleOne(makeRequest("open", {"original"}, kIni));
+    ASSERT_TRUE(open.ok) << open.message;
+    ASSERT_EQ(open.args.size(), 2u);
+    const std::string id = open.args[0];
+    EXPECT_EQ(open.args[1], "144");
+    EXPECT_EQ(broker.numSessions(), 1u);
+
+    service::Response step =
+        broker.handleOne(makeRequest("step", {id, "10"}));
+    ASSERT_TRUE(step.ok) << step.message;
+    EXPECT_EQ(step.args[0], "10");
+    EXPECT_EQ(step.args[1], "0");
+
+    service::Response state =
+        broker.handleOne(makeRequest("query", {id, "state"}));
+    ASSERT_TRUE(state.ok) << state.message;
+    EXPECT_NE(state.body.find("\"teg_power_w\""), std::string::npos);
+
+    service::Response summary =
+        broker.handleOne(makeRequest("query", {id, "summary"}));
+    ASSERT_TRUE(summary.ok);
+    EXPECT_NE(summary.body.find("\"cursor\":10"), std::string::npos);
+
+    service::Response bad =
+        broker.handleOne(makeRequest("query", {id, "nope"}));
+    EXPECT_FALSE(bad.ok);
+
+    service::Response close =
+        broker.handleOne(makeRequest("close", {id}));
+    ASSERT_TRUE(close.ok);
+    EXPECT_EQ(close.args[0], "discarded"); // not done yet
+    EXPECT_EQ(broker.numSessions(), 0u);
+
+    service::Response again =
+        broker.handleOne(makeRequest("close", {id}));
+    EXPECT_FALSE(again.ok); // double close
+    EXPECT_NE(again.message.find("unknown session"),
+              std::string::npos);
+}
+
+TEST(SessionBroker, AdmissionControlCapsOpenSessions)
+{
+    service::BrokerOptions options;
+    options.max_sessions = 1;
+    service::SessionBroker broker(options);
+    service::Response first =
+        broker.handleOne(makeRequest("open", {"original"}, kIni));
+    ASSERT_TRUE(first.ok);
+    service::Response second =
+        broker.handleOne(makeRequest("open", {"original"}, kIni));
+    EXPECT_FALSE(second.ok);
+    EXPECT_NE(second.message.find("session limit"), std::string::npos);
+    // Closing frees the slot.
+    ASSERT_TRUE(
+        broker.handleOne(makeRequest("close", {first.args[0]})).ok);
+    EXPECT_TRUE(
+        broker.handleOne(makeRequest("open", {"original"}, kIni)).ok);
+}
+
+TEST(SessionBroker, StepBudgetIsEnforcedThroughTheGuard)
+{
+    service::BrokerOptions options;
+    options.step_budget = 5;
+    service::SessionBroker broker(options);
+    service::Response open =
+        broker.handleOne(makeRequest("open", {"original"}, kIni));
+    ASSERT_TRUE(open.ok);
+    service::Response step =
+        broker.handleOne(makeRequest("step", {open.args[0], "10"}));
+    EXPECT_FALSE(step.ok); // budget blew at step 5
+    service::Response summary = broker.handleOne(
+        makeRequest("query", {open.args[0], "summary"}));
+    ASSERT_TRUE(summary.ok);
+    EXPECT_NE(summary.body.find("\"cursor\":5"), std::string::npos);
+}
+
+TEST(SessionBroker, CancelTokenStopsStepsAtTheBoundary)
+{
+    util::CancelToken cancel;
+    service::BrokerOptions options;
+    options.cancel = &cancel;
+    service::SessionBroker broker(options);
+    service::Response open =
+        broker.handleOne(makeRequest("open", {"original"}, kIni));
+    ASSERT_TRUE(open.ok);
+    cancel.requestCancel();
+    service::Response step =
+        broker.handleOne(makeRequest("step", {open.args[0], "10"}));
+    EXPECT_FALSE(step.ok);
+    EXPECT_NE(step.message.find("cancel"), std::string::npos);
+}
+
+TEST(SessionBroker, RecorderJsonlMatchesDirectRunByteForByte)
+{
+    // Direct in-process run over the identical configuration.
+    std::istringstream is(kIni);
+    const sim::Config ini = sim::Config::parse(is);
+    core::H2PSystem sys(core::configFromIni(ini));
+    workload::UtilizationTrace trace =
+        core::makeTrace(core::traceRequestFromIni(ini));
+    core::SimSession session =
+        sys.startSession(trace, sched::Policy::TegOriginal);
+    session.runToCompletion();
+    std::ostringstream direct;
+    session.recorder().writeJsonl(direct);
+
+    service::SessionBroker broker;
+    service::Response open =
+        broker.handleOne(makeRequest("open", {"original"}, kIni));
+    ASSERT_TRUE(open.ok) << open.message;
+    const std::string id = open.args[0];
+    ASSERT_TRUE(
+        broker.handleOne(makeRequest("step", {id, "144"})).ok);
+    service::Response jsonl =
+        broker.handleOne(makeRequest("query", {id, "jsonl"}));
+    ASSERT_TRUE(jsonl.ok);
+    EXPECT_EQ(jsonl.body, direct.str()); // byte-for-byte
+}
+
+TEST(SessionBroker, CheckpointResumeReproducesTheRunByteForByte)
+{
+    std::istringstream is(kIni);
+    const sim::Config ini = sim::Config::parse(is);
+    core::H2PSystem sys(core::configFromIni(ini));
+    workload::UtilizationTrace trace =
+        core::makeTrace(core::traceRequestFromIni(ini));
+    core::SimSession session =
+        sys.startSession(trace, sched::Policy::TegLoadBalance);
+    session.runToCompletion();
+    std::ostringstream direct;
+    session.recorder().writeJsonl(direct);
+
+    TempPath ckpt("service_test_resume.ckpt");
+    service::SessionBroker broker;
+    service::Response open =
+        broker.handleOne(makeRequest("open", {"balance"}, kIni));
+    ASSERT_TRUE(open.ok) << open.message;
+    ASSERT_TRUE(
+        broker.handleOne(makeRequest("step", {open.args[0], "70"}))
+            .ok);
+    ASSERT_TRUE(broker
+                    .handleOne(makeRequest(
+                        "checkpoint", {open.args[0], ckpt.path}))
+                    .ok);
+    ASSERT_TRUE(
+        broker.handleOne(makeRequest("close", {open.args[0]})).ok);
+
+    service::Response resume =
+        broker.handleOne(makeRequest("resume", {ckpt.path}, kIni));
+    ASSERT_TRUE(resume.ok) << resume.message;
+    ASSERT_EQ(resume.args.size(), 3u);
+    EXPECT_EQ(resume.args[1], "70"); // cursor restored
+    const std::string id = resume.args[0];
+    service::Response step =
+        broker.handleOne(makeRequest("step", {id, "9999"}));
+    ASSERT_TRUE(step.ok);
+    EXPECT_EQ(step.args[1], "1"); // done
+    service::Response jsonl =
+        broker.handleOne(makeRequest("query", {id, "jsonl"}));
+    ASSERT_TRUE(jsonl.ok);
+    EXPECT_EQ(jsonl.body, direct.str());
+
+    service::Response close =
+        broker.handleOne(makeRequest("close", {id}));
+    ASSERT_TRUE(close.ok);
+    EXPECT_EQ(close.args[0], "finished");
+    EXPECT_NE(close.body.find("\"pre\":"), std::string::npos);
+}
+
+TEST(SessionBroker, SweepStreamsPointsThenDone)
+{
+    const std::string body = std::string(kIni) + "---\n" + kIni;
+    service::SessionBroker broker;
+    std::vector<service::Response> responses;
+    broker.handle(makeRequest("sweep", {"original", "2"}, body),
+                  [&responses](const service::Response &r) {
+                      responses.push_back(r);
+                  });
+    ASSERT_EQ(responses.size(), 3u);
+    EXPECT_TRUE(responses[0].ok);
+    EXPECT_EQ(responses[0].args[0], "point");
+    EXPECT_EQ(responses[0].args[1], "0");
+    EXPECT_EQ(responses[0].args[3], "completed");
+    EXPECT_EQ(responses[1].args[1], "1");
+    ASSERT_EQ(responses[2].args.size(), 4u);
+    EXPECT_EQ(responses[2].args[0], "done");
+    EXPECT_EQ(responses[2].args[1], "2");
+    // Identical points produce identical summaries.
+    EXPECT_EQ(responses[0].body, responses[1].body);
+}
+
+TEST(SessionBroker, ConcurrentClientsHammerOneBroker)
+{
+    service::BrokerOptions options;
+    options.max_sessions = 16;
+    service::SessionBroker broker(options);
+    constexpr int kClients = 4;
+    std::vector<std::thread> clients;
+    std::vector<int> failures(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&broker, &failures, c] {
+            service::Response open = broker.handleOne(makeRequest(
+                "open", {c % 2 == 0 ? "original" : "balance"}, kIni));
+            if (!open.ok) {
+                failures[c]++;
+                return;
+            }
+            const std::string id = open.args[0];
+            for (int i = 0; i < 12; ++i) {
+                if (!broker.handleOne(makeRequest("step", {id, "3"}))
+                         .ok ||
+                    !broker
+                         .handleOne(
+                             makeRequest("query", {id, "state"}))
+                         .ok)
+                    failures[c]++;
+            }
+            if (!broker.handleOne(makeRequest("close", {id})).ok)
+                failures[c]++;
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    for (int c = 0; c < kClients; ++c)
+        EXPECT_EQ(failures[c], 0) << "client " << c;
+    EXPECT_EQ(broker.numSessions(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Socket server.
+
+TEST(ServiceServer, ServesConcurrentConnectionsAndStopsCleanly)
+{
+    TempPath socket("service_test_server.sock");
+    service::SessionBroker broker;
+    service::Server server(socket.path, &broker);
+
+    auto client = [&socket](sched::Policy policy) {
+        util::Fd fd = util::unixConnect(socket.path);
+        service::writeFrame(
+            fd, makeRequest("open",
+                            {policy == sched::Policy::TegOriginal
+                                 ? "original"
+                                 : "balance"},
+                            kIni)
+                    .serialize());
+        std::string payload;
+        ASSERT_TRUE(service::readFrame(fd, payload));
+        service::Response open = service::Response::parse(payload);
+        ASSERT_TRUE(open.ok) << open.message;
+        const std::string id = open.args[0];
+        service::writeFrame(
+            fd, makeRequest("step", {id, "20"}).serialize());
+        ASSERT_TRUE(service::readFrame(fd, payload));
+        ASSERT_TRUE(service::Response::parse(payload).ok);
+        service::writeFrame(fd,
+                            makeRequest("close", {id}).serialize());
+        ASSERT_TRUE(service::readFrame(fd, payload));
+        ASSERT_TRUE(service::Response::parse(payload).ok);
+    };
+    std::thread a(client, sched::Policy::TegOriginal);
+    std::thread b(client, sched::Policy::TegLoadBalance);
+    a.join();
+    b.join();
+    EXPECT_EQ(broker.numSessions(), 0u);
+    server.stop(); // idempotent with the destructor
+}
+
+TEST(ServiceServer, MalformedHeaderGetsErrorButConnectionSurvives)
+{
+    TempPath socket("service_test_malformed.sock");
+    service::SessionBroker broker;
+    service::Server server(socket.path, &broker);
+
+    util::Fd fd = util::unixConnect(socket.path);
+    service::writeFrame(fd, "step  double-space\n");
+    std::string payload;
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    EXPECT_FALSE(service::Response::parse(payload).ok);
+    // Same connection still works afterwards.
+    service::writeFrame(fd, makeRequest("ping").serialize());
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    EXPECT_TRUE(service::Response::parse(payload).ok);
+}
+
+TEST(ServiceServer, ShutdownVerbStopsTheServer)
+{
+    TempPath socket("service_test_shutdown.sock");
+    service::SessionBroker broker;
+    service::Server server(socket.path, &broker);
+    broker.setOnShutdown([&server] { server.requestStop(); });
+
+    util::Fd fd = util::unixConnect(socket.path);
+    service::writeFrame(fd, makeRequest("shutdown").serialize());
+    std::string payload;
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    EXPECT_TRUE(service::Response::parse(payload).ok);
+    server.waitForStop();
+    server.stop();
+}
+
+} // namespace
+} // namespace h2p

@@ -20,7 +20,11 @@
 #include "core/sweep_engine.h"
 #include "obs/observability.h"
 #include "util/error.h"
+#include "util/signal.h"
 #include "workload/trace_gen.h"
+
+#include <csignal>
+#include <cstdio>
 
 namespace h2p {
 namespace {
@@ -177,6 +181,102 @@ TEST(RunGuardTest, CancelTokenStopsAtNextStep)
         EXPECT_EQ(e.failure().step, 1u);
     }
     EXPECT_EQ(session.cursor(), 1u);
+}
+
+TEST(SignalCancelTest, DeliveredSignalCancelsInsteadOfKilling)
+{
+    util::resetSignalCancelForTest();
+    util::installSignalCancel();
+    EXPECT_EQ(util::lastCancelSignal(), 0);
+    EXPECT_FALSE(util::signalCancelToken().cancelRequested());
+
+    core::H2PSystem sys(smallConfig());
+    auto trace = makeTrace();
+    auto session = sys.startSession(trace, sched::Policy::TegOriginal);
+    core::RunGuard guard;
+    guard.cancel = &util::signalCancelToken();
+    session.setGuard(guard);
+    session.step();
+
+    // Deliver SIGTERM to ourselves: the handler latches the request
+    // instead of terminating, and the run stops at the next step
+    // boundary with the usual Cancelled classification.
+    ASSERT_EQ(std::raise(SIGTERM), 0);
+    EXPECT_TRUE(util::signalCancelToken().cancelRequested());
+    EXPECT_EQ(util::lastCancelSignal(), SIGTERM);
+    try {
+        session.step();
+        FAIL() << "signal cancellation not honored";
+    } catch (const RunError &e) {
+        EXPECT_EQ(e.failure().kind, FailureKind::Cancelled);
+        EXPECT_EQ(e.failure().stage, "guard");
+    }
+    EXPECT_EQ(session.cursor(), 1u);
+
+    // Kill-vs-cancel escalation: the first delivery re-armed the
+    // default disposition, so a second SIGTERM would kill for real.
+    struct sigaction current;
+    ASSERT_EQ(::sigaction(SIGTERM, nullptr, &current), 0);
+    EXPECT_EQ(current.sa_handler, SIG_DFL);
+
+    // Re-installation arms the cooperative path again.
+    util::resetSignalCancelForTest();
+    util::installSignalCancel();
+    ASSERT_EQ(::sigaction(SIGTERM, nullptr, &current), 0);
+    EXPECT_NE(current.sa_handler, SIG_DFL);
+    util::resetSignalCancelForTest();
+}
+
+TEST(SignalCancelTest, SignalCancelledSweepIsJournalResumable)
+{
+    util::resetSignalCancelForTest();
+    util::installSignalCancel();
+
+    struct TempPath
+    {
+        explicit TempPath(const std::string &n) : path(n) {}
+        ~TempPath() { std::remove(path.c_str()); }
+        std::string path;
+    } jp("supervision_test_signal.jsonl");
+
+    auto trace = makeTrace();
+    auto grid = makeGrid(trace, 4);
+
+    // Uninterrupted reference sweep.
+    core::SweepOptions plain;
+    plain.keep_recorders = false;
+    core::SweepResult reference = core::SweepEngine(plain).run(grid);
+
+    // Trip the token mid-sweep, as a signal handler would.
+    core::SweepOptions options;
+    options.keep_recorders = false;
+    options.journal_path = jp.path;
+    options.cancel = &util::signalCancelToken();
+    core::SweepEngine engine(options);
+    size_t delivered = 0;
+    core::SweepResult cancelled =
+        engine.run(grid, [&delivered](const core::SweepPointResult &) {
+            if (++delivered == 2)
+                std::raise(SIGTERM);
+        });
+    EXPECT_TRUE(cancelled.cancelled);
+    EXPECT_EQ(util::lastCancelSignal(), SIGTERM);
+    EXPECT_LT(delivered, grid.size());
+
+    // The journal holds the finished points; a resume completes the
+    // grid bit-identically to the uninterrupted run.
+    util::resetSignalCancelForTest();
+    core::SweepResult resumed = engine.resume(grid);
+    EXPECT_FALSE(resumed.cancelled);
+    ASSERT_EQ(resumed.points.size(), reference.points.size());
+    for (size_t i = 0; i < resumed.points.size(); ++i) {
+        EXPECT_EQ(resumed.points[i].status, reference.points[i].status);
+        EXPECT_TRUE(sameBits(resumed.points[i].summary.pre,
+                             reference.points[i].summary.pre));
+        EXPECT_TRUE(sameBits(resumed.points[i].summary.avg_teg_w,
+                             reference.points[i].summary.avg_teg_w));
+    }
+    util::resetSignalCancelForTest();
 }
 
 TEST(RunGuardTest, ExpiredDeadlineStopsBeforeTheNextStep)
