@@ -356,6 +356,13 @@ main(int argc, char **argv)
                        "wall-clock budget per sweep point in "
                        "seconds (0 = none); overruns are retried "
                        "once, then quarantined");
+        args.addFlag("balancer",
+                     "enable the autonomous thermal balancer "
+                     "([balancer] enabled = 1) on top of the config; "
+                     "with [balancer] max_stale_steps set, a "
+                     "non-converging point fails as config_error and "
+                     "--sweep quarantines it with exact step/stage "
+                     "attribution");
         if (!args.parse(argc, argv))
             return 0;
 
@@ -366,6 +373,11 @@ main(int argc, char **argv)
         sim::Config ini;
         if (!args.getString("config").empty())
             ini = sim::Config::load(args.getString("config"));
+        // --balancer layers on top of (and overrides) the config
+        // file, so one flag flips a whole sweep grid to balancer
+        // pipelines without editing the INI.
+        if (args.getFlag("balancer"))
+            ini.set("balancer", "enabled", "1");
 
         if (!args.getString("sweep").empty()) {
             expect(args.getString("checkpoint").empty(),

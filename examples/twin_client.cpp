@@ -14,6 +14,15 @@
  *   ./examples/twin_client --socket /tmp/h2p.sock \
  *       --verb query --args "s1 jsonl" --out run.jsonl
  *
+ * Balancer sessions (balance policy + [balancer] enabled = 1) expose
+ * the autonomous balancer's central view and operator drain control:
+ *
+ *   ./examples/twin_client --verb balancer --args s1
+ *       # -> ok converged|balancing <active-drains>, body: per-
+ *       #    circulation JSON rows (mode, avg/dev util, headroom, TEG)
+ *   ./examples/twin_client --verb drain --args "s1 3"
+ *       # latch a drain of circulation 3; "s1 3 off" releases it
+ *
  * Streamed responses (sweep) are printed one per line as they
  * arrive; --out captures only the final response's body. Exits 0 on
  * an ok response, 2 on an error response, 1 on transport failure.

@@ -1,0 +1,113 @@
+#include "control/stages.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace h2p {
+namespace control {
+
+void
+BalanceStage::apply(const ControlContext &ctx,
+                    sched::ScheduleDecision &decision)
+{
+    (void)ctx;
+    // Identical arithmetic to the former Scheduler::decideInto
+    // TegLoadBalance branch: one accumulate per circulation slice,
+    // every server set to the mean. Balancing happens within a
+    // circulation — jobs migrate between its servers, flattening the
+    // thermal demand.
+    size_t offset = 0;
+    for (size_t i = 0; i < dc_.numCirculations(); ++i) {
+        const size_t n = dc_.circulationSize(i);
+        double *group = decision.utils.data() + offset;
+        double mean = std::accumulate(group, group + n, 0.0) /
+                      static_cast<double>(n);
+        for (size_t j = 0; j < n; ++j)
+            group[j] = mean;
+        offset += n;
+    }
+}
+
+void
+CoolingStage::apply(const ControlContext &ctx,
+                    sched::ScheduleDecision &decision)
+{
+    expect(decision.utils.size() == dc_.numServers(),
+           "cooling stage expects ", dc_.numServers(),
+           " utilizations, got ", decision.utils.size());
+    expect(ctx.actions == nullptr ||
+               ctx.actions->size() == dc_.numCirculations(),
+           "expected ", dc_.numCirculations(), " safe-mode actions, "
+           "got ", ctx.actions == nullptr ? 0 : ctx.actions->size());
+    expect(ctx.margin_c >= 0.0, "margin must be non-negative");
+
+    decision.settings.clear();
+    decision.details.clear();
+    decision.settings.reserve(dc_.numCirculations());
+    decision.details.reserve(dc_.numCirculations());
+
+    size_t offset = 0;
+    for (size_t i = 0; i < dc_.numCirculations(); ++i) {
+        const size_t n = dc_.circulationSize(i);
+        const double *group = decision.utils.data() + offset;
+        // After a balancing stage flattened the slice this max IS the
+        // slice's mean, bit for bit; without one it is the paper's
+        // U_max planning statistic.
+        double plan_util = *std::max_element(group, group + n);
+
+        sched::SafeModeAction action =
+            ctx.actions == nullptr ? sched::SafeModeAction::Normal
+                                   : (*ctx.actions)[i];
+        sched::OptimizerResult res;
+        switch (action) {
+          case sched::SafeModeAction::Normal:
+            res = optimizer_.choose(plan_util);
+            break;
+          case sched::SafeModeAction::WidenMargin:
+            res = optimizer_.choose(
+                plan_util, optimizer_.params().t_safe_c - ctx.margin_c);
+            break;
+          case sched::SafeModeAction::ColdFallback:
+            res = optimizer_.coldestFallback(plan_util);
+            break;
+        }
+        decision.settings.push_back(res.setting);
+        decision.details.push_back(res);
+        offset += n;
+    }
+}
+
+void
+ControllerStage::apply(const ControlContext &ctx,
+                       sched::ScheduleDecision &decision)
+{
+    H2P_ASSERT(fn_ != nullptr, "controller stage without a function");
+    fn_(ctx.step, *ctx.utils, decision);
+}
+
+std::unique_ptr<ControlPipeline>
+PipelineFactory::make(sched::Policy policy) const
+{
+    if (policy == sched::Policy::TegLoadBalance &&
+        balancer_.enabled) {
+        auto p = std::make_unique<ControlPipeline>("TEG_Balancer");
+        p->add(std::make_unique<ThermalBalancer>(balancer_, dc_,
+                                                 t_safe_c_));
+        p->add(std::make_unique<CoolingStage>(dc_, optimizer_));
+        return p;
+    }
+    if (policy == sched::Policy::TegLoadBalance) {
+        auto p = std::make_unique<ControlPipeline>("TEG_LoadBalance");
+        p->add(std::make_unique<BalanceStage>(dc_));
+        p->add(std::make_unique<CoolingStage>(dc_, optimizer_));
+        return p;
+    }
+    auto p = std::make_unique<ControlPipeline>("TEG_Original");
+    p->add(std::make_unique<CoolingStage>(dc_, optimizer_));
+    return p;
+}
+
+} // namespace control
+} // namespace h2p

@@ -51,6 +51,10 @@ warnUnknownKeys(const sim::Config &ini)
           "max_rate_c_per_s", "flow_tolerance", "hold_steps",
           "watchdog_enabled", "throttle_factor", "recovery_margin_c",
           "release_step"}},
+        {"balancer",
+         {"enabled", "max_move", "hysteresis", "drain_rate",
+          "max_pulls", "drain_on_fallback", "headroom_floor_c",
+          "max_stale_steps"}},
         {"perf",
          {"threads", "min_servers_per_thread",
           "optimizer_cache_quantum"}},
@@ -211,6 +215,24 @@ configFromIni(const sim::Config &ini)
         "safe_mode", "recovery_margin_c", sm.recovery_margin_c);
     sm.release_step =
         ini.getDouble("safe_mode", "release_step", sm.release_step);
+
+    auto &bal = cfg.balancer;
+    bal.enabled = ini.getBool("balancer", "enabled", bal.enabled);
+    bal.max_move =
+        ini.getDouble("balancer", "max_move", bal.max_move);
+    bal.hysteresis =
+        ini.getDouble("balancer", "hysteresis", bal.hysteresis);
+    bal.drain_rate =
+        ini.getDouble("balancer", "drain_rate", bal.drain_rate);
+    bal.max_pulls = static_cast<size_t>(ini.getLong(
+        "balancer", "max_pulls", static_cast<long>(bal.max_pulls)));
+    bal.drain_on_fallback = ini.getBool(
+        "balancer", "drain_on_fallback", bal.drain_on_fallback);
+    bal.headroom_floor_c = ini.getDouble(
+        "balancer", "headroom_floor_c", bal.headroom_floor_c);
+    bal.max_stale_steps = static_cast<size_t>(
+        ini.getLong("balancer", "max_stale_steps",
+                    static_cast<long>(bal.max_stale_steps)));
 
     auto &perf = cfg.perf;
     perf.threads = static_cast<size_t>(ini.getLong(

@@ -29,6 +29,10 @@
  *                max_plausible_c, max_rate_c_per_s, flow_tolerance,
  *                hold_steps, watchdog_enabled (0|1), throttle_factor,
  *                recovery_margin_c, release_step
+ *   [balancer]   enabled (0|1), max_move, hysteresis, drain_rate,
+ *                max_pulls, drain_on_fallback (0|1),
+ *                headroom_floor_c, max_stale_steps (0 disables the
+ *                convergence watchdog)
  *   [perf]       threads (1 = serial, 0 = all hardware threads),
  *                min_servers_per_thread (oversubscription guard; 0
  *                disables it), optimizer_cache_quantum (0 disables

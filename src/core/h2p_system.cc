@@ -57,6 +57,12 @@ H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
     sched_balance_ = std::make_unique<sched::Scheduler>(
         *dc_, *optimizer_, sched::Policy::TegLoadBalance);
 
+    // The control plane: every session's decide stage is a pipeline
+    // built here. The balancer compares measured headroom against the
+    // same T_safe the optimizer plans toward.
+    pipelines_ = std::make_unique<control::PipelineFactory>(
+        *dc_, *optimizer_, config.balancer, opt.t_safe_c);
+
     // An effective degree of 1 keeps the plain serial path (no pool
     // at all); anything else fans circulation evaluation out
     // bit-identically. The chosen degree is result-neutral either
@@ -89,6 +95,7 @@ H2PSystem::H2PSystem(const H2PConfig &config) : config_(config)
     wiring.optimizer = optimizer_.get();
     wiring.sched_original = sched_original_.get();
     wiring.sched_balance = sched_balance_.get();
+    wiring.pipelines = pipelines_.get();
     wiring.pool = pool_.get();
     wiring.obs = obs_.get();
     engine_ = std::make_unique<SimEngine>(wiring);

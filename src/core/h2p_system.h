@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cluster/datacenter.h"
+#include "control/stages.h"
 #include "core/run_types.h"
 #include "core/sim_engine.h"
 #include "obs/observability.h"
@@ -125,6 +126,16 @@ class H2PSystem
     const sched::Scheduler &scheduler(sched::Policy policy) const;
 
     /**
+     * Builds the per-policy control pipeline sessions run: the
+     * canonical TEG_Original/TEG_LoadBalance stages, or the
+     * autonomous thermal balancer when [balancer] is enabled.
+     */
+    const control::PipelineFactory &pipelines() const
+    {
+        return *pipelines_;
+    }
+
+    /**
      * Worker threads actually used for circulation evaluation: the
      * [perf] threads request (0 = one per hardware thread) clamped by
      * the min_servers_per_thread oversubscription guard and the
@@ -148,6 +159,7 @@ class H2PSystem
     // One scheduler per policy, hoisted out of the per-step loop.
     std::unique_ptr<sched::Scheduler> sched_original_;
     std::unique_ptr<sched::Scheduler> sched_balance_;
+    std::unique_ptr<control::PipelineFactory> pipelines_;
     std::unique_ptr<util::ThreadPool> pool_;
     std::unique_ptr<obs::Observability> obs_;
     std::unique_ptr<SimEngine> engine_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/datacenter.h"
+#include "control/thermal_balancer.h"
 #include "fault/fault_injector.h"
 #include "obs/observability.h"
 #include "sched/cooling_optimizer.h"
@@ -73,6 +74,13 @@ struct H2PConfig
     sched::SafeModeParams safe_mode;
     /** Hot-path performance knobs. */
     PerfParams perf;
+    /**
+     * Autonomous thermal balancer ([balancer] in INI configs);
+     * disabled by default. When enabled, TEG_LoadBalance runs the
+     * balancer stage instead of the static per-circulation mean
+     * split.
+     */
+    control::BalancerParams balancer;
     /**
      * Observability ([obs] in INI configs); disabled by default.
      * Enabling it never changes simulation results — it only collects

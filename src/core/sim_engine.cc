@@ -8,6 +8,7 @@
 #include <string>
 
 #include "sim/channels.h"
+#include "util/bytes.h"
 #include "util/error.h"
 #include "util/fs.h"
 #include "util/hash.h"
@@ -84,121 +85,28 @@ safeModeActionName(sched::SafeModeAction a)
 // ---------------------------------------------------------------------
 // Checkpoint serialization.
 //
-// The format is a small explicitly-little-endian binary layout:
+// The format is a small explicitly-little-endian binary layout
+// (util::ByteWriter/ByteReader):
 //
 //   magic "H2PCKPT1" | version u32 | payload length u64 |
 //   payload bytes | FNV-1a(payload) u64
 //
 // The payload starts with the configuration and trace fingerprints,
 // then carries every piece of mutable loop state bit-exactly (doubles
-// travel as their IEEE-754 bit patterns, never through text). Restore
-// rejects wrong magic, unknown versions, truncation, checksum
-// mismatches and fingerprint mismatches with distinct messages.
+// travel as their IEEE-754 bit patterns, never through text),
+// including the state of every declared-stateful control stage keyed
+// by stage name. Restore rejects wrong magic, unknown versions,
+// truncation, checksum mismatches and fingerprint mismatches with
+// distinct messages.
+//
+// Version history: v1 (PR 4) had no control-plane section; v2 adds
+// the custom-control flag and the named stage-state list.
 
 constexpr char kMagic[8] = {'H', '2', 'P', 'C', 'K', 'P', 'T', '1'};
-constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kCheckpointVersion = 2;
 
-class ByteWriter
-{
-  public:
-    void u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-
-    void u32(uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            u8(static_cast<uint8_t>(v >> (8 * i)));
-    }
-
-    void u64(uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            u8(static_cast<uint8_t>(v >> (8 * i)));
-    }
-
-    void f64(double v)
-    {
-        uint64_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        u64(bits);
-    }
-
-    void boolean(bool v) { u8(v ? 1 : 0); }
-
-    void str(const std::string &s)
-    {
-        u64(s.size());
-        buf_.append(s);
-    }
-
-    const std::string &data() const { return buf_; }
-
-  private:
-    std::string buf_;
-};
-
-class ByteReader
-{
-  public:
-    ByteReader(const std::string &buf, size_t begin, size_t end)
-        : buf_(buf), pos_(begin), end_(end)
-    {
-    }
-
-    uint8_t u8()
-    {
-        need(1);
-        return static_cast<uint8_t>(buf_[pos_++]);
-    }
-
-    uint32_t u32()
-    {
-        uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<uint32_t>(u8()) << (8 * i);
-        return v;
-    }
-
-    uint64_t u64()
-    {
-        uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<uint64_t>(u8()) << (8 * i);
-        return v;
-    }
-
-    double f64()
-    {
-        uint64_t bits = u64();
-        double v;
-        std::memcpy(&v, &bits, sizeof(v));
-        return v;
-    }
-
-    bool boolean() { return u8() != 0; }
-
-    std::string str()
-    {
-        uint64_t n = u64();
-        need(n);
-        std::string s = buf_.substr(pos_, n);
-        pos_ += n;
-        return s;
-    }
-
-    bool exhausted() const { return pos_ == end_; }
-
-  private:
-    void need(size_t n)
-    {
-        expect(n <= end_ - pos_,
-               "checkpoint is truncated or corrupt (needed ", n,
-               " more bytes at offset ", pos_, ")");
-    }
-
-    const std::string &buf_;
-    size_t pos_;
-    size_t end_;
-};
+using util::ByteReader;
+using util::ByteWriter;
 
 uint64_t
 payloadChecksum(const std::string &payload)
@@ -250,7 +158,42 @@ SimSession::saveCheckpoint(const std::string &path) const
 void
 SimSession::setController(Controller controller)
 {
-    controller_ = std::move(controller);
+    if (!controller) {
+        // Restore the policy's built-in pipeline. State stashed by a
+        // custom-control resume belongs to custom stages and cannot
+        // land in the factory pipeline; demand setPipeline() instead.
+        expect(pending_state_.empty(),
+               "this session was resumed from a custom-control "
+               "checkpoint carrying control-stage state; re-attach a "
+               "matching pipeline with setPipeline() instead of "
+               "clearing the controller");
+        H2P_ASSERT(engine_ != nullptr && engine_->w_.pipelines != nullptr,
+                   "session has no pipeline factory");
+        pipeline_ = engine_->w_.pipelines->make(policy_);
+        custom_control_ = false;
+        return;
+    }
+    auto p = std::make_unique<control::ControlPipeline>("custom");
+    p->add(std::make_unique<control::ControllerStage>(
+        std::move(controller)));
+    setPipeline(std::move(p));
+}
+
+void
+SimSession::setPipeline(std::unique_ptr<control::ControlPipeline> p)
+{
+    expect(p != nullptr,
+           "setPipeline requires a pipeline; to restore the built-in "
+           "policy pipeline call setController(nullptr)");
+    // A checkpoint taken under custom control stashes its stage state
+    // until the caller re-attaches; hand it to the incoming pipeline
+    // now so stepping resumes bit-identically.
+    if (!pending_state_.empty()) {
+        p->applyState(pending_state_);
+        pending_state_.clear();
+    }
+    pipeline_ = std::move(p);
+    custom_control_ = true;
 }
 
 void
@@ -290,7 +233,8 @@ SimEngine::SimEngine(const Wiring &wiring) : w_(wiring)
     H2P_ASSERT(w_.config != nullptr && w_.dc != nullptr &&
                    w_.optimizer != nullptr &&
                    w_.sched_original != nullptr &&
-                   w_.sched_balance != nullptr,
+                   w_.sched_balance != nullptr &&
+                   w_.pipelines != nullptr,
                "engine wiring incomplete");
 }
 
@@ -364,6 +308,18 @@ SimEngine::configFingerprint() const
     h.f64(sm.release_step);
     h.f64(c.datacenter.server.thermal.max_operating_c);
 
+    // Autonomous balancer: when enabled it replaces the static
+    // balance stage, so every knob shifts the decision sequence.
+    const control::BalancerParams &b = c.balancer;
+    h.boolean(b.enabled);
+    h.f64(b.max_move);
+    h.f64(b.hysteresis);
+    h.f64(b.drain_rate);
+    h.size(b.max_pulls);
+    h.boolean(b.drain_on_fallback);
+    h.f64(b.headroom_floor_c);
+    h.size(b.max_stale_steps);
+
     return h.digest();
 }
 
@@ -385,6 +341,7 @@ SimEngine::makeSession(const workload::UtilizationTrace &trace,
     s.policy_ = policy;
     s.resilient_ = w_.config->faults.enabled() || sm.enabled;
     s.use_watchdog_ = s.resilient_ && sm.enabled && sm.watchdog_enabled;
+    s.pipeline_ = w_.pipelines->make(policy);
 
     s.recorder_ = std::make_shared<sim::Recorder>(trace.dt());
     sim::Recorder &rec = *s.recorder_;
@@ -639,41 +596,47 @@ SimEngine::stepOnce(SimSession &s) const
         }
     }
 
-    // Stage 4: scheduling decision (built-in policy or a custom
-    // controller installed through setController()). The timestamp
-    // after this stage closes the sched.decide span and opens the
-    // dc.evaluate one.
+    // Stage 4: scheduling decision — the session's control pipeline
+    // (canonical per-policy stages from the PipelineFactory, or
+    // custom control installed through setController()/setPipeline()).
+    // The timestamp after this stage closes the sched.decide span and
+    // opens the dc.evaluate one.
+    if (s.pipeline_ == nullptr) {
+        // Only a custom-control resume leaves the pipeline unset; the
+        // engine cannot rebuild user control, so stepping without a
+        // re-attach would silently change the run.
+        RunFailure f;
+        f.kind = FailureKind::ConfigError;
+        f.step = step;
+        f.stage = "decide";
+        f.message =
+            "session was resumed from a checkpoint taken under custom "
+            "control; re-attach the controller or pipeline "
+            "(setController()/setPipeline()) before stepping";
+        throw RunError(std::move(f));
+    }
+    control::ControlContext cctx;
+    cctx.step = step;
+    cctx.dt_s = dt;
+    cctx.dc = w_.dc;
+    cctx.utils = &s.utils_;
+    cctx.actions = s.resilient_ ? &s.actions_ : nullptr;
+    cctx.margin_c = sm.margin_c;
+    cctx.health = s.resilient_ ? &s.injector_->health() : nullptr;
+    cctx.obs = s.orun_.obs;
+    ObsClock::time_point t_decide0;
+    if (timed)
+        t_decide0 = ObsClock::now();
+    s.pipeline_->run(cctx, s.decision_);
     ObsClock::time_point t_decide1;
-    if (s.controller_) {
-        s.controller_(step, s.utils_, s.decision_);
-        expect(s.decision_.utils.size() == servers,
-               "controller produced ", s.decision_.utils.size(),
-               " utilizations; datacenter has ", servers, " servers");
-        expect(s.decision_.settings.size() == num_circ,
-               "controller produced ", s.decision_.settings.size(),
-               " cooling settings; datacenter has ", num_circ,
-               " circulations");
-        if (timed)
-            t_decide1 = ObsClock::now();
-    } else {
-        ObsClock::time_point t_decide0;
-        if (timed)
-            t_decide0 = ObsClock::now();
-        if (s.resilient_)
-            scheduler(s.policy_).decideInto(s.utils_, s.actions_,
-                                            sm.margin_c, s.decision_);
-        else
-            scheduler(s.policy_).decideInto(s.utils_, {}, 0.0,
-                                            s.decision_);
-        if (timed) {
-            t_decide1 = ObsClock::now();
-            obs::SpanRegistry::record(
-                s.orun_.span_decide,
-                static_cast<uint64_t>(
-                    std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        t_decide1 - t_decide0)
-                        .count()));
-        }
+    if (timed) {
+        t_decide1 = ObsClock::now();
+        obs::SpanRegistry::record(
+            s.orun_.span_decide,
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t_decide1 - t_decide0)
+                    .count()));
     }
 
     // The scheduling decision must be numerically sound before it
@@ -715,10 +678,13 @@ SimEngine::stepOnce(SimSession &s) const
                            " W, pump=", s.state_.pump_power_w,
                            " W); the model diverged"));
 
-    // Stage 6: sensor feedback. Feed the true die temperatures to the
-    // watchdog (the CPU's own on-die sensor) and the possibly-
-    // corrupted loop readings to the safety monitor for the next
-    // interval.
+    // Stage 6: stage feedback. First the control pipeline sees the
+    // state its decision produced (the balancer's thermal-headroom
+    // and TEG-power view feeds from here); then the true die
+    // temperatures go to the watchdog (the CPU's own on-die sensor)
+    // and the possibly-corrupted loop readings to the safety monitor
+    // for the next interval.
+    s.pipeline_->observe(cctx, s.state_);
     if (s.resilient_) {
         size_t server_idx = 0;
         for (size_t c = 0; c < s.state_.circulations.size(); ++c) {
@@ -904,6 +870,21 @@ SimEngine::saveCheckpoint(const SimSession &s,
     w.f64(s.trace_->dt());
     w.u64(s.cursor_);
 
+    // Control plane (v2): whether the run is under user-supplied
+    // control (the engine cannot rebuild it — resume demands a
+    // re-attach), plus every declared-stateful stage's state keyed by
+    // name. A not-yet-re-attached resumed session forwards the state
+    // it was restored with unchanged.
+    w.boolean(s.custom_control_);
+    std::vector<std::pair<std::string, std::string>> stage_state =
+        s.pipeline_ != nullptr ? s.pipeline_->captureState()
+                               : s.pending_state_;
+    w.u64(stage_state.size());
+    for (const auto &[stage_name, bytes] : stage_state) {
+        w.str(stage_name);
+        w.str(bytes);
+    }
+
     // Summary accumulators.
     w.f64(s.acc_.teg_j);
     w.f64(s.acc_.cpu_j);
@@ -1067,11 +1048,34 @@ SimEngine::resume(const std::string &path,
     expect(cursor <= num_steps, "checkpoint cursor ", cursor,
            " exceeds the trace length ", num_steps);
 
+    bool custom_control = r.boolean();
+    uint64_t num_stage_blobs = r.u64();
+    std::vector<std::pair<std::string, std::string>> stage_state;
+    stage_state.reserve(num_stage_blobs);
+    for (uint64_t i = 0; i < num_stage_blobs; ++i) {
+        std::string stage_name = r.str();
+        std::string bytes = r.str();
+        stage_state.emplace_back(std::move(stage_name),
+                                 std::move(bytes));
+    }
+
     SimSession s = makeSession(trace, policy);
     H2P_ASSERT(s.resilient_ == resilient,
                "config fingerprint matched but pipeline shape did "
                "not");
     s.cursor_ = cursor;
+
+    if (custom_control) {
+        // The engine cannot rebuild user-supplied control. Leave the
+        // decide stage empty and stash the checkpointed stage state;
+        // stepping before setController()/setPipeline() re-attaches
+        // is refused loudly (see stepOnce).
+        s.pipeline_.reset();
+        s.custom_control_ = true;
+        s.pending_state_ = std::move(stage_state);
+    } else {
+        s.pipeline_->applyState(stage_state);
+    }
 
     s.acc_.teg_j = r.f64();
     s.acc_.cpu_j = r.f64();

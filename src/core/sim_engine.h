@@ -6,8 +6,15 @@
  * advances through the same sequence of optional stages:
  *
  *   fault advance -> watchdog shaping -> sensing / safe-mode
- *   assessment -> scheduling decision -> datacenter evaluation ->
- *   recording / accumulation -> observability
+ *   assessment -> control pipeline (scheduling decision) ->
+ *   datacenter evaluation -> stage feedback -> recording /
+ *   accumulation -> observability
+ *
+ * The decide stage runs a control::ControlPipeline built per policy
+ * by the system's PipelineFactory (the canonical TEG_Original /
+ * TEG_LoadBalance stage pairs, or the autonomous balancer when
+ * [balancer] is enabled); setController()/setPipeline() swap in
+ * custom control on the same seam.
  *
  * Which stages are active is decided once, from the configuration,
  * when a session starts; H2PSystem::run() and the old resilient run
@@ -28,9 +35,11 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/datacenter.h"
+#include "control/stages.h"
 #include "core/run_types.h"
 #include "fault/fault_injector.h"
 #include "fault/watchdog.h"
@@ -157,8 +166,14 @@ class SimSession
      * a version, configuration/trace fingerprints and a checksum;
      * restore rejects corrupt or mismatched checkpoints loudly.
      *
-     * A custom controller (setController()) is not serialized — the
-     * caller owns that state and must re-install it after resume.
+     * Declared-stateful control-stage state (e.g. the thermal
+     * balancer's drain latches and feedback view) is serialized with
+     * everything else, keyed by stage name. The opaque state inside a
+     * custom controller lambda or user pipeline cannot be serialized;
+     * such checkpoints are flagged, and the resumed session refuses
+     * to step until the caller re-attaches its control
+     * (setController()/setPipeline()), which also restores any
+     * checkpointed stage state whose names match.
      */
     void saveCheckpoint(const std::string &path) const;
 
@@ -169,13 +184,45 @@ class SimSession
      * (one per circulation). Replaces the built-in scheduler — for
      * causal/predictive controllers, RL-style agents and what-if
      * probes that still want the rest of the pipeline.
+     *
+     * Deprecated seam: setController(fn) now wraps the lambda in a
+     * single-stage control pipeline (control::ControllerStage).
+     * New code should build a control::ControlPipeline and install
+     * it with setPipeline() — stages compose, are named, and can
+     * declare checkpointable state.
      */
     using Controller = std::function<void(
         size_t step, const std::vector<double> &utils,
         sched::ScheduleDecision &decision)>;
 
-    /** Install (or clear, with nullptr) a custom scheduling stage. */
+    /**
+     * Install a custom scheduling stage (wrapped in a single-stage
+     * pipeline), or restore the policy's built-in pipeline with
+     * nullptr. Also satisfies the re-attach demand of a session
+     * resumed from a custom-control checkpoint.
+     */
     void setController(Controller controller);
+
+    /**
+     * Install a custom control pipeline as this session's decide
+     * stage. Any control-stage state the session was resumed with is
+     * restored into the new pipeline's stages by name (missing names
+     * are an error). The engine checkpoints the pipeline's
+     * declared-stateful stages but cannot rebuild a *custom* pipeline
+     * itself — resume flags it and demands a re-attach.
+     */
+    void setPipeline(
+        std::unique_ptr<control::ControlPipeline> pipeline);
+
+    /**
+     * The control pipeline driving this session's decide stage.
+     * Null only after a custom-control resume, before re-attach.
+     */
+    control::ControlPipeline *pipeline() { return pipeline_.get(); }
+    const control::ControlPipeline *pipeline() const
+    {
+        return pipeline_.get();
+    }
 
     /**
      * Install a cooperative execution budget: the deadline clock and
@@ -261,7 +308,20 @@ class SimSession
     size_t seen_faults_ = 0;
     size_t seen_trips_ = 0;
 
-    Controller controller_;
+    /**
+     * The decide stage. Built by the engine's PipelineFactory for
+     * fresh sessions; replaced by setController()/setPipeline(). Null
+     * only after a custom-control resume, until re-attach.
+     */
+    std::unique_ptr<control::ControlPipeline> pipeline_;
+    /** Running under user-supplied control (not factory-rebuildable)? */
+    bool custom_control_ = false;
+    /**
+     * Checkpointed control-stage state awaiting a re-attached
+     * pipeline (custom-control resume); applied by
+     * setController()/setPipeline().
+     */
+    std::vector<std::pair<std::string, std::string>> pending_state_;
 
     // Cooperative supervision (setGuard); inactive by default.
     RunGuard guard_;
@@ -286,6 +346,8 @@ class SimEngine
         sched::CoolingOptimizer *optimizer = nullptr;
         const sched::Scheduler *sched_original = nullptr;
         const sched::Scheduler *sched_balance = nullptr;
+        /** Builds the per-policy control pipeline sessions run. */
+        const control::PipelineFactory *pipelines = nullptr;
         /** Null when [perf] threads == 1. */
         util::ThreadPool *pool = nullptr;
         /** Null when [obs] is disabled. */

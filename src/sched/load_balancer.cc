@@ -1,12 +1,45 @@
 #include "sched/load_balancer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "util/error.h"
 
 namespace h2p {
 namespace sched {
+
+namespace {
+
+/**
+ * Bad balancing inputs are configuration/caller errors, not model
+ * divergence: classify them as ConfigError (the sweep engine's
+ * `config_error` taxonomy bucket) so a sweep quarantines the point
+ * with exact attribution instead of retrying it.
+ */
+[[noreturn]] void
+throwConfigError(std::string what)
+{
+    RunFailure f;
+    f.kind = FailureKind::ConfigError;
+    f.stage = "balance";
+    f.message = std::move(what);
+    throw RunError(std::move(f));
+}
+
+void
+validateUtils(const std::vector<double> &utils)
+{
+    if (utils.empty())
+        throwConfigError("cannot balance an empty utilization set");
+    for (size_t i = 0; i < utils.size(); ++i)
+        if (!std::isfinite(utils[i]))
+            throwConfigError(detail::concat(
+                "utilization ", i, " is not finite (", utils[i],
+                "); refusing to balance"));
+}
+
+} // namespace
 
 double
 maxUtil(const std::vector<double> &utils)
@@ -33,7 +66,11 @@ balancePerfect(const std::vector<double> &utils)
 std::vector<double>
 balanceLimited(const std::vector<double> &utils, double max_move)
 {
-    expect(max_move >= 0.0, "migration cap must be non-negative");
+    if (!(max_move >= 0.0) || !std::isfinite(max_move))
+        throwConfigError(detail::concat(
+            "migration cap must be finite and non-negative, got ",
+            max_move));
+    validateUtils(utils);
     double mean = meanUtil(utils);
 
     std::vector<double> out = utils;

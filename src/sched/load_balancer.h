@@ -30,7 +30,10 @@ std::vector<double> balancePerfect(const std::vector<double> &utils);
  * Migration-limited balancing: each server may shed or gain at most
  * @p max_move utilization per interval. Work above the mean is moved
  * to servers below the mean, subject to the per-server cap; total
- * work is preserved.
+ * work is preserved. max_move = 0 is a valid no-op cap (nothing
+ * moves). A negative or non-finite cap, an empty set or non-finite
+ * utilizations throw RunError with FailureKind::ConfigError (the
+ * sweep taxonomy's `config_error` bucket).
  */
 std::vector<double> balanceLimited(const std::vector<double> &utils,
                                    double max_move);

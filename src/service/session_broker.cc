@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "control/thermal_balancer.h"
 #include "core/config_io.h"
 #include "core/sweep_engine.h"
 #include "sim/config.h"
@@ -139,6 +140,64 @@ summaryJson(const core::RunSummary &s)
        << ",\"safe_mode_steps\":" << s.safe_mode_steps
        << ",\"max_faulted_servers\":" << s.max_faulted_servers
        << "}\n";
+    return os.str();
+}
+
+/**
+ * The thermal-balancer stage of a session's pipeline, or a loud
+ * error: both balancer verbs only make sense against a session whose
+ * decide stage runs the autonomous balancer.
+ */
+control::ThermalBalancer &
+findBalancer(core::SimSession &session)
+{
+    control::ControlPipeline *pipeline = session.pipeline();
+    expect(pipeline != nullptr,
+           "session has no control pipeline attached (resumed from a "
+           "custom-control checkpoint; re-attach first)");
+    control::ControlStage *stage =
+        pipeline->find(control::ThermalBalancer::kName);
+    expect(stage != nullptr, "session pipeline `", pipeline->name(),
+           "' has no thermal balancer stage; open it with the balance "
+           "policy and [balancer] enabled = 1");
+    return static_cast<control::ThermalBalancer &>(*stage);
+}
+
+/** The balancer verb's body: stats plus the per-circulation view. */
+std::string
+balancerJson(const control::ThermalBalancer &balancer)
+{
+    const control::BalancerStats &st = balancer.stats();
+    std::ostringstream os;
+    os << "{\"converged\":" << (st.converged ? "true" : "false")
+       << ",\"max_abs_dev\":";
+    jsonNum(os, st.max_abs_dev);
+    os << ",\"stale_steps\":" << st.stale_steps
+       << ",\"migrations\":" << st.migrations
+       << ",\"local_moves\":" << st.local_moves
+       << ",\"pulls\":" << st.pulls
+       << ",\"drains_started\":" << st.drains_started
+       << ",\"drains_completed\":" << st.drains_completed
+       << ",\"active_drains\":" << st.active_drains
+       << ",\"circulations\":[";
+    const std::vector<control::CirculationView> &view = balancer.view();
+    for (size_t c = 0; c < view.size(); ++c) {
+        const control::CirculationView &row = view[c];
+        os << (c ? "," : "") << "{\"circ\":" << c << ",\"mode\":\""
+           << control::toString(row.mode)
+           << "\",\"servers\":" << row.servers << ",\"avg_util\":";
+        jsonNum(os, row.avg_util);
+        os << ",\"dev_util\":";
+        jsonNum(os, row.dev_util);
+        os << ",\"headroom_c\":";
+        jsonNum(os, row.headroom_c);
+        os << ",\"teg_w\":";
+        jsonNum(os, row.teg_w);
+        os << ",\"drained_util\":";
+        jsonNum(os, row.drained_util);
+        os << "}";
+    }
+    os << "]}\n";
     return os.str();
 }
 
@@ -357,6 +416,43 @@ SessionBroker::doCheckpoint(const Request &request)
 }
 
 Response
+SessionBroker::doBalancer(const Request &request)
+{
+    expect(request.args.size() == 1, "usage: balancer <id>");
+    std::shared_ptr<TwinSession> twin = find(request.args[0]);
+    std::lock_guard<std::mutex> lock(twin->mutex);
+    expect(twin->session.has_value(), "session `", twin->id,
+           "' is not ready");
+    const control::ThermalBalancer &balancer =
+        findBalancer(*twin->session);
+    const control::BalancerStats &st = balancer.stats();
+    return Response::okay({st.converged ? "converged" : "balancing",
+                           std::to_string(st.active_drains)},
+                          balancerJson(balancer));
+}
+
+Response
+SessionBroker::doDrain(const Request &request)
+{
+    expect(request.args.size() == 2 ||
+               (request.args.size() == 3 && request.args[2] == "off"),
+           "usage: drain <id> <circulation> [off]");
+    std::shared_ptr<TwinSession> twin = find(request.args[0]);
+    const size_t circ = parseCount(request.args[1], "circulation");
+    std::lock_guard<std::mutex> lock(twin->mutex);
+    expect(twin->session.has_value(), "session `", twin->id,
+           "' is not ready");
+    control::ThermalBalancer &balancer = findBalancer(*twin->session);
+    if (request.args.size() == 3)
+        balancer.cancelDrain(circ);
+    else
+        balancer.requestDrain(circ);
+    return Response::okay(
+        {request.args.size() == 3 ? "released" : "draining",
+         std::to_string(circ)});
+}
+
+Response
 SessionBroker::doClose(const Request &request)
 {
     expect(request.args.size() == 1, "usage: close <id>");
@@ -464,6 +560,10 @@ SessionBroker::handle(const Request &request, const Emit &emit)
             emit(doQuery(request));
         } else if (request.verb == "checkpoint") {
             emit(doCheckpoint(request));
+        } else if (request.verb == "balancer") {
+            emit(doBalancer(request));
+        } else if (request.verb == "drain") {
+            emit(doDrain(request));
         } else if (request.verb == "close") {
             emit(doClose(request));
         } else if (request.verb == "sweep") {

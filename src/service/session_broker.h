@@ -27,6 +27,14 @@
  *   step <id> <n>                 -> ok <cursor> <done 0|1>
  *   query <id> state|decision|summary|jsonl -> ok, body JSON/JSONL
  *   checkpoint <id> <path>        -> ok
+ *   balancer <id>                 -> ok converged|balancing
+ *                                    <active-drains>, body JSON: the
+ *                                    balancer's central view (one row
+ *                                    per circulation) and counters
+ *   drain <id> <circ> [off]       -> ok draining|released <circ>
+ *                                    (latches/releases an operator
+ *                                    drain on the session's thermal
+ *                                    balancer stage)
  *   close <id>                    -> ok finished|discarded [body JSON]
  *   sweep <policy> [workers]      -> streamed: ok point ... per point,
  *                                    then ok done <completed>
@@ -134,6 +142,8 @@ class SessionBroker
     Response doStep(const Request &request);
     Response doQuery(const Request &request);
     Response doCheckpoint(const Request &request);
+    Response doBalancer(const Request &request);
+    Response doDrain(const Request &request);
     Response doClose(const Request &request);
     void doSweep(const Request &request, const Emit &emit);
     Response doStats(const Request &request);

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "cluster/datacenter.h"
@@ -395,6 +396,55 @@ TEST(BalancerTest, LimitedReducesSpread)
     std::vector<double> utils{0.05, 0.95, 0.5, 0.3};
     auto b = balanceLimited(utils, 0.15);
     EXPECT_LT(maxUtil(b), maxUtil(utils));
+}
+
+TEST(BalancerTest, LimitedZeroCapIsIdentity)
+{
+    // max_move = 0 is a valid cap meaning "nothing may move", not an
+    // error: the output is the input, bit for bit.
+    std::vector<double> utils{0.1, 0.9, 0.2, 0.6};
+    auto b = balanceLimited(utils, 0.0);
+    ASSERT_EQ(b.size(), utils.size());
+    for (size_t i = 0; i < utils.size(); ++i)
+        EXPECT_DOUBLE_EQ(b[i], utils[i]);
+}
+
+TEST(BalancerTest, LimitedAllEqualIsIdentity)
+{
+    std::vector<double> utils(5, 0.37);
+    auto b = balanceLimited(utils, 0.2);
+    for (double u : b)
+        EXPECT_DOUBLE_EQ(u, 0.37);
+}
+
+TEST(BalancerTest, LimitedRejectsBadInputsAsConfigError)
+{
+    // Invalid balancing inputs are caller/configuration mistakes:
+    // they must land in the failure taxonomy's config_error bucket
+    // (a supervised sweep quarantines, never retries, them).
+    auto expectConfigError = [](auto &&fn) {
+        try {
+            fn();
+            FAIL() << "expected RunError";
+        } catch (const RunError &e) {
+            EXPECT_EQ(e.failure().kind, FailureKind::ConfigError);
+            EXPECT_EQ(e.failure().stage, "balance");
+        }
+    };
+    expectConfigError([] { balanceLimited({}, 0.1); });
+    expectConfigError([] { balanceLimited({0.5, 0.2}, -0.1); });
+    expectConfigError([] {
+        balanceLimited({0.5, 0.2},
+                       std::numeric_limits<double>::quiet_NaN());
+    });
+    expectConfigError([] {
+        balanceLimited({0.5, std::numeric_limits<double>::infinity()},
+                       0.1);
+    });
+    expectConfigError([] {
+        balanceLimited({std::numeric_limits<double>::quiet_NaN()},
+                       0.1);
+    });
 }
 
 // -------------------------------------------------------------- scheduler

@@ -292,7 +292,7 @@ TEST(SessionTest, CheckpointRejectsCorruption)
 
     // Unsupported version (u32 after the 8-byte magic).
     bad = bytes;
-    bad[8] = 2;
+    bad[8] = 99;
     rewrite(bad);
     EXPECT_THROW(sys.resumeSession(ck.path, trace), Error);
 
@@ -516,6 +516,89 @@ TEST(SessionTest, ControllerShapeIsValidated)
         d.settings.clear(); // wrong: one setting per circulation
     });
     EXPECT_THROW(session.step(), Error);
+}
+
+TEST(SessionTest, CustomControlResumeRefusesToStepUntilReattach)
+{
+    // A checkpoint under a custom controller used to restore onto the
+    // built-in policy pipeline silently — the resumed run diverged
+    // from the original with no error. The checkpoint now flags
+    // custom control and the resumed session refuses to step until
+    // the caller re-attaches; after the re-attach it continues
+    // bit-identically.
+    TempPath ck("session_test_custom.ckpt");
+    core::H2PSystem sys(smallConfig());
+    auto trace = makeTrace();
+    const size_t num_circ = sys.datacenter().numCirculations();
+
+    // The custom decision depends only on the step index, so the
+    // same lambda re-attached after resume replays identically.
+    auto controller = [num_circ](size_t step,
+                                 const std::vector<double> &u,
+                                 sched::ScheduleDecision &d) {
+        d.utils = u;
+        double t_in = 40.0 + static_cast<double>(step % 7);
+        d.settings.assign(num_circ, cluster::CoolingSetting{t_in, 90.0});
+        d.details.clear();
+    };
+
+    auto full = sys.startSession(trace, sched::Policy::TegOriginal);
+    full.setController(controller);
+    full.runToCompletion();
+    auto full_result = full.finish();
+
+    auto first = sys.startSession(trace, sched::Policy::TegOriginal);
+    first.setController(controller);
+    for (size_t i = 0; i < trace.numSteps() / 2; ++i)
+        first.step();
+    first.saveCheckpoint(ck.path);
+
+    core::H2PSystem sys2(smallConfig());
+    auto resumed = sys2.resumeSession(ck.path, trace);
+    EXPECT_EQ(resumed.pipeline(), nullptr);
+    try {
+        resumed.step();
+        FAIL() << "stepping a custom-control resume must throw";
+    } catch (const RunError &e) {
+        EXPECT_EQ(e.failure().kind, FailureKind::ConfigError);
+        EXPECT_EQ(e.failure().stage, "decide");
+    }
+
+    resumed.setController(controller);
+    ASSERT_NE(resumed.pipeline(), nullptr);
+    resumed.runToCompletion();
+    auto rest = resumed.finish();
+    expectSameSummary(full_result.summary, rest.summary);
+    expectSameChannels(*full_result.recorder, *rest.recorder);
+}
+
+TEST(SessionTest, ControllerNullRestoresBuiltinPipeline)
+{
+    // setController(nullptr) reinstates the policy's factory
+    // pipeline: a session overridden and then cleared before any
+    // step must match a never-overridden run bit for bit.
+    core::H2PSystem sys(smallConfig());
+    auto trace = makeTrace();
+    auto plain = sys.run(trace, sched::Policy::TegLoadBalance);
+
+    auto session =
+        sys.startSession(trace, sched::Policy::TegLoadBalance);
+    const size_t num_circ = sys.datacenter().numCirculations();
+    session.setController([num_circ](size_t,
+                                     const std::vector<double> &u,
+                                     sched::ScheduleDecision &d) {
+        d.utils = u;
+        d.settings.assign(num_circ,
+                          cluster::CoolingSetting{45.0, 80.0});
+        d.details.clear();
+    });
+    session.setController(nullptr);
+    ASSERT_NE(session.pipeline(), nullptr);
+    EXPECT_EQ(session.pipeline()->name(), "TEG_LoadBalance");
+    session.runToCompletion();
+    auto cleared = session.finish();
+    expectSameSummary(plain.summary, cleared.summary);
+    expectSameChannels(*plain.recorder, *cleared.recorder);
 }
 
 // ------------------------------------------- recorder channel handles
