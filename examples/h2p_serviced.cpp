@@ -43,6 +43,12 @@ main(int argc, char **argv)
     args.addLong("max-sessions", 8, "concurrent-session cap");
     args.addLong("step-budget", 0,
                  "max steps per session, 0 = unlimited");
+    args.addLong("workers", 4,
+                 "reactor worker threads executing requests");
+    args.addLong("backlog", 128, "listener backlog (listen(2))");
+    args.addLong("queue-cap-mb", 64,
+                 "per-connection response-queue cap before a slow "
+                 "reader is disconnected, in MiB");
     args.addString("obs-jsonl", "",
                    "write service telemetry JSONL here on exit");
     try {
@@ -64,7 +70,15 @@ main(int argc, char **argv)
         options.obs = &obs;
         service::SessionBroker broker(options);
 
-        service::Server server(args.getString("socket"), &broker);
+        service::ServerOptions transport;
+        transport.workers =
+            static_cast<size_t>(args.getLong("workers"));
+        transport.backlog = static_cast<int>(args.getLong("backlog"));
+        transport.max_queue_bytes =
+            static_cast<size_t>(args.getLong("queue-cap-mb")) << 20;
+        transport.obs = &obs;
+        service::Server server(args.getString("socket"), &broker,
+                               transport);
         // The broker's shutdown verb and a delivered signal both end
         // up here: flag the server and let main do the joining.
         broker.setOnShutdown([&server] { server.requestStop(); });

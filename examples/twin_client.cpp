@@ -26,8 +26,17 @@
  * Streamed responses (sweep) are printed one per line as they
  * arrive; --out captures only the final response's body. Exits 0 on
  * an ok response, 2 on an error response, 1 on transport failure.
+ *
+ * --repeat N sends the same request N times; --pipeline D keeps up
+ * to D requests in flight on the one connection (the reactor server
+ * answers them in order), printing a single throughput summary line
+ * instead of per-response output:
+ *
+ *   ./examples/twin_client --verb ping --repeat 1000 --pipeline 8
+ *       # -> ok repeated 1000 ... req/s
  */
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -66,6 +75,9 @@ main(int argc, char **argv)
     args.addString("out", "",
                    "write the final response body here instead of "
                    "stdout");
+    args.addLong("repeat", 1, "send the request this many times");
+    args.addLong("pipeline", 1,
+                 "requests kept in flight when repeating");
     try {
         if (!args.parse(argc, argv))
             return 0;
@@ -84,6 +96,52 @@ main(int argc, char **argv)
         }
 
         util::Fd fd = util::unixConnect(args.getString("socket"));
+
+        const long repeat = args.getLong("repeat");
+        const long depth = args.getLong("pipeline");
+        expect(repeat >= 1 && depth >= 1,
+               "--repeat and --pipeline must be >= 1");
+        if (repeat > 1) {
+            expect(request.verb != "sweep",
+                   "--repeat does not support the streaming sweep "
+                   "verb");
+            const std::string wire = request.serialize();
+            long sent = 0, received = 0, errors = 0;
+            std::string payload;
+            service::Response last;
+            const auto start = std::chrono::steady_clock::now();
+            while (received < repeat) {
+                while (sent < repeat && sent - received < depth) {
+                    service::writeFrame(fd, wire);
+                    ++sent;
+                }
+                expect(service::readFrame(fd, payload),
+                       "daemon closed the connection mid-repeat");
+                last = service::Response::parse(payload);
+                if (!last.ok)
+                    ++errors;
+                ++received;
+            }
+            const double elapsed_s =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            std::cout << "ok repeated " << repeat << " pipeline "
+                      << depth << " errors " << errors << " "
+                      << (elapsed_s > 0.0
+                              ? static_cast<double>(repeat) /
+                                    elapsed_s
+                              : 0.0)
+                      << " req/s\n";
+            const std::string out_path = args.getString("out");
+            if (!out_path.empty()) {
+                std::ofstream os(out_path, std::ios::binary);
+                expect(os.good(), "cannot write `", out_path, "'");
+                os << last.body;
+            }
+            return errors > 0 ? 2 : 0;
+        }
+
         service::writeFrame(fd, request.serialize());
 
         // Most verbs answer with exactly one frame; sweep streams

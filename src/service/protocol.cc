@@ -95,6 +95,60 @@ writeFrame(const util::Fd &fd, const std::string &payload)
         util::writeAll(fd, payload.data(), payload.size());
 }
 
+std::string
+encodeFrame(const std::string &payload)
+{
+    expect(payload.size() <= kMaxFrameBytes, "protocol: frame of ",
+           payload.size(), " bytes exceeds the ", kMaxFrameBytes,
+           "-byte cap");
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(4 + payload.size());
+    frame.push_back(static_cast<char>(len & 0xff));
+    frame.push_back(static_cast<char>((len >> 8) & 0xff));
+    frame.push_back(static_cast<char>((len >> 16) & 0xff));
+    frame.push_back(static_cast<char>((len >> 24) & 0xff));
+    frame += payload;
+    return frame;
+}
+
+void
+FrameDecoder::feed(const char *data, size_t n)
+{
+    // Compact lazily: only once the consumed prefix dominates, so a
+    // steady stream of small frames does not memmove per frame.
+    if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buffer_.append(data, n);
+}
+
+bool
+FrameDecoder::next(std::string &payload)
+{
+    const size_t avail = buffer_.size() - consumed_;
+    if (avail < 4)
+        return false;
+    const unsigned char *p = reinterpret_cast<const unsigned char *>(
+        buffer_.data() + consumed_);
+    const uint32_t len = static_cast<uint32_t>(p[0]) |
+                         static_cast<uint32_t>(p[1]) << 8 |
+                         static_cast<uint32_t>(p[2]) << 16 |
+                         static_cast<uint32_t>(p[3]) << 24;
+    expect(len <= kMaxFrameBytes, "protocol: frame of ", len,
+           " bytes exceeds the ", kMaxFrameBytes, "-byte cap");
+    if (avail < 4 + static_cast<size_t>(len))
+        return false;
+    payload.assign(buffer_, consumed_ + 4, len);
+    consumed_ += 4 + static_cast<size_t>(len);
+    if (consumed_ == buffer_.size()) {
+        buffer_.clear();
+        consumed_ = 0;
+    }
+    return true;
+}
+
 Request
 Request::parse(const std::string &payload)
 {

@@ -47,6 +47,39 @@ bool readFrame(const util::Fd &fd, std::string &payload);
 /** Write @p payload as one frame; throws on oversize or I/O error. */
 void writeFrame(const util::Fd &fd, const std::string &payload);
 
+/** Render @p payload as one wire frame (prefix + payload bytes). */
+std::string encodeFrame(const std::string &payload);
+
+/**
+ * Stateful incremental frame decoder for non-blocking transports:
+ * feed() appends whatever bytes the socket produced — frames may be
+ * split at any byte boundary, header included — and next() extracts
+ * complete frames as they materialize. An oversized length prefix
+ * throws from next() the moment the four prefix bytes are in, before
+ * any payload is buffered for it.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append @p n raw stream bytes. */
+    void feed(const char *data, size_t n);
+
+    /**
+     * Extract the next complete frame into @p payload. Returns false
+     * while the buffered bytes end mid-frame; throws h2p::Error on a
+     * length prefix past kMaxFrameBytes.
+     */
+    bool next(std::string &payload);
+
+    /** Bytes buffered but not yet returned (partial-frame residue). */
+    size_t bufferedBytes() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::string buffer_;
+    /** Prefix of buffer_ already handed out via next(). */
+    size_t consumed_ = 0;
+};
+
 /** One parsed client request. */
 struct Request
 {

@@ -532,9 +532,52 @@ SessionBroker::doStats(const Request &request)
 {
     expect(request.args.empty(), "usage: stats");
     const uint64_t handled = handled_.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mutex_);
-    return Response::okay({std::to_string(sessions_.size()),
-                           std::to_string(handled)});
+    size_t open;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        open = sessions_.size();
+    }
+    // Body: every service.* metric the obs registry holds — the
+    // broker's own counters plus whatever transport (the reactor
+    // server) registered — so loadgen runs are explainable from the
+    // stats verb alone. Histograms report count/mean/max sidecars.
+    std::string body;
+    if (options_.obs != nullptr) {
+        const obs::MetricsRegistry &m = options_.obs->metrics();
+        std::ostringstream os;
+        os << "{";
+        bool first = true;
+        const auto append = [&os, &first](const std::string &name) {
+            os << (first ? "" : ",") << "\"" << name << "\":";
+            first = false;
+        };
+        for (const auto &c : m.counters())
+            if (c.name.rfind("service.", 0) == 0) {
+                append(c.name);
+                os << c.value;
+            }
+        for (const auto &g : m.gauges())
+            if (g.name.rfind("service.", 0) == 0) {
+                append(g.name);
+                jsonNum(os, g.value);
+            }
+        for (const auto &h : m.histograms())
+            if (h.name.rfind("service.", 0) == 0) {
+                append(h.name);
+                os << "{\"count\":" << h.count << ",\"mean\":";
+                jsonNum(os, h.count > 0
+                                ? h.sum / static_cast<double>(h.count)
+                                : 0.0);
+                os << ",\"max\":";
+                jsonNum(os, h.max);
+                os << "}";
+            }
+        os << "}\n";
+        body = os.str();
+    }
+    return Response::okay(
+        {std::to_string(open), std::to_string(handled)},
+        std::move(body));
 }
 
 void

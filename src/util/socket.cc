@@ -3,8 +3,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -59,11 +63,37 @@ Fd::shutdownBoth()
 Fd
 unixListen(const std::string &path, int backlog)
 {
+    // A file already at the path is either a live daemon's listener
+    // (refuse — unlinking it would silently take its traffic), a
+    // stale socket from a crashed daemon (reclaim), or not a socket
+    // at all (refuse — never delete a user's file).
+    struct stat st{};
+    if (::lstat(path.c_str(), &st) == 0) {
+        expect(S_ISSOCK(st.st_mode), "cannot listen on `", path,
+               "': path exists and is not a socket");
+        Fd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+        expect(probe.valid(), "cannot create unix socket: ",
+               std::strerror(errno));
+        sockaddr_un addr = unixAddress(path);
+        int rc;
+        do {
+            rc = ::connect(probe.get(),
+                           reinterpret_cast<const sockaddr *>(&addr),
+                           sizeof(addr));
+        } while (rc != 0 && errno == EINTR);
+        expect(rc != 0, "cannot listen on `", path,
+               "': a live daemon already owns this socket");
+        expect(errno == ECONNREFUSED || errno == ENOENT,
+               "cannot probe existing socket `", path,
+               "': ", std::strerror(errno));
+        // Stale socket file (nothing accepted the probe): reclaim.
+        ::unlink(path.c_str());
+    }
+
     Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
     expect(fd.valid(), "cannot create unix socket: ",
            std::strerror(errno));
     sockaddr_un addr = unixAddress(path);
-    ::unlink(path.c_str());
     expect(::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
                   sizeof(addr)) == 0,
            "cannot bind unix socket `", path,
@@ -96,8 +126,9 @@ acceptConnection(const Fd &listener)
             return Fd(fd);
         if (errno == EINTR)
             continue;
-        // Listener torn down (shutdown/close during stop) — not an
-        // error worth throwing from the accept loop.
+        // Nothing pending on a non-blocking listener, or a listener
+        // torn down during stop — not an error worth throwing from
+        // the accept loop.
         return Fd();
     }
 }
@@ -161,6 +192,177 @@ writeAll(const Fd &fd, const void *buf, size_t n)
             continue;
         fatal("socket write failed: ", std::strerror(errno));
     }
+}
+
+// ---------------------------------------------------------------------
+// Non-blocking primitives.
+
+void
+setNonBlocking(const Fd &fd)
+{
+    int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    expect(flags >= 0, "fcntl(F_GETFL) failed: ",
+           std::strerror(errno));
+    expect(::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) == 0,
+           "fcntl(F_SETFL, O_NONBLOCK) failed: ",
+           std::strerror(errno));
+}
+
+IoStatus
+readSome(const Fd &fd, void *buf, size_t n, size_t &got)
+{
+    got = 0;
+    for (;;) {
+        ssize_t rc = ::read(fd.get(), buf, n);
+        if (rc > 0) {
+            got = static_cast<size_t>(rc);
+            return IoStatus::Ok;
+        }
+        if (rc == 0)
+            return IoStatus::PeerClosed;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoStatus::WouldBlock;
+        if (errno == ECONNRESET)
+            return IoStatus::PeerClosed;
+        fatal("socket read failed: ", std::strerror(errno));
+    }
+}
+
+IoStatus
+writevSome(const Fd &fd, const ByteRange *bufs, size_t nbufs,
+           size_t &written)
+{
+    written = 0;
+    constexpr size_t kMaxIov = 16;
+    iovec iov[kMaxIov];
+    const size_t count = nbufs < kMaxIov ? nbufs : kMaxIov;
+    for (size_t i = 0; i < count; ++i) {
+        iov[i].iov_base = const_cast<void *>(bufs[i].data);
+        iov[i].iov_len = bufs[i].size;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    for (;;) {
+        ssize_t rc = ::sendmsg(fd.get(), &msg, MSG_NOSIGNAL);
+        if (rc >= 0) {
+            written = static_cast<size_t>(rc);
+            return IoStatus::Ok;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoStatus::WouldBlock;
+        if (errno == EPIPE || errno == ECONNRESET)
+            return IoStatus::PeerClosed;
+        fatal("socket write failed: ", std::strerror(errno));
+    }
+}
+
+Poller::Poller() : epoll_(::epoll_create1(EPOLL_CLOEXEC))
+{
+    expect(epoll_.valid(), "epoll_create1 failed: ",
+           std::strerror(errno));
+}
+
+namespace {
+
+uint32_t
+epollMask(uint32_t interest)
+{
+    uint32_t mask = 0;
+    if (interest & Poller::kRead)
+        mask |= EPOLLIN;
+    if (interest & Poller::kWrite)
+        mask |= EPOLLOUT;
+    return mask;
+}
+
+} // namespace
+
+void
+Poller::add(const Fd &fd, uint32_t interest, uint64_t key)
+{
+    epoll_event ev{};
+    ev.events = epollMask(interest);
+    ev.data.u64 = key;
+    expect(::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd.get(), &ev) ==
+               0,
+           "epoll_ctl(ADD) failed: ", std::strerror(errno));
+}
+
+void
+Poller::modify(const Fd &fd, uint32_t interest, uint64_t key)
+{
+    epoll_event ev{};
+    ev.events = epollMask(interest);
+    ev.data.u64 = key;
+    expect(::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd.get(), &ev) ==
+               0,
+           "epoll_ctl(MOD) failed: ", std::strerror(errno));
+}
+
+void
+Poller::remove(const Fd &fd)
+{
+    expect(::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd.get(),
+                       nullptr) == 0,
+           "epoll_ctl(DEL) failed: ", std::strerror(errno));
+}
+
+size_t
+Poller::wait(std::vector<Event> &out, int timeout_ms)
+{
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    int rc;
+    do {
+        rc = ::epoll_wait(epoll_.get(), events, kMaxEvents,
+                          timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    expect(rc >= 0, "epoll_wait failed: ", std::strerror(errno));
+    out.clear();
+    out.reserve(static_cast<size_t>(rc));
+    for (int i = 0; i < rc; ++i) {
+        Event e;
+        e.key = events[i].data.u64;
+        e.readable = (events[i].events & (EPOLLIN | EPOLLPRI)) != 0;
+        e.writable = (events[i].events & EPOLLOUT) != 0;
+        e.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+        out.push_back(e);
+    }
+    return out.size();
+}
+
+WakeupFd::WakeupFd()
+    : fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK))
+{
+    expect(fd_.valid(), "eventfd failed: ", std::strerror(errno));
+}
+
+void
+WakeupFd::signal() const
+{
+    const uint64_t one = 1;
+    // EAGAIN means the counter is already saturated — the wakeup is
+    // pending either way, so any outcome short of a hard error is a
+    // success here (and this must stay async-signal-safe: no throw).
+    ssize_t rc;
+    do {
+        rc = ::write(fd_.get(), &one, sizeof(one));
+    } while (rc < 0 && errno == EINTR);
+}
+
+void
+WakeupFd::drain() const
+{
+    uint64_t value;
+    ssize_t rc;
+    do {
+        rc = ::read(fd_.get(), &value, sizeof(value));
+    } while (rc < 0 && errno == EINTR);
 }
 
 } // namespace util

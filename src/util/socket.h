@@ -1,23 +1,29 @@
 /**
  * @file
- * Minimal Unix-domain socket and fd-I/O helpers for the service layer.
+ * Unix-domain socket and fd-I/O helpers for the service layer.
  *
  * The service daemon speaks its wire protocol over SOCK_STREAM
  * AF_UNIX sockets; these wrappers cover exactly what it needs —
  * RAII ownership of a descriptor, listen/accept/connect on a
  * filesystem path, poll-with-timeout so accept loops can notice a
- * shutdown request, and EINTR-safe full-buffer read/write. All
+ * shutdown request, EINTR-safe full-buffer read/write for blocking
+ * clients, and the event-driven primitives of the reactor server:
+ * an epoll wrapper (Poller), an eventfd wakeup (WakeupFd) and
+ * non-blocking partial read/write helpers that report would-block
+ * and peer-gone as statuses instead of exceptions. All hard
  * failures raise h2p::Error naming the operation and errno text.
  *
- * POSIX-only (like the rest of the daemon); the library core never
- * includes this header.
+ * POSIX/Linux-only (like the rest of the daemon); the library core
+ * never includes this header.
  */
 
 #ifndef H2P_UTIL_SOCKET_H_
 #define H2P_UTIL_SOCKET_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace h2p {
 namespace util {
@@ -57,20 +63,23 @@ class Fd
 };
 
 /**
- * Create, bind and listen a Unix-domain stream socket at @p path. An
- * existing socket file at the path is unlinked first (stale from a
- * crashed daemon); a live daemon on the same path loses its listener
- * — callers are expected to pick per-instance paths.
+ * Create, bind and listen a Unix-domain stream socket at @p path.
+ * A pre-existing socket file is probed with a connect first: when a
+ * live daemon answers, this throws instead of stealing its path;
+ * only a stale socket (nothing listening — a crashed daemon's
+ * leftover) is unlinked and reclaimed. A non-socket file at the
+ * path is never touched and is an error.
  */
-Fd unixListen(const std::string &path, int backlog = 16);
+Fd unixListen(const std::string &path, int backlog = 128);
 
 /** Connect to the Unix-domain socket at @p path. */
 Fd unixConnect(const std::string &path);
 
 /**
- * Accept one connection on @p listener (blocking). Returns an empty
- * Fd when the listener was shut down / closed under us instead of
- * throwing, so accept loops can exit quietly.
+ * Accept one connection on @p listener. Returns an empty Fd when
+ * the listener was shut down / closed under us — or, on a
+ * non-blocking listener, when no connection is pending — instead of
+ * throwing, so accept loops can exit (or yield) quietly.
  */
 Fd acceptConnection(const Fd &listener);
 
@@ -90,6 +99,118 @@ bool readExact(const Fd &fd, void *buf, size_t n);
 
 /** Write all @p n bytes of @p buf, retrying on EINTR/short writes. */
 void writeAll(const Fd &fd, const void *buf, size_t n);
+
+// ---------------------------------------------------------------------
+// Non-blocking primitives for the reactor server.
+
+/** Put @p fd into non-blocking mode. */
+void setNonBlocking(const Fd &fd);
+
+/** Outcome of one non-blocking I/O attempt. */
+enum class IoStatus
+{
+    /** Some progress was made (bytes transferred > 0). */
+    Ok,
+    /** The operation would block; retry when the fd is ready. */
+    WouldBlock,
+    /** The peer is gone (EOF on read, EPIPE/ECONNRESET on write). */
+    PeerClosed,
+};
+
+/**
+ * Read up to @p n bytes into @p buf from a non-blocking fd. On Ok,
+ * @p got is the byte count (> 0); on WouldBlock/PeerClosed it is 0.
+ * Hard errors throw.
+ */
+IoStatus readSome(const Fd &fd, void *buf, size_t n, size_t &got);
+
+/** One gather-write segment (bytes are borrowed, not copied). */
+struct ByteRange
+{
+    const void *data = nullptr;
+    size_t size = 0;
+};
+
+/**
+ * Vectored non-blocking write of @p bufs (sent with MSG_NOSIGNAL so
+ * a vanished peer surfaces as PeerClosed, not SIGPIPE). On Ok,
+ * @p written is the number of bytes accepted (may be short); on
+ * WouldBlock/PeerClosed it is 0. Hard errors throw.
+ */
+IoStatus writevSome(const Fd &fd, const ByteRange *bufs, size_t nbufs,
+                    size_t &written);
+
+/**
+ * A level-triggered epoll instance. Registered fds carry an opaque
+ * 64-bit key that comes back in each Event, so the owner can map
+ * events to its own connection table without storing pointers in
+ * the kernel. Not thread-safe; the reactor owns it from one thread.
+ */
+class Poller
+{
+  public:
+    /** Interest bits for add()/modify(). */
+    static constexpr uint32_t kRead = 1u;
+    static constexpr uint32_t kWrite = 2u;
+
+    /** One readiness report. */
+    struct Event
+    {
+        uint64_t key = 0;
+        bool readable = false;
+        bool writable = false;
+        /** EPOLLERR/EPOLLHUP: the fd needs attention regardless. */
+        bool error = false;
+    };
+
+    Poller();
+
+    Poller(const Poller &) = delete;
+    Poller &operator=(const Poller &) = delete;
+
+    /** Register @p fd with @p interest (kRead/kWrite bits). */
+    void add(const Fd &fd, uint32_t interest, uint64_t key);
+
+    /** Change the interest set of a registered fd. */
+    void modify(const Fd &fd, uint32_t interest, uint64_t key);
+
+    /** Deregister @p fd (must still be open). */
+    void remove(const Fd &fd);
+
+    /**
+     * Wait up to @p timeout_ms (-1 = indefinitely) and fill @p out
+     * with ready events. Returns the event count (0 on timeout).
+     */
+    size_t wait(std::vector<Event> &out, int timeout_ms);
+
+  private:
+    Fd epoll_;
+};
+
+/**
+ * An eventfd the reactor sleeps on: worker threads signal() it to
+ * wake the epoll loop; the loop drain()s it before processing.
+ * signal() is async-signal- and thread-safe.
+ */
+class WakeupFd
+{
+  public:
+    WakeupFd();
+
+    WakeupFd(const WakeupFd &) = delete;
+    WakeupFd &operator=(const WakeupFd &) = delete;
+
+    /** Make the next (or current) Poller::wait return. */
+    void signal() const;
+
+    /** Consume pending signals (reactor thread only). */
+    void drain() const;
+
+    const Fd &fd() const { return fd_; }
+
+  private:
+    Fd fd_;
+};
 
 } // namespace util
 } // namespace h2p

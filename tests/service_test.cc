@@ -9,7 +9,9 @@
  * and socket-level serving with clean shutdown.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -21,9 +23,11 @@
 
 #include "core/config_io.h"
 #include "core/h2p_system.h"
+#include "obs/observability.h"
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/session_broker.h"
+#include "service/threaded_server.h"
 #include "util/cancellation.h"
 #include "util/error.h"
 #include "util/socket.h"
@@ -469,6 +473,314 @@ TEST(ServiceServer, ShutdownVerbStopsTheServer)
     EXPECT_TRUE(service::Response::parse(payload).ok);
     server.waitForStop();
     server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Incremental frame decoding (the reactor's read path).
+
+TEST(ServiceProtocol, FrameDecoderReassemblesAtEverySplitOffset)
+{
+    const std::vector<std::string> payloads = {
+        "", "a", "hello\nworld", std::string(5000, 'x')};
+    std::string wire;
+    for (const std::string &p : payloads)
+        wire += service::encodeFrame(p);
+
+    // Split the byte stream at every possible boundary; the decoder
+    // must produce the identical payload sequence regardless.
+    for (size_t cut = 0; cut <= wire.size(); ++cut) {
+        service::FrameDecoder decoder;
+        std::vector<std::string> got;
+        decoder.feed(wire.data(), cut);
+        std::string payload;
+        while (decoder.next(payload))
+            got.push_back(payload);
+        decoder.feed(wire.data() + cut, wire.size() - cut);
+        while (decoder.next(payload))
+            got.push_back(payload);
+        ASSERT_EQ(got, payloads) << "split at byte " << cut;
+        EXPECT_EQ(decoder.bufferedBytes(), 0u);
+    }
+
+    // Degenerate fragmentation: one byte at a time.
+    service::FrameDecoder decoder;
+    std::vector<std::string> got;
+    std::string payload;
+    for (char c : wire) {
+        decoder.feed(&c, 1);
+        while (decoder.next(payload))
+            got.push_back(payload);
+    }
+    EXPECT_EQ(got, payloads);
+}
+
+TEST(ServiceProtocol, FrameDecoderRejectsOversizedPrefixBeforePayload)
+{
+    // A forged prefix past the cap must be rejected as soon as the 4
+    // length bytes arrive — not after buffering a giant payload.
+    service::FrameDecoder decoder;
+    const char prefix[4] = {'\xff', '\xff', '\xff', '\x7f'};
+    decoder.feed(prefix, sizeof(prefix));
+    std::string payload;
+    EXPECT_THROW(decoder.next(payload), Error);
+}
+
+// ---------------------------------------------------------------------
+// Reactor pipelining, ordering and robustness.
+
+TEST(ServiceServer, PipelinedRequestsAreAnsweredInRequestOrder)
+{
+    TempPath socket("service_test_pipeline.sock");
+    service::SessionBroker broker;
+    service::Server server(socket.path, &broker);
+
+    util::Fd fd = util::unixConnect(socket.path);
+    // Interleave pings with distinct unknown verbs so each response
+    // is attributable: the reply order must match the send order.
+    constexpr int kRequests = 20;
+    for (int i = 0; i < kRequests; ++i) {
+        if (i % 2 == 0)
+            service::writeFrame(fd, makeRequest("ping").serialize());
+        else
+            service::writeFrame(
+                fd,
+                makeRequest("nope" + std::to_string(i)).serialize());
+    }
+    std::string payload;
+    for (int i = 0; i < kRequests; ++i) {
+        ASSERT_TRUE(service::readFrame(fd, payload)) << "reply " << i;
+        service::Response r = service::Response::parse(payload);
+        if (i % 2 == 0) {
+            EXPECT_TRUE(r.ok) << r.message;
+            EXPECT_EQ(r.args[0], "pong");
+        } else {
+            EXPECT_FALSE(r.ok);
+            EXPECT_NE(r.message.find("nope" + std::to_string(i)),
+                      std::string::npos)
+                << "reply " << i << " was: " << r.message;
+        }
+    }
+}
+
+TEST(ServiceServer, PipelinedStepsExecuteInOrder)
+{
+    TempPath socket("service_test_pipeline_steps.sock");
+    service::SessionBroker broker;
+    service::Server server(socket.path, &broker);
+
+    util::Fd fd = util::unixConnect(socket.path);
+    service::writeFrame(
+        fd, makeRequest("open", {"original"}, kIni).serialize());
+    std::string payload;
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    service::Response open = service::Response::parse(payload);
+    ASSERT_TRUE(open.ok) << open.message;
+    const std::string id = open.args[0];
+
+    // Ten single steps in flight at once: the cursors they report
+    // must come back strictly 1..10 — pipelining must not reorder
+    // execution within a connection.
+    for (int i = 0; i < 10; ++i)
+        service::writeFrame(fd,
+                            makeRequest("step", {id, "1"}).serialize());
+    for (int i = 1; i <= 10; ++i) {
+        ASSERT_TRUE(service::readFrame(fd, payload));
+        service::Response step = service::Response::parse(payload);
+        ASSERT_TRUE(step.ok) << step.message;
+        EXPECT_EQ(step.args[0], std::to_string(i));
+    }
+}
+
+TEST(ServiceServer, MalformedRequestMidPipelineKeepsOrderAndConnection)
+{
+    TempPath socket("service_test_badmid.sock");
+    service::SessionBroker broker;
+    service::Server server(socket.path, &broker);
+
+    util::Fd fd = util::unixConnect(socket.path);
+    service::writeFrame(fd, makeRequest("ping").serialize());
+    service::writeFrame(fd, "step  double-space\n"); // malformed
+    service::writeFrame(fd, makeRequest("ping").serialize());
+    std::string payload;
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    EXPECT_TRUE(service::Response::parse(payload).ok);
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    EXPECT_FALSE(service::Response::parse(payload).ok);
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    EXPECT_TRUE(service::Response::parse(payload).ok);
+}
+
+TEST(ServiceServer, SlowLorisPartialFrameDoesNotStallOtherClients)
+{
+    TempPath socket("service_test_loris.sock");
+    service::SessionBroker broker;
+    service::Server server(socket.path, &broker);
+
+    // Client A dribbles half a frame and goes quiet.
+    util::Fd slow = util::unixConnect(socket.path);
+    const uint8_t prefix[4] = {100, 0, 0, 0}; // promises 100 bytes
+    util::writeAll(slow, prefix, sizeof(prefix));
+    util::writeAll(slow, "short", 5);
+
+    // Client B must still get full service.
+    util::Fd fast = util::unixConnect(socket.path);
+    std::string payload;
+    for (int i = 0; i < 3; ++i) {
+        service::writeFrame(fast, makeRequest("ping").serialize());
+        ASSERT_TRUE(service::readFrame(fast, payload));
+        EXPECT_TRUE(service::Response::parse(payload).ok);
+    }
+
+    // A completes its frame (garbage header) and is answered too —
+    // with a parse error, on a connection that stays up.
+    util::writeAll(slow, std::string(95, 'z').data(), 95);
+    ASSERT_TRUE(service::readFrame(slow, payload));
+    EXPECT_FALSE(service::Response::parse(payload).ok);
+    service::writeFrame(slow, makeRequest("ping").serialize());
+    ASSERT_TRUE(service::readFrame(slow, payload));
+    EXPECT_TRUE(service::Response::parse(payload).ok);
+}
+
+TEST(ServiceServer, BackpressureDisconnectsReaderPastQueueCap)
+{
+    TempPath socket("service_test_backpressure.sock");
+    obs::ObsParams obs_params;
+    obs::Observability obs(obs_params);
+    service::SessionBroker broker;
+    service::ServerOptions options;
+    options.max_queue_bytes = 1024; // absurdly small on purpose
+    options.obs = &obs;
+    service::Server server(socket.path, &broker, options);
+
+    util::Fd fd = util::unixConnect(socket.path);
+    service::writeFrame(
+        fd, makeRequest("open", {"original"}, kIni).serialize());
+    std::string payload;
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    service::Response open = service::Response::parse(payload);
+    ASSERT_TRUE(open.ok) << open.message;
+    const std::string id = open.args[0];
+    service::writeFrame(fd,
+                        makeRequest("step", {id, "144"}).serialize());
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    ASSERT_TRUE(service::Response::parse(payload).ok);
+
+    // Pipeline many large responses (per-step JSONL dumps) and stop
+    // reading: once the kernel socket buffer fills, the userspace
+    // queue blows the 1 KiB cap and the server cuts the connection
+    // instead of queueing without bound.
+    constexpr int kQueries = 48;
+    for (int i = 0; i < kQueries; ++i)
+        service::writeFrame(
+            fd, makeRequest("query", {id, "jsonl"}).serialize());
+    uint64_t disconnects = 0;
+    for (int waited_ms = 0; waited_ms < 10000; waited_ms += 10) {
+        disconnects = obs.metrics().counterValue(
+            "service.backpressure_disconnects");
+        if (disconnects > 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(disconnects, 1u);
+    // The cut is visible client-side too: whatever was in flight
+    // drains, then EOF (or a frame truncated by the close).
+    bool disconnected = false;
+    try {
+        int received = 0;
+        while (received < kQueries &&
+               service::readFrame(fd, payload))
+            ++received;
+        disconnected = received < kQueries;
+    } catch (const Error &) {
+        disconnected = true;
+    }
+    EXPECT_TRUE(disconnected);
+}
+
+TEST(ServiceServer, StatsVerbReportsTransportMetrics)
+{
+    TempPath socket("service_test_stats.sock");
+    obs::ObsParams obs_params;
+    obs::Observability obs(obs_params);
+    service::BrokerOptions broker_options;
+    broker_options.obs = &obs;
+    service::SessionBroker broker(broker_options);
+    service::ServerOptions options;
+    options.obs = &obs;
+    service::Server server(socket.path, &broker, options);
+
+    util::Fd fd = util::unixConnect(socket.path);
+    std::string payload;
+    service::writeFrame(fd, makeRequest("ping").serialize());
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    service::writeFrame(fd, makeRequest("stats").serialize());
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    service::Response stats = service::Response::parse(payload);
+    ASSERT_TRUE(stats.ok) << stats.message;
+    EXPECT_NE(stats.body.find("\"service.connections\":"),
+              std::string::npos)
+        << stats.body;
+    EXPECT_NE(stats.body.find("\"service.rx_frames\":"),
+              std::string::npos);
+    EXPECT_NE(stats.body.find("\"service.tx_frames\":"),
+              std::string::npos);
+    EXPECT_NE(stats.body.find("\"service.queue_depth\":"),
+              std::string::npos);
+}
+
+TEST(ServiceThreadedServer, BaselineTransportStillServes)
+{
+    // The pre-reactor transport stays alive as the loadgen baseline;
+    // keep it honest with a minimal lifecycle round-trip.
+    TempPath socket("service_test_threaded.sock");
+    service::SessionBroker broker;
+    service::ThreadedServer server(socket.path, &broker);
+
+    util::Fd fd = util::unixConnect(socket.path);
+    std::string payload;
+    service::writeFrame(fd, makeRequest("ping").serialize());
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    EXPECT_TRUE(service::Response::parse(payload).ok);
+    service::writeFrame(
+        fd, makeRequest("open", {"original"}, kIni).serialize());
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    service::Response open = service::Response::parse(payload);
+    ASSERT_TRUE(open.ok) << open.message;
+    service::writeFrame(
+        fd, makeRequest("close", {open.args[0]}).serialize());
+    ASSERT_TRUE(service::readFrame(fd, payload));
+    EXPECT_TRUE(service::Response::parse(payload).ok);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Listener path probing (crash-leftover vs live daemon).
+
+TEST(UtilSocket, UnixListenRefusesLivePathAndReclaimsStale)
+{
+    TempPath path("service_test_probe.sock");
+    {
+        // While a listener is alive, a second bind must refuse
+        // rather than silently steal the path from a running daemon.
+        util::Fd live = util::unixListen(path.path);
+        EXPECT_THROW(util::unixListen(path.path), Error);
+    }
+    // The listener died without unlinking (a crash): the socket file
+    // is stale, and the next bind reclaims it.
+    util::Fd reclaimed = util::unixListen(path.path);
+    EXPECT_TRUE(reclaimed.valid());
+}
+
+TEST(UtilSocket, UnixListenNeverTouchesANonSocketFile)
+{
+    TempPath path("service_test_probe_plain.txt");
+    std::ofstream(path.path) << "precious data\n";
+    EXPECT_THROW(util::unixListen(path.path), Error);
+    // The file survives the refused bind, contents intact.
+    std::ifstream is(path.path);
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "precious data");
 }
 
 } // namespace
